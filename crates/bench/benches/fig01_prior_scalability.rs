@@ -1,0 +1,21 @@
+//! Bench for Fig. 1: HotStuff throughput at increasing scale (128 B vs 1024 B payloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_hotstuff;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_prior_scalability");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("hotstuff", n), &n, |b, &n| {
+            b.iter(|| bench_hotstuff(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

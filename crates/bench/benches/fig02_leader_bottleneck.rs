@@ -1,0 +1,25 @@
+//! Bench for Fig. 2: HotStuff throughput and leader bandwidth as n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_hotstuff_scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_leader_bottleneck");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("leader_bandwidth", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_hotstuff_scenario(&bench_scenario(n));
+                report.leader_bandwidth_bps as u64
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Fig. 6: HotStuff throughput across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_hotstuff_scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_hotstuff_batch");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for batch in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                run_hotstuff_scenario(&bench_scenario(8).with_hotstuff_batch(batch)).confirmed_requests
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

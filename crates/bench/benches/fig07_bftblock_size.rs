@@ -1,0 +1,24 @@
+//! Bench for Fig. 7: Leopard throughput across BFTblock sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_bftblock_size");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for bftblock in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("bftblock", bftblock), &bftblock, |b, &size| {
+            b.iter(|| {
+                run_leopard_scenario(&bench_scenario(8).with_batches(16, size)).confirmed_requests
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Fig. 8: Leopard throughput across datablock sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_datablock_size");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for datablock in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("datablock", datablock), &datablock, |b, &size| {
+            b.iter(|| {
+                run_leopard_scenario(&bench_scenario(8).with_batches(size, 8)).confirmed_requests
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

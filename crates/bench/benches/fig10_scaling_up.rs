@@ -1,0 +1,29 @@
+//! Bench for Fig. 10: throughput under throttled per-replica bandwidth (scaling up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::{run_hotstuff_scenario, run_leopard_scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scaling_up");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for mbps in [20u64, 100] {
+        group.bench_with_input(BenchmarkId::new("leopard", mbps), &mbps, |b, &mbps| {
+            b.iter(|| {
+                run_leopard_scenario(&bench_scenario(4).with_bandwidth_mbps(mbps)).confirmed_requests
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hotstuff", mbps), &mbps, |b, &mbps| {
+            b.iter(|| {
+                run_hotstuff_scenario(&bench_scenario(4).with_bandwidth_mbps(mbps)).confirmed_requests
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

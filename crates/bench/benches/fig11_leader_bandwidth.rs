@@ -1,0 +1,25 @@
+//! Bench for Fig. 11: leader bandwidth usage in Leopard vs HotStuff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::{run_hotstuff_scenario, run_leopard_scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_leader_bandwidth");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("leopard", n), &n, |b, &n| {
+            b.iter(|| run_leopard_scenario(&bench_scenario(n)).leader_bandwidth_bps as u64);
+        });
+        group.bench_with_input(BenchmarkId::new("hotstuff", n), &n, |b, &n| {
+            b.iter(|| run_hotstuff_scenario(&bench_scenario(n)).leader_bandwidth_bps as u64);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Fig. 12 / Table V: datablock retrieval cost under the selective attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+use leopard_simnet::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_retrieval");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::new("selective_attack", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = bench_scenario(n)
+                    .with_selective_attackers(1)
+                    .with_duration(SimDuration::from_secs(2));
+                run_leopard_scenario(&config).retrievals
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

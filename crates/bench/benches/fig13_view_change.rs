@@ -1,0 +1,28 @@
+//! Bench for Fig. 13: view-change time and communication cost after a leader crash.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+use leopard_simnet::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_view_change");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("leader_crash", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = bench_scenario(n)
+                    .with_leader_crash_at(SimDuration::from_millis(200))
+                    .with_duration(SimDuration::from_secs(3));
+                run_leopard_scenario(&config).view_changes
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

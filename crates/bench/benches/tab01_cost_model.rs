@@ -1,0 +1,29 @@
+//! Bench for Table I: the analytical cost model (scaling-factor closed forms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use leopard_harness::analysis;
+use leopard_types::ProtocolParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab01_cost_model");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [32usize, 300, 600] {
+        group.bench_with_input(BenchmarkId::new("scaling_factors", n), &n, |b, &n| {
+            b.iter(|| {
+                let params = ProtocolParams::paper_defaults(n);
+                (
+                    params.leopard_scaling_factor(),
+                    params.leader_based_scaling_factor(),
+                    analysis::leopard_predicted_throughput(&params, 9_800_000_000),
+                )
+            });
+        });
+    }
+    group.bench_function("table1_render", |b| b.iter(|| analysis::table1(300).to_text()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Table III: per-category bandwidth utilisation breakdown of Leopard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+use leopard_types::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab03_bandwidth_breakdown");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("leader_datablock_receive_bytes", |b| {
+        b.iter(|| {
+            let report = run_leopard_scenario(&bench_scenario(8));
+            report
+                .sim
+                .metrics
+                .traffic
+                .received_bytes_in(NodeId(1), "datablock")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

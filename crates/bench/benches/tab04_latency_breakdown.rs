@@ -1,0 +1,27 @@
+//! Bench for Table IV: latency breakdown of Leopard across protocol stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use leopard_bench::bench_scenario;
+use leopard_harness::scenario::run_leopard_scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab04_latency_breakdown");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("stage_latency_samples", |b| {
+        b.iter(|| {
+            let report = run_leopard_scenario(&bench_scenario(8));
+            (
+                report.sim.metrics.custom_samples("latency_generation").len(),
+                report.sim.metrics.custom_samples("latency_dissemination").len(),
+                report.sim.metrics.custom_samples("latency_agreement").len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared helpers for the criterion benches and the `experiments` binary.
+//!
+//! Each bench under `benches/` corresponds to one table or figure of the paper and
+//! exercises the same experiment code as `cargo run -p leopard-bench --bin experiments`,
+//! just at bench-friendly (reduced) scales so `cargo bench --workspace` finishes in
+//! minutes. The full-scale numbers reported in `EXPERIMENTS.md` come from the binary.
+
+use leopard_harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use leopard_harness::workload::WorkloadConfig;
+use leopard_simnet::SimDuration;
+
+/// A bench-sized Leopard/HotStuff scenario: `n` replicas, a light workload and a short
+/// virtual window, so one run takes milliseconds rather than seconds.
+pub fn bench_scenario(n: usize) -> ScenarioConfig {
+    ScenarioConfig::small(n)
+        .with_duration(SimDuration::from_millis(500))
+        .with_workload(WorkloadConfig {
+            aggregate_rps: 4_000,
+            payload_size: 128,
+        })
+}
+
+/// Runs Leopard on a bench-sized scenario and returns confirmed requests (used as the
+/// benched quantity so the optimiser cannot discard the run).
+pub fn bench_leopard(n: usize) -> u64 {
+    run_leopard_scenario(&bench_scenario(n)).confirmed_requests
+}
+
+/// Runs HotStuff on a bench-sized scenario and returns confirmed requests.
+pub fn bench_hotstuff(n: usize) -> u64 {
+    run_hotstuff_scenario(&bench_scenario(n)).confirmed_requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_confirm_requests() {
+        assert!(bench_leopard(4) > 0);
+        assert!(bench_hotstuff(4) > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p leopard-bench --release --bin experiments -- [--full] [<id>...]
+//! ```
+//!
+//! With no ids every experiment runs. `--full` selects the paper-scale parameter sets
+//! (slower); the default "quick" profile uses reduced scales suitable for a laptop.
+//! Each table is printed to stdout and written to `target/experiments/<id>.csv`.
+
+use leopard_harness::experiments::{run_experiment, EXPERIMENT_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let requested: Vec<String> = args.into_iter().filter(|a| a != "--full").collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = PathBuf::from("target/experiments");
+    let mut failures = 0usize;
+    for id in ids {
+        eprintln!("running experiment {id} ({}) ...", if full { "full" } else { "quick" });
+        match run_experiment(id, !full) {
+            Some(table) => {
+                println!("{}", table.to_text());
+                match table.write_csv(&out_dir, id) {
+                    Ok(path) => eprintln!("  wrote {}", path.display()),
+                    Err(error) => eprintln!("  could not write CSV: {error}"),
+                }
+            }
+            None => {
+                eprintln!("  unknown experiment id: {id}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

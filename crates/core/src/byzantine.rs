@@ -1,0 +1,73 @@
+//! Protocol-level Byzantine behaviours that can be injected into a replica.
+//!
+//! Network-level interference (selective datablock dissemination, crashes) is injected
+//! below the protocol by [`leopard_simnet::FaultPlan`]; the behaviours here change what
+//! the replica itself does. Both are used by the failure experiments (§VI-D) and the
+//! safety tests.
+
+/// A replica's behaviour profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineBehavior {
+    /// Follow the protocol.
+    #[default]
+    Honest,
+    /// As leader, never propose any BFTblock (progress stalls until a view-change).
+    SilentLeader,
+    /// As leader, propose two conflicting BFTblocks with the same serial number: the
+    /// first half of the replicas receives one block, the second half the other.
+    /// Safety must still hold (at most one of them can ever be confirmed).
+    EquivocatingLeader,
+    /// Never vote (neither prepare nor commit) and never send ready messages.
+    WithholdVotes,
+    /// Produce datablocks but never respond to retrieval queries.
+    IgnoreQueries,
+}
+
+impl ByzantineBehavior {
+    /// True if the behaviour deviates from the protocol.
+    pub fn is_byzantine(&self) -> bool {
+        !matches!(self, ByzantineBehavior::Honest)
+    }
+
+    /// True if the replica refuses to propose as leader.
+    pub fn silent_as_leader(&self) -> bool {
+        matches!(self, ByzantineBehavior::SilentLeader)
+    }
+
+    /// True if the replica proposes conflicting blocks as leader.
+    pub fn equivocates(&self) -> bool {
+        matches!(self, ByzantineBehavior::EquivocatingLeader)
+    }
+
+    /// True if the replica withholds its votes and ready messages.
+    pub fn withholds_votes(&self) -> bool {
+        matches!(self, ByzantineBehavior::WithholdVotes)
+    }
+
+    /// True if the replica ignores retrieval queries.
+    pub fn ignores_queries(&self) -> bool {
+        matches!(self, ByzantineBehavior::IgnoreQueries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(ByzantineBehavior::default(), ByzantineBehavior::Honest);
+        assert!(!ByzantineBehavior::Honest.is_byzantine());
+    }
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(ByzantineBehavior::SilentLeader.silent_as_leader());
+        assert!(ByzantineBehavior::SilentLeader.is_byzantine());
+        assert!(ByzantineBehavior::EquivocatingLeader.equivocates());
+        assert!(ByzantineBehavior::WithholdVotes.withholds_votes());
+        assert!(ByzantineBehavior::IgnoreQueries.ignores_queries());
+        assert!(!ByzantineBehavior::Honest.silent_as_leader());
+        assert!(!ByzantineBehavior::Honest.equivocates());
+    }
+}

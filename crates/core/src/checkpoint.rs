@@ -1,0 +1,175 @@
+//! Checkpointing and garbage collection (Algorithm 4).
+//!
+//! Every `checkpoint_interval` executed BFTblocks each replica threshold-signs a
+//! checkpoint statement `⟨checkpoint, sn, H(state)⟩` and sends it to the leader; the
+//! leader combines `2f+1` shares into a checkpoint proof and multicasts it. A valid
+//! proof advances the low watermark `lw` and lets replicas prune executed datablocks and
+//! instances below it.
+
+use crate::instance::ShareCollector;
+use leopard_crypto::threshold::SignatureShare;
+use leopard_crypto::{hash_parts, Digest};
+use leopard_types::SeqNum;
+use std::collections::HashMap;
+
+/// The digest replicas sign for a checkpoint at `seq` with execution-state digest
+/// `state`.
+pub fn checkpoint_digest(seq: SeqNum, state: &Digest) -> Digest {
+    hash_parts([b"checkpoint".as_slice(), &seq.0.to_le_bytes(), state.as_bytes()])
+}
+
+/// Checkpoint bookkeeping for one replica (leader and non-leader roles).
+#[derive(Debug, Default)]
+pub struct CheckpointState {
+    /// The latest stable (proven) checkpoint sequence number; this is the low watermark.
+    stable: SeqNum,
+    /// Leader-side share collection per candidate checkpoint.
+    collecting: HashMap<SeqNum, (Digest, ShareCollector)>,
+}
+
+impl CheckpointState {
+    /// Creates the initial state (stable checkpoint at serial number 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current low watermark `lw`.
+    pub fn low_watermark(&self) -> SeqNum {
+        self.stable
+    }
+
+    /// True if `seq` should trigger a checkpoint given the configured interval.
+    pub fn is_checkpoint_height(seq: SeqNum, interval: u64) -> bool {
+        interval > 0 && seq.0 > 0 && seq.0 % interval == 0
+    }
+
+    /// Leader-side: records a checkpoint share. Returns the shares once `quorum` of them
+    /// are available for the same `(seq, state)` (exactly once).
+    pub fn record_share(
+        &mut self,
+        seq: SeqNum,
+        state: Digest,
+        share: SignatureShare,
+        quorum: usize,
+    ) -> Option<Vec<SignatureShare>> {
+        if seq <= self.stable {
+            return None;
+        }
+        let entry = self
+            .collecting
+            .entry(seq)
+            .or_insert_with(|| (state, ShareCollector::new()));
+        if entry.0 != state {
+            // Divergent state digests for the same height; ignore the minority report.
+            return None;
+        }
+        let count = entry.1.add(share);
+        if count == quorum {
+            Some(entry.1.shares().to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// Advances the stable checkpoint (after verifying a checkpoint proof). Returns true
+    /// if the watermark moved forward.
+    pub fn advance(&mut self, seq: SeqNum) -> bool {
+        if seq > self.stable {
+            self.stable = seq;
+            self.collecting.retain(|&s, _| s > seq);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::hash_bytes;
+    use leopard_crypto::threshold::ThresholdScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkpoint_heights_follow_the_interval() {
+        assert!(!CheckpointState::is_checkpoint_height(SeqNum(0), 8));
+        assert!(!CheckpointState::is_checkpoint_height(SeqNum(7), 8));
+        assert!(CheckpointState::is_checkpoint_height(SeqNum(8), 8));
+        assert!(CheckpointState::is_checkpoint_height(SeqNum(16), 8));
+        assert!(!CheckpointState::is_checkpoint_height(SeqNum(8), 0));
+    }
+
+    #[test]
+    fn checkpoint_digest_is_deterministic_and_distinct() {
+        let state = hash_bytes(b"log");
+        assert_eq!(checkpoint_digest(SeqNum(8), &state), checkpoint_digest(SeqNum(8), &state));
+        assert_ne!(checkpoint_digest(SeqNum(8), &state), checkpoint_digest(SeqNum(16), &state));
+        assert_ne!(
+            checkpoint_digest(SeqNum(8), &state),
+            checkpoint_digest(SeqNum(8), &hash_bytes(b"other"))
+        );
+    }
+
+    #[test]
+    fn shares_accumulate_until_quorum_once() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let state = hash_bytes(b"state");
+        let digest = checkpoint_digest(SeqNum(8), &state);
+        let mut checkpoints = CheckpointState::new();
+
+        let mut reached = None;
+        for key in &keys[..3] {
+            reached = checkpoints.record_share(SeqNum(8), state, scheme.sign_share(key, &digest), 3);
+        }
+        let shares = reached.expect("third share reaches the quorum");
+        assert_eq!(shares.len(), 3);
+        assert!(scheme.combine(&shares, &digest).is_ok());
+        // A fourth share does not report quorum again.
+        assert!(checkpoints
+            .record_share(SeqNum(8), state, scheme.sign_share(&keys[3], &digest), 3)
+            .is_none());
+    }
+
+    #[test]
+    fn divergent_state_digests_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let state_a = hash_bytes(b"a");
+        let state_b = hash_bytes(b"b");
+        let digest_a = checkpoint_digest(SeqNum(8), &state_a);
+        let mut checkpoints = CheckpointState::new();
+        checkpoints.record_share(SeqNum(8), state_a, scheme.sign_share(&keys[0], &digest_a), 3);
+        // A share claiming a different execution state for the same height is dropped.
+        assert!(checkpoints
+            .record_share(SeqNum(8), state_b, scheme.sign_share(&keys[1], &digest_a), 3)
+            .is_none());
+    }
+
+    #[test]
+    fn advance_moves_watermark_monotonically() {
+        let mut checkpoints = CheckpointState::new();
+        assert_eq!(checkpoints.low_watermark(), SeqNum(0));
+        assert!(checkpoints.advance(SeqNum(8)));
+        assert_eq!(checkpoints.low_watermark(), SeqNum(8));
+        assert!(!checkpoints.advance(SeqNum(4)));
+        assert!(!checkpoints.advance(SeqNum(8)));
+        assert!(checkpoints.advance(SeqNum(16)));
+        assert_eq!(checkpoints.low_watermark(), SeqNum(16));
+    }
+
+    #[test]
+    fn shares_below_the_watermark_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let state = hash_bytes(b"state");
+        let digest = checkpoint_digest(SeqNum(8), &state);
+        let mut checkpoints = CheckpointState::new();
+        checkpoints.advance(SeqNum(8));
+        assert!(checkpoints
+            .record_share(SeqNum(8), state, scheme.sign_share(&keys[0], &digest), 3)
+            .is_none());
+    }
+}

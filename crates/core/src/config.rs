@@ -1,0 +1,214 @@
+//! Configuration of a Leopard deployment: protocol parameters, timers, workload model
+//! and the shared key material.
+
+use crate::byzantine::ByzantineBehavior;
+use leopard_crypto::threshold::{ThresholdKeyPair, ThresholdScheme};
+use leopard_simnet::SimDuration;
+use leopard_types::ProtocolParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// How client requests enter the system.
+///
+/// In the paper clients are separate machines submitting to their neighbouring replica
+/// (with the deterministic assignment function `µ(req)` balancing load). In this
+/// reproduction the client stub lives inside each replica: it injects synthetic requests
+/// into the replica's mempool and measures acknowledgement latency, which keeps the
+/// simulation's event count proportional to protocol messages rather than requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadMode {
+    /// Clients submit an aggregate of `aggregate_rps` requests per second, spread evenly
+    /// over the non-leader replicas (open loop).
+    OpenLoop {
+        /// Total offered load in requests per second across the whole system.
+        aggregate_rps: u64,
+    },
+    /// Every non-leader replica always has enough pending requests to fill a datablock
+    /// (the paper's "saturated request rate" stress test). `pacing` bounds how often a
+    /// replica may emit a datablock, modelling the per-datablock CPU cost measured in
+    /// Table IV.
+    Saturated {
+        /// Minimum interval between two datablocks from the same replica.
+        pacing: SimDuration,
+    },
+    /// No client traffic at all (used by targeted unit tests and the view-change /
+    /// retrieval micro-benchmarks that inject blocks manually).
+    Idle,
+}
+
+/// Full configuration of one Leopard replica.
+#[derive(Debug, Clone)]
+pub struct LeopardConfig {
+    /// Structural protocol parameters (n, f, batch sizes, payload and header sizes).
+    pub params: ProtocolParams,
+    /// Workload model of the embedded client stub.
+    pub workload: WorkloadMode,
+    /// How often a non-leader replica flushes a partially filled datablock.
+    pub batch_timeout: SimDuration,
+    /// How often the leader checks whether it can propose a new BFTblock.
+    pub propose_interval: SimDuration,
+    /// How long a replica waits for a missing datablock before querying the committee.
+    pub retrieval_timeout: SimDuration,
+    /// Confirmation-progress watchdog: if no BFTblock is confirmed for this long while
+    /// work is outstanding, the replica complains (timeout message → view-change).
+    pub progress_timeout: SimDuration,
+    /// Checkpoint period in BFTblocks (the paper uses `k / 2`).
+    pub checkpoint_interval: u64,
+    /// Byzantine behaviour injected into this replica (honest by default).
+    pub byzantine: ByzantineBehavior,
+}
+
+impl LeopardConfig {
+    /// A configuration following the paper's defaults for scale `n`, with an open-loop
+    /// workload of `aggregate_rps` requests per second.
+    pub fn paper(n: usize, aggregate_rps: u64) -> Self {
+        let params = ProtocolParams::paper_defaults(n);
+        Self {
+            checkpoint_interval: (params.max_parallel_instances as u64 / 2).max(1),
+            params,
+            workload: WorkloadMode::OpenLoop { aggregate_rps },
+            batch_timeout: SimDuration::from_millis(50),
+            propose_interval: SimDuration::from_millis(20),
+            retrieval_timeout: SimDuration::from_millis(100),
+            progress_timeout: SimDuration::from_secs(2),
+            byzantine: ByzantineBehavior::Honest,
+        }
+    }
+
+    /// A small, fast configuration for unit and integration tests.
+    pub fn small_test(n: usize) -> Self {
+        let mut params = ProtocolParams::paper_defaults(n);
+        params.datablock_size = 8;
+        params.bftblock_size = 4;
+        params.max_parallel_instances = 16;
+        Self {
+            params,
+            workload: WorkloadMode::OpenLoop { aggregate_rps: 2_000 },
+            batch_timeout: SimDuration::from_millis(20),
+            propose_interval: SimDuration::from_millis(10),
+            retrieval_timeout: SimDuration::from_millis(50),
+            progress_timeout: SimDuration::from_millis(500),
+            checkpoint_interval: 8,
+            byzantine: ByzantineBehavior::Honest,
+        }
+    }
+
+    /// Overrides the workload mode.
+    pub fn with_workload(mut self, workload: WorkloadMode) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the Byzantine behaviour.
+    pub fn with_byzantine(mut self, behaviour: ByzantineBehavior) -> Self {
+        self.byzantine = behaviour;
+        self
+    }
+
+    /// Generates the shared key material (threshold scheme + per-replica key pairs) for
+    /// a system with this configuration.
+    pub fn shared_keys(config: &LeopardConfig, seed: u64) -> Arc<SharedKeys> {
+        Arc::new(SharedKeys::generate(
+            config.params.quorum(),
+            config.params.n,
+            seed,
+        ))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint_interval must be positive".to_string());
+        }
+        if let WorkloadMode::OpenLoop { aggregate_rps } = self.workload {
+            if aggregate_rps == 0 {
+                return Err("aggregate_rps must be positive for an open-loop workload".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The key material shared by all replicas of one deployment: the threshold scheme's
+/// public values plus every replica's key pair.
+///
+/// In a real deployment each replica would hold only its own key pair; bundling them is
+/// a simulation convenience (replicas only ever read their own entry).
+#[derive(Debug)]
+pub struct SharedKeys {
+    /// The threshold scheme (public verification values).
+    pub scheme: ThresholdScheme,
+    /// Per-replica key pairs, indexed by replica index.
+    pub keypairs: Vec<ThresholdKeyPair>,
+}
+
+impl SharedKeys {
+    /// Runs the trusted setup for an `(threshold, n)` deployment.
+    pub fn generate(threshold: usize, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (scheme, keypairs) = ThresholdScheme::trusted_setup(threshold, n, &mut rng);
+        Self { scheme, keypairs }
+    }
+
+    /// The key pair of replica `index`.
+    pub fn keypair(&self, index: usize) -> &ThresholdKeyPair {
+        &self.keypairs[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let config = LeopardConfig::paper(64, 100_000);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.params.datablock_size, 2000);
+        assert_eq!(config.checkpoint_interval, 50);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(LeopardConfig::small_test(4).validate().is_ok());
+        assert!(LeopardConfig::small_test(7).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_rate_and_zero_interval() {
+        let config = LeopardConfig::small_test(4).with_workload(WorkloadMode::OpenLoop { aggregate_rps: 0 });
+        assert!(config.validate().is_err());
+        let mut config = LeopardConfig::small_test(4);
+        config.checkpoint_interval = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn shared_keys_cover_every_replica() {
+        let config = LeopardConfig::small_test(7);
+        let keys = LeopardConfig::shared_keys(&config, 1);
+        assert_eq!(keys.keypairs.len(), 7);
+        assert_eq!(keys.scheme.threshold(), 5);
+        assert_eq!(keys.keypair(3).index, 4); // 1-based signer index
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let config = LeopardConfig::small_test(4)
+            .with_workload(WorkloadMode::Saturated {
+                pacing: SimDuration::from_millis(5),
+            })
+            .with_byzantine(ByzantineBehavior::SilentLeader);
+        assert_eq!(
+            config.workload,
+            WorkloadMode::Saturated {
+                pacing: SimDuration::from_millis(5)
+            }
+        );
+        assert_eq!(config.byzantine, ByzantineBehavior::SilentLeader);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-serial-number agreement instance bookkeeping (Algorithm 2), for both the leader
+//! and non-leader replicas.
+
+use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
+use leopard_crypto::Digest;
+use leopard_simnet::SimTime;
+use leopard_types::{BftBlock, BlockState};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A set of signature shares with signer de-duplication.
+#[derive(Debug, Default, Clone)]
+pub struct ShareCollector {
+    shares: Vec<SignatureShare>,
+    signers: HashSet<usize>,
+}
+
+impl ShareCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a share unless the signer already contributed; returns the new count.
+    pub fn add(&mut self, share: SignatureShare) -> usize {
+        if self.signers.insert(share.signer) {
+            self.shares.push(share);
+        }
+        self.shares.len()
+    }
+
+    /// Number of distinct shares collected.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True if no shares were collected.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Borrows the collected shares.
+    pub fn shares(&self) -> &[SignatureShare] {
+        &self.shares
+    }
+}
+
+/// The leader's state for one agreement instance.
+#[derive(Debug)]
+pub struct LeaderInstance {
+    /// The proposed block.
+    pub block: Arc<BftBlock>,
+    /// Digest of the proposed block (the message of the first voting round).
+    pub block_digest: Digest,
+    /// First-round (prepare) shares.
+    pub prepares: ShareCollector,
+    /// The notarization proof once formed.
+    pub notarization: Option<CombinedSignature>,
+    /// Digest of the notarization proof (the message of the second voting round).
+    pub notarization_digest: Option<Digest>,
+    /// Second-round (commit) shares.
+    pub commits: ShareCollector,
+    /// The confirmation proof once formed.
+    pub confirmation: Option<CombinedSignature>,
+    /// When the instance was proposed (for latency accounting).
+    pub proposed_at: SimTime,
+}
+
+impl LeaderInstance {
+    /// Creates the leader-side state for a freshly proposed block.
+    pub fn new(block: Arc<BftBlock>, proposed_at: SimTime) -> Self {
+        let block_digest = block.digest();
+        Self {
+            block,
+            block_digest,
+            prepares: ShareCollector::new(),
+            notarization: None,
+            notarization_digest: None,
+            commits: ShareCollector::new(),
+            confirmation: None,
+            proposed_at,
+        }
+    }
+
+    /// True once the confirmation proof exists.
+    pub fn is_confirmed(&self) -> bool {
+        self.confirmation.is_some()
+    }
+}
+
+/// A non-leader replica's state for one agreement instance.
+#[derive(Debug)]
+pub struct ReplicaInstance {
+    /// The block, once received (a replica can learn the serial number from votes or a
+    /// view-change before seeing the block itself).
+    pub block: Option<Arc<BftBlock>>,
+    /// Digest of the block, once known.
+    pub block_digest: Option<Digest>,
+    /// Protocol state of the block.
+    pub state: BlockState,
+    /// True once the first-round vote was cast (an honest replica votes at most once per
+    /// serial number and view — the safety argument relies on this).
+    pub prepare_voted: bool,
+    /// True once the second-round vote was cast.
+    pub commit_voted: bool,
+    /// Digests of linked datablocks this replica has not received yet.
+    pub missing_links: HashSet<Digest>,
+    /// The notarization proof once received.
+    pub notarization: Option<CombinedSignature>,
+    /// Digest of the notarization proof.
+    pub notarization_digest: Option<Digest>,
+    /// The confirmation proof once received.
+    pub confirmation: Option<CombinedSignature>,
+    /// When the block was first received.
+    pub received_at: Option<SimTime>,
+}
+
+impl Default for ReplicaInstance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplicaInstance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self {
+            block: None,
+            block_digest: None,
+            state: BlockState::Proposed,
+            prepare_voted: false,
+            commit_voted: false,
+            missing_links: HashSet::new(),
+            notarization: None,
+            notarization_digest: None,
+            confirmation: None,
+            received_at: None,
+        }
+    }
+
+    /// True once every linked datablock is locally available.
+    pub fn links_complete(&self) -> bool {
+        self.missing_links.is_empty()
+    }
+
+    /// True once the block is confirmed.
+    pub fn is_confirmed(&self) -> bool {
+        self.state == BlockState::Confirmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::hash_bytes;
+    use leopard_crypto::threshold::ThresholdScheme;
+    use leopard_types::{SeqNum, View};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_collector_deduplicates_by_signer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let msg = hash_bytes(b"block");
+        let mut collector = ShareCollector::new();
+        assert!(collector.is_empty());
+        assert_eq!(collector.add(scheme.sign_share(&keys[0], &msg)), 1);
+        assert_eq!(collector.add(scheme.sign_share(&keys[0], &msg)), 1);
+        assert_eq!(collector.add(scheme.sign_share(&keys[1], &msg)), 2);
+        assert_eq!(collector.add(scheme.sign_share(&keys[2], &msg)), 3);
+        assert_eq!(collector.len(), 3);
+        assert!(scheme.combine(collector.shares(), &msg).is_ok());
+    }
+
+    #[test]
+    fn leader_instance_tracks_confirmation() {
+        let block = Arc::new(BftBlock::new(View(1), SeqNum(1), vec![]));
+        let instance = LeaderInstance::new(block.clone(), SimTime(5));
+        assert_eq!(instance.block_digest, block.digest());
+        assert!(!instance.is_confirmed());
+        assert_eq!(instance.proposed_at, SimTime(5));
+    }
+
+    #[test]
+    fn replica_instance_defaults() {
+        let instance = ReplicaInstance::new();
+        assert!(instance.links_complete());
+        assert!(!instance.is_confirmed());
+        assert_eq!(instance.state, BlockState::Proposed);
+        assert!(!instance.prepare_voted);
+        let default_instance = ReplicaInstance::default();
+        assert_eq!(default_instance.state, instance.state);
+    }
+}

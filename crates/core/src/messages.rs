@@ -1,0 +1,373 @@
+//! The messages exchanged by Leopard replicas, with wire-size accounting and the
+//! category labels used by the bandwidth-utilisation breakdown (Table III).
+//!
+//! Large payloads (datablocks, BFTblocks) are wrapped in [`Arc`] so that multicasting to
+//! hundreds of peers in the simulator clones a pointer, not the payload.
+
+use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
+use leopard_crypto::{Digest, MerkleProof};
+use leopard_simnet::SimMessage;
+use leopard_types::{BftBlock, Datablock, SeqNum, View, WireSize};
+use std::sync::Arc;
+
+/// Size in bytes of a signature share or combined signature on the wire (`κ`).
+pub const VOTE_WIRE_BYTES: usize = 48;
+/// Size in bytes of a digest on the wire (`β`).
+pub const DIGEST_WIRE_BYTES: usize = 32;
+
+/// A notarized BFTblock carried by view-change and new-view messages: the block plus its
+/// notarization proof.
+#[derive(Debug, Clone)]
+pub struct NotarizedEntry {
+    /// The notarized BFTblock.
+    pub block: Arc<BftBlock>,
+    /// The notarization proof (first-round combined signature).
+    pub proof: CombinedSignature,
+}
+
+impl WireSize for NotarizedEntry {
+    fn wire_size(&self) -> usize {
+        self.block.wire_size() + VOTE_WIRE_BYTES
+    }
+}
+
+/// All messages of the Leopard protocol.
+#[derive(Debug, Clone)]
+pub enum LeopardMessage {
+    /// Algorithm 1: a datablock multicast by its producer.
+    Datablock(Arc<Datablock>),
+    /// Algorithm 3 (ready round): acknowledgement that the sender stores the datablock.
+    Ready {
+        /// Digest of the acknowledged datablock.
+        digest: Digest,
+    },
+    /// Algorithm 2, pre-prepare: the leader proposes a BFTblock (with its own signature
+    /// share on it).
+    PrePrepare {
+        /// The proposed BFTblock.
+        block: Arc<BftBlock>,
+        /// The leader's signature share on the block digest.
+        share: SignatureShare,
+    },
+    /// Algorithm 2, prepare: a replica's first-round vote, sent to the leader.
+    PrepareVote {
+        /// Serial number of the voted block.
+        seq: SeqNum,
+        /// Digest of the voted block.
+        block_digest: Digest,
+        /// The voter's signature share on the block digest.
+        share: SignatureShare,
+    },
+    /// Algorithm 2, notarize: the combined first-round proof, multicast by the leader.
+    NotarizationProof {
+        /// Serial number of the notarized block.
+        seq: SeqNum,
+        /// Digest of the notarized block.
+        block_digest: Digest,
+        /// The notarization proof.
+        proof: CombinedSignature,
+    },
+    /// Algorithm 2, commit: a replica's second-round vote on the notarization proof.
+    CommitVote {
+        /// Serial number of the block.
+        seq: SeqNum,
+        /// Digest of the notarization proof being signed.
+        proof_digest: Digest,
+        /// The voter's signature share.
+        share: SignatureShare,
+    },
+    /// Algorithm 2, confirm: the combined second-round proof, multicast by the leader.
+    ConfirmationProof {
+        /// Serial number of the confirmed block.
+        seq: SeqNum,
+        /// Digest of the notarization proof that was signed.
+        proof_digest: Digest,
+        /// The confirmation proof.
+        proof: CombinedSignature,
+    },
+    /// Algorithm 3: a query for missing datablocks, multicast by the replica that needs
+    /// them.
+    Query {
+        /// Digests of the missing datablocks.
+        digests: Vec<Digest>,
+    },
+    /// Algorithm 3: one erasure-coded chunk of a queried datablock plus its Merkle proof.
+    QueryResponse {
+        /// Digest of the datablock being recovered.
+        digest: Digest,
+        /// Merkle root over the erasure-coded chunks.
+        root: Digest,
+        /// Index of this chunk (the responder's replica index).
+        shard_index: u32,
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+        /// Merkle inclusion proof of the chunk under `root`.
+        proof: MerkleProof,
+        /// Length of the encoded datablock, needed to strip the padding after decoding.
+        payload_len: u64,
+    },
+    /// Algorithm 4: a replica's checkpoint vote.
+    Checkpoint {
+        /// Serial number of the latest executed BFTblock.
+        seq: SeqNum,
+        /// Digest of the execution state.
+        state_digest: Digest,
+        /// The replica's signature share on the checkpoint.
+        share: SignatureShare,
+    },
+    /// Algorithm 4: the combined checkpoint proof, multicast by the leader.
+    CheckpointProof {
+        /// Serial number of the checkpointed BFTblock.
+        seq: SeqNum,
+        /// Digest of the execution state.
+        state_digest: Digest,
+        /// The checkpoint proof.
+        proof: CombinedSignature,
+    },
+    /// View-change trigger: a replica complains that view `view` is not making progress.
+    Timeout {
+        /// The view being complained about.
+        view: View,
+        /// The complainer's signature share on the timeout statement.
+        share: SignatureShare,
+    },
+    /// State synchronisation: sent to the next leader when a replica gives up on the
+    /// current view.
+    ViewChange {
+        /// The view the sender wants to move to.
+        new_view: View,
+        /// Serial number of the sender's latest stable checkpoint.
+        checkpoint_seq: SeqNum,
+        /// Notarized (or confirmed) BFTblocks above the checkpoint, with proofs.
+        notarized: Vec<NotarizedEntry>,
+    },
+    /// The next leader's new-view message carrying `2f+1` view-change messages (their
+    /// aggregate size is accounted, their contents summarised by `blocks`).
+    NewView {
+        /// The new view.
+        view: View,
+        /// Number of view-change messages aggregated (for size accounting).
+        view_change_count: u32,
+        /// Total wire bytes of the aggregated view-change messages.
+        view_change_bytes: u64,
+        /// The blocks to re-propose in the new view.
+        blocks: Vec<NotarizedEntry>,
+    },
+}
+
+impl WireSize for LeopardMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            LeopardMessage::Datablock(db) => db.wire_size(),
+            LeopardMessage::Ready { .. } => DIGEST_WIRE_BYTES + 8,
+            LeopardMessage::PrePrepare { block, .. } => block.wire_size() + VOTE_WIRE_BYTES,
+            LeopardMessage::PrepareVote { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::NotarizationProof { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::CommitVote { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::ConfirmationProof { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::Query { digests } => 4 + DIGEST_WIRE_BYTES * digests.len(),
+            LeopardMessage::QueryResponse { chunk, proof, .. } => {
+                2 * DIGEST_WIRE_BYTES + 4 + 8 + chunk.len() + proof.wire_size()
+            }
+            LeopardMessage::Checkpoint { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::CheckpointProof { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
+            LeopardMessage::Timeout { .. } => 8 + VOTE_WIRE_BYTES,
+            LeopardMessage::ViewChange { notarized, .. } => {
+                8 + 8 + notarized.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            LeopardMessage::NewView {
+                view_change_bytes,
+                blocks,
+                ..
+            } => 8 + 4 + *view_change_bytes as usize + blocks.iter().map(WireSize::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+impl SimMessage for LeopardMessage {
+    fn category(&self) -> &'static str {
+        match self {
+            LeopardMessage::Datablock(_) => "datablock",
+            LeopardMessage::Ready { .. } => "ready",
+            LeopardMessage::PrePrepare { .. } => "bftblock",
+            LeopardMessage::PrepareVote { .. } | LeopardMessage::CommitVote { .. } => "vote",
+            LeopardMessage::NotarizationProof { .. } | LeopardMessage::ConfirmationProof { .. } => {
+                "proof"
+            }
+            LeopardMessage::Query { .. } => "query",
+            LeopardMessage::QueryResponse { .. } => "retrieval",
+            LeopardMessage::Checkpoint { .. } | LeopardMessage::CheckpointProof { .. } => {
+                "checkpoint"
+            }
+            LeopardMessage::Timeout { .. }
+            | LeopardMessage::ViewChange { .. }
+            | LeopardMessage::NewView { .. } => "viewchange",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::hash_bytes;
+    use leopard_crypto::threshold::ThresholdScheme;
+    use leopard_types::{ClientId, NodeId, Request};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_share() -> (SignatureShare, CombinedSignature) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let msg = hash_bytes(b"m");
+        let shares: Vec<_> = keys.iter().map(|k| scheme.sign_share(k, &msg)).collect();
+        let proof = scheme.combine(&shares[..3], &msg).unwrap();
+        (shares[0], proof)
+    }
+
+    #[test]
+    fn categories_cover_all_variants() {
+        let (share, proof) = sample_share();
+        let db = Arc::new(Datablock::new(
+            NodeId(1),
+            1,
+            vec![Request::new_synthetic(ClientId(0), 0, 128)],
+        ));
+        let block = Arc::new(BftBlock::new(View(1), SeqNum(1), vec![db.digest()]));
+        let digest = db.digest();
+
+        let cases: Vec<(LeopardMessage, &str)> = vec![
+            (LeopardMessage::Datablock(db.clone()), "datablock"),
+            (LeopardMessage::Ready { digest }, "ready"),
+            (
+                LeopardMessage::PrePrepare {
+                    block: block.clone(),
+                    share,
+                },
+                "bftblock",
+            ),
+            (
+                LeopardMessage::PrepareVote {
+                    seq: SeqNum(1),
+                    block_digest: digest,
+                    share,
+                },
+                "vote",
+            ),
+            (
+                LeopardMessage::NotarizationProof {
+                    seq: SeqNum(1),
+                    block_digest: digest,
+                    proof,
+                },
+                "proof",
+            ),
+            (
+                LeopardMessage::CommitVote {
+                    seq: SeqNum(1),
+                    proof_digest: digest,
+                    share,
+                },
+                "vote",
+            ),
+            (
+                LeopardMessage::ConfirmationProof {
+                    seq: SeqNum(1),
+                    proof_digest: digest,
+                    proof,
+                },
+                "proof",
+            ),
+            (LeopardMessage::Query { digests: vec![digest] }, "query"),
+            (
+                LeopardMessage::Checkpoint {
+                    seq: SeqNum(2),
+                    state_digest: digest,
+                    share,
+                },
+                "checkpoint",
+            ),
+            (
+                LeopardMessage::CheckpointProof {
+                    seq: SeqNum(2),
+                    state_digest: digest,
+                    proof,
+                },
+                "checkpoint",
+            ),
+            (
+                LeopardMessage::Timeout {
+                    view: View(1),
+                    share,
+                },
+                "viewchange",
+            ),
+            (
+                LeopardMessage::ViewChange {
+                    new_view: View(2),
+                    checkpoint_seq: SeqNum(0),
+                    notarized: vec![NotarizedEntry {
+                        block: block.clone(),
+                        proof,
+                    }],
+                },
+                "viewchange",
+            ),
+            (
+                LeopardMessage::NewView {
+                    view: View(2),
+                    view_change_count: 3,
+                    view_change_bytes: 300,
+                    blocks: vec![],
+                },
+                "viewchange",
+            ),
+        ];
+        for (message, expected) in cases {
+            assert_eq!(message.category(), expected);
+            assert!(message.wire_size() > 0);
+        }
+    }
+
+    #[test]
+    fn bftblock_messages_are_much_smaller_than_datablocks() {
+        let (share, _) = sample_share();
+        let requests: Vec<Request> = (0..2000)
+            .map(|i| Request::new_synthetic(ClientId(0), i, 128))
+            .collect();
+        let db = Arc::new(Datablock::new(NodeId(1), 1, requests));
+        let links: Vec<Digest> = (0..100u64).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+        let block = Arc::new(BftBlock::new(View(1), SeqNum(1), links));
+
+        let datablock_size = LeopardMessage::Datablock(db).wire_size();
+        let preprepare_size = LeopardMessage::PrePrepare { block, share }.wire_size();
+        assert!(datablock_size > 50 * preprepare_size);
+    }
+
+    #[test]
+    fn query_size_scales_with_digest_count() {
+        let one = LeopardMessage::Query {
+            digests: vec![hash_bytes(b"a")],
+        };
+        let five = LeopardMessage::Query {
+            digests: (0..5u8).map(|i| hash_bytes(&[i])).collect(),
+        };
+        assert_eq!(five.wire_size() - one.wire_size(), 4 * DIGEST_WIRE_BYTES);
+    }
+
+    #[test]
+    fn new_view_accounts_for_carried_view_changes() {
+        let small = LeopardMessage::NewView {
+            view: View(2),
+            view_change_count: 3,
+            view_change_bytes: 100,
+            blocks: vec![],
+        };
+        let large = LeopardMessage::NewView {
+            view: View(2),
+            view_change_count: 300,
+            view_change_bytes: 100_000,
+            blocks: vec![],
+        };
+        assert!(large.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,1354 @@
+//! The Leopard replica state machine: one [`LeopardReplica`] per node, implementing
+//! [`leopard_simnet::Protocol`].
+//!
+//! The replica combines every component of the protocol:
+//!
+//! * the embedded client stub and mempool ([`crate::mempool`]),
+//! * datablock generation and dissemination (Algorithm 1),
+//! * the ready round and the leader's BFTblock proposals,
+//! * the two-round agreement with threshold-signature aggregation (Algorithm 2),
+//! * datablock retrieval (Algorithm 3),
+//! * checkpoints / garbage collection (Algorithm 4),
+//! * the PBFT-style view-change (Appendix A),
+//! * optional Byzantine behaviours ([`crate::byzantine`]).
+
+use crate::byzantine::ByzantineBehavior;
+use crate::checkpoint::{checkpoint_digest, CheckpointState};
+use crate::config::{LeopardConfig, SharedKeys, WorkloadMode};
+use crate::instance::{LeaderInstance, ReplicaInstance};
+use crate::mempool::Mempool;
+use crate::messages::{LeopardMessage, NotarizedEntry};
+use crate::pool::{DatablockPool, ReadyTracker};
+use crate::retrieval::{encode_response, ChunkOutcome, RetrievalManager};
+use crate::view_change::{timeout_digest, view_change_wire_size, ViewChangeState};
+use leopard_crypto::threshold::CombinedSignature;
+use leopard_crypto::{hash_parts, Digest};
+use leopard_simnet::{Context, ObservationKind, Protocol, SimDuration, SimTime};
+use leopard_types::{BftBlock, BlockState, ClientId, Datablock, NodeId, SeqNum, View};
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Periodic timer tokens.
+const TOKEN_WORKLOAD: u64 = 1;
+const TOKEN_BATCH: u64 = 2;
+const TOKEN_PROPOSE: u64 = 3;
+const TOKEN_PROGRESS: u64 = 4;
+const TOKEN_RETRIEVAL: u64 = 5;
+
+/// Interval of the client-stub injection timer in the open-loop workload.
+const WORKLOAD_TICK: SimDuration = SimDuration(10_000_000); // 10 ms
+
+/// Latency-breakdown bookkeeping for a datablock this replica produced.
+#[derive(Debug, Clone, Copy)]
+struct DatablockTiming {
+    created_at: SimTime,
+    oldest_request_at: SimTime,
+    linked_at: Option<SimTime>,
+}
+
+/// A Leopard replica.
+pub struct LeopardReplica {
+    id: NodeId,
+    config: LeopardConfig,
+    keys: Arc<SharedKeys>,
+
+    // --- normal-case state ---
+    view: View,
+    mempool: Mempool,
+    pool: DatablockPool,
+    ready: ReadyTracker,
+    leader_instances: BTreeMap<u64, LeaderInstance>,
+    replica_instances: BTreeMap<u64, ReplicaInstance>,
+    next_seq: SeqNum,
+    checkpoints: CheckpointState,
+    retrieval: RetrievalManager,
+    datablock_counter: u64,
+    own_datablocks: HashMap<Digest, DatablockTiming>,
+
+    // --- log / execution ---
+    log: BTreeMap<u64, Arc<BftBlock>>,
+    last_executed: SeqNum,
+    confirmed_requests: u64,
+
+    // --- view-change state ---
+    view_changes: ViewChangeState,
+    in_view_change: bool,
+    view_change_started_at: Option<SimTime>,
+
+    // --- watchdog ---
+    confirmed_at_last_check: u64,
+
+    // --- client-stub pacing ---
+    injection_carry: f64,
+}
+
+impl std::fmt::Debug for LeopardReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeopardReplica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("last_executed", &self.last_executed)
+            .field("confirmed_requests", &self.confirmed_requests)
+            .finish()
+    }
+}
+
+type Ctx<'a> = dyn Context<Message = LeopardMessage> + 'a;
+
+impl LeopardReplica {
+    /// Creates a replica with the given configuration and shared key material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(id: NodeId, config: LeopardConfig, keys: Arc<SharedKeys>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|message| panic!("invalid Leopard config: {message}"));
+        let payload_size = config.params.payload_size as u32;
+        Self {
+            id,
+            mempool: Mempool::new(ClientId(id.0), payload_size),
+            pool: DatablockPool::new(),
+            ready: ReadyTracker::new(),
+            leader_instances: BTreeMap::new(),
+            replica_instances: BTreeMap::new(),
+            next_seq: SeqNum::first(),
+            checkpoints: CheckpointState::new(),
+            retrieval: RetrievalManager::new(),
+            datablock_counter: 1,
+            own_datablocks: HashMap::new(),
+            log: BTreeMap::new(),
+            last_executed: SeqNum(0),
+            confirmed_requests: 0,
+            view_changes: ViewChangeState::new(),
+            in_view_change: false,
+            view_change_started_at: None,
+            confirmed_at_last_check: 0,
+            injection_carry: 0.0,
+            view: View::initial(),
+            config,
+            keys,
+        }
+    }
+
+    /// The replica's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The replica's current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The current leader from this replica's point of view.
+    pub fn leader(&self) -> NodeId {
+        self.view.leader(self.config.params.n)
+    }
+
+    /// True if this replica is the current leader.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.id
+    }
+
+    /// Serial number of the latest executed BFTblock.
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    /// Total requests confirmed (executed) by this replica.
+    pub fn confirmed_requests(&self) -> u64 {
+        self.confirmed_requests
+    }
+
+    /// The confirmed BFTblock at `seq`, if it has been added to the log.
+    pub fn log_block(&self, seq: SeqNum) -> Option<&Arc<BftBlock>> {
+        self.log.get(&seq.0)
+    }
+
+    /// Current low watermark (latest stable checkpoint).
+    pub fn low_watermark(&self) -> SeqNum {
+        self.checkpoints.low_watermark()
+    }
+
+    fn quorum(&self) -> usize {
+        self.config.params.quorum()
+    }
+
+    fn f(&self) -> usize {
+        self.config.params.f()
+    }
+
+    fn n(&self) -> usize {
+        self.config.params.n
+    }
+
+    fn behaviour(&self) -> ByzantineBehavior {
+        self.config.byzantine
+    }
+
+    // ------------------------------------------------------------------
+    // Client stub & datablock generation (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    fn inject_workload(&mut self, ctx: &mut Ctx<'_>) {
+        let WorkloadMode::OpenLoop { aggregate_rps } = self.config.workload else {
+            return;
+        };
+        if self.is_leader() {
+            // Clients pick non-leader replicas (µ excludes the leader).
+            return;
+        }
+        let per_replica = aggregate_rps as f64 / (self.n() - 1) as f64;
+        let per_tick = per_replica * WORKLOAD_TICK.as_secs_f64() + self.injection_carry;
+        let whole = per_tick.floor() as usize;
+        self.injection_carry = per_tick - whole as f64;
+        if whole > 0 {
+            self.mempool.inject(whole, ctx.now());
+        }
+    }
+
+    fn generate_datablocks(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_leader() || self.in_view_change {
+            return;
+        }
+        if let WorkloadMode::Saturated { .. } = self.config.workload {
+            // Saturated clients always have a full datablock's worth of requests ready.
+            self.mempool.inject(self.config.params.datablock_size, ctx.now());
+        }
+        loop {
+            let available = self.mempool.len();
+            if available == 0 {
+                break;
+            }
+            let full = available >= self.config.params.datablock_size;
+            let requests = self.mempool.take_batch(self.config.params.datablock_size);
+            let oldest = ctx.now(); // queueing delay folded into the generation stage
+            let datablock = Arc::new(Datablock::new(self.id, self.datablock_counter, requests));
+            self.datablock_counter += 1;
+            let digest = datablock.digest();
+            self.own_datablocks.insert(
+                digest,
+                DatablockTiming {
+                    created_at: ctx.now(),
+                    oldest_request_at: oldest,
+                    linked_at: None,
+                },
+            );
+            self.pool.insert(datablock.clone());
+            ctx.multicast(LeopardMessage::Datablock(datablock));
+            if !self.behaviour().withholds_votes() {
+                ctx.send(self.leader(), LeopardMessage::Ready { digest });
+            }
+            if !full {
+                // Only one partial datablock per flush.
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leader: proposing BFTblocks (Algorithm 2, pre-prepare)
+    // ------------------------------------------------------------------
+
+    fn in_flight_instances(&self) -> usize {
+        self.leader_instances
+            .values()
+            .filter(|instance| !instance.is_confirmed())
+            .count()
+    }
+
+    fn propose(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.is_leader() || self.in_view_change {
+            return;
+        }
+        if self.behaviour().silent_as_leader() {
+            return;
+        }
+        let k = self.config.params.max_parallel_instances;
+        let high_watermark = self.checkpoints.low_watermark().0 + k as u64;
+        while self.in_flight_instances() < k
+            && self.ready.ready_count() > 0
+            && self.next_seq.0 <= high_watermark
+        {
+            let links = self.ready.take_ready(self.config.params.bftblock_size);
+            if links.is_empty() {
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.next();
+
+            if self.behaviour().equivocates() && links.len() >= 1 {
+                self.propose_equivocating(seq, links, ctx);
+                continue;
+            }
+
+            let block = Arc::new(BftBlock::new(self.view, seq, links));
+            let digest = block.digest();
+            let share = self
+                .keys
+                .scheme
+                .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+            self.leader_instances
+                .insert(seq.0, LeaderInstance::new(block.clone(), ctx.now()));
+            let message = LeopardMessage::PrePrepare { block, share };
+            ctx.multicast(message.clone());
+            ctx.send(self.id, message);
+        }
+    }
+
+    /// Byzantine leader: send conflicting blocks with the same serial number to two
+    /// halves of the replicas. Safety must hold regardless.
+    fn propose_equivocating(&mut self, seq: SeqNum, links: Vec<Digest>, ctx: &mut Ctx<'_>) {
+        let block_a = Arc::new(BftBlock::new(self.view, seq, links.clone()));
+        let mut reversed = links;
+        reversed.reverse();
+        // Ensure the digests differ even for a single link by dropping it in block B.
+        let block_b = if reversed.len() == 1 {
+            Arc::new(BftBlock::new(self.view, seq, Vec::new()))
+        } else {
+            Arc::new(BftBlock::new(self.view, seq, reversed))
+        };
+        let share_a = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &block_a.digest());
+        let share_b = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &block_b.digest());
+        self.leader_instances
+            .insert(seq.0, LeaderInstance::new(block_a.clone(), ctx.now()));
+        let half = self.n() / 2;
+        for index in 0..self.n() {
+            let peer = NodeId(index as u32);
+            if peer == self.id {
+                continue;
+            }
+            let message = if index < half {
+                LeopardMessage::PrePrepare {
+                    block: block_a.clone(),
+                    share: share_a,
+                }
+            } else {
+                LeopardMessage::PrePrepare {
+                    block: block_b.clone(),
+                    share: share_b,
+                }
+            };
+            ctx.send(peer, message);
+        }
+        ctx.send(
+            self.id,
+            LeopardMessage::PrePrepare {
+                block: block_a,
+                share: share_a,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Agreement: replica side (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    fn handle_datablock(&mut self, from: NodeId, datablock: Arc<Datablock>, ctx: &mut Ctx<'_>) {
+        if datablock.id.producer != from {
+            // A replica may only disseminate its own datablocks.
+            return;
+        }
+        let Some(digest) = self.pool.insert(datablock) else {
+            return; // duplicate counter
+        };
+        if !self.behaviour().withholds_votes() {
+            ctx.send(self.leader(), LeopardMessage::Ready { digest });
+        }
+        // A pending retrieval for this datablock is no longer needed.
+        let waiting = self.retrieval.cancel(&digest);
+        for seq in waiting {
+            self.resolve_missing_link(seq, digest, ctx);
+        }
+    }
+
+    fn handle_ready(&mut self, from: NodeId, digest: Digest) {
+        if !self.is_leader() {
+            return;
+        }
+        // Only datablocks the leader itself stores may become ready (it must be able to
+        // serve retrieval queries for everything it links).
+        if !self.pool.contains(&digest) {
+            return;
+        }
+        self.ready.record_ack(digest, from, self.quorum());
+    }
+
+    fn handle_pre_prepare(
+        &mut self,
+        from: NodeId,
+        block: Arc<BftBlock>,
+        share: leopard_crypto::threshold::SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // VRFBFTBLOCK checks (Algorithm 2, line 37).
+        if block.id.view != self.view || self.in_view_change {
+            return;
+        }
+        if from != self.leader() {
+            return;
+        }
+        let digest = block.digest();
+        if share.signer != self.leader().signer_index()
+            || !self.keys.scheme.verify_share(&share, &digest)
+        {
+            return;
+        }
+        let seq = block.id.seq;
+        let lw = self.checkpoints.low_watermark().0;
+        let k = self.config.params.max_parallel_instances as u64;
+        if seq.0 <= lw || seq.0 > lw + k {
+            return;
+        }
+        let instance = self.replica_instances.entry(seq.0).or_default();
+        if let Some(existing) = instance.block_digest {
+            if existing != digest {
+                // Equivocation: refuse to adopt a second block for the same serial
+                // number in the same view.
+                return;
+            }
+        }
+        instance.block = Some(block.clone());
+        instance.block_digest = Some(digest);
+        if instance.received_at.is_none() {
+            instance.received_at = Some(ctx.now());
+        }
+
+        // Record the link time of our own datablocks (latency breakdown).
+        for link in &block.links {
+            if let Some(timing) = self.own_datablocks.get_mut(link) {
+                if timing.linked_at.is_none() {
+                    timing.linked_at = Some(ctx.now());
+                }
+            }
+        }
+
+        // Check the availability of every linked datablock.
+        let missing: Vec<Digest> = block
+            .links
+            .iter()
+            .filter(|link| !self.pool.contains(link))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            let instance = self.replica_instances.get_mut(&seq.0).expect("just inserted");
+            for link in missing {
+                instance.missing_links.insert(link);
+                self.retrieval.note_missing(link, seq, ctx.now());
+            }
+            return;
+        }
+        self.cast_prepare_vote(seq, ctx);
+    }
+
+    fn cast_prepare_vote(&mut self, seq: SeqNum, ctx: &mut Ctx<'_>) {
+        if self.behaviour().withholds_votes() {
+            return;
+        }
+        let leader = self.leader();
+        let Some(instance) = self.replica_instances.get_mut(&seq.0) else {
+            return;
+        };
+        if instance.prepare_voted || !instance.links_complete() {
+            return;
+        }
+        let Some(digest) = instance.block_digest else {
+            return;
+        };
+        instance.prepare_voted = true;
+        let share = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        ctx.send(
+            leader,
+            LeopardMessage::PrepareVote {
+                seq,
+                block_digest: digest,
+                share,
+            },
+        );
+    }
+
+    fn resolve_missing_link(&mut self, seq: SeqNum, digest: Digest, ctx: &mut Ctx<'_>) {
+        let Some(instance) = self.replica_instances.get_mut(&seq.0) else {
+            return;
+        };
+        instance.missing_links.remove(&digest);
+        if instance.links_complete() && !instance.prepare_voted {
+            self.cast_prepare_vote(seq, ctx);
+        }
+        // A confirmed block may have been waiting for this datablock to execute.
+        self.try_execute(ctx);
+    }
+
+    fn notarization_digest(seq: SeqNum, block_digest: &Digest, proof: &CombinedSignature) -> Digest {
+        hash_parts([
+            b"notarize".as_slice(),
+            &seq.0.to_le_bytes(),
+            block_digest.as_bytes(),
+            &proof.value.value().to_le_bytes(),
+        ])
+    }
+
+    fn handle_prepare_vote(
+        &mut self,
+        from: NodeId,
+        seq: SeqNum,
+        block_digest: Digest,
+        share: leopard_crypto::threshold::SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.is_leader() {
+            return;
+        }
+        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &block_digest)
+        {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(instance) = self.leader_instances.get_mut(&seq.0) else {
+            return;
+        };
+        if instance.block_digest != block_digest || instance.notarization.is_some() {
+            return;
+        }
+        if instance.prepares.add(share) < quorum {
+            return;
+        }
+        let Ok(proof) = self
+            .keys
+            .scheme
+            .combine(instance.prepares.shares(), &block_digest)
+        else {
+            return;
+        };
+        instance.notarization = Some(proof);
+        let digest = Self::notarization_digest(seq, &block_digest, &proof);
+        instance.notarization_digest = Some(digest);
+        let message = LeopardMessage::NotarizationProof {
+            seq,
+            block_digest,
+            proof,
+        };
+        ctx.multicast(message.clone());
+        ctx.send(self.id, message);
+    }
+
+    fn handle_notarization(
+        &mut self,
+        seq: SeqNum,
+        block_digest: Digest,
+        proof: CombinedSignature,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.keys.scheme.verify_combined(&proof, &block_digest) {
+            return;
+        }
+        let lw = self.checkpoints.low_watermark().0;
+        if seq.0 <= lw {
+            return;
+        }
+        let withholds = self.behaviour().withholds_votes();
+        let instance = self.replica_instances.entry(seq.0).or_default();
+        if instance.block_digest.is_some() && instance.block_digest != Some(block_digest) {
+            return;
+        }
+        if instance.state < BlockState::Notarized {
+            instance.state = BlockState::Notarized;
+        }
+        instance.block_digest.get_or_insert(block_digest);
+        instance.notarization = Some(proof);
+        let notarization_digest = Self::notarization_digest(seq, &block_digest, &proof);
+        instance.notarization_digest = Some(notarization_digest);
+
+        if instance.commit_voted || withholds {
+            return;
+        }
+        instance.commit_voted = true;
+        let share = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
+        ctx.send(
+            self.leader(),
+            LeopardMessage::CommitVote {
+                seq,
+                proof_digest: notarization_digest,
+                share,
+            },
+        );
+    }
+
+    fn handle_commit_vote(
+        &mut self,
+        from: NodeId,
+        seq: SeqNum,
+        proof_digest: Digest,
+        share: leopard_crypto::threshold::SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.is_leader() {
+            return;
+        }
+        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &proof_digest)
+        {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(instance) = self.leader_instances.get_mut(&seq.0) else {
+            return;
+        };
+        if instance.notarization_digest != Some(proof_digest) || instance.confirmation.is_some() {
+            return;
+        }
+        if instance.commits.add(share) < quorum {
+            return;
+        }
+        let Ok(proof) = self.keys.scheme.combine(instance.commits.shares(), &proof_digest) else {
+            return;
+        };
+        instance.confirmation = Some(proof);
+        let message = LeopardMessage::ConfirmationProof {
+            seq,
+            proof_digest,
+            proof,
+        };
+        ctx.multicast(message.clone());
+        ctx.send(self.id, message);
+    }
+
+    fn handle_confirmation(
+        &mut self,
+        seq: SeqNum,
+        proof_digest: Digest,
+        proof: CombinedSignature,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.keys.scheme.verify_combined(&proof, &proof_digest) {
+            return;
+        }
+        let lw = self.checkpoints.low_watermark().0;
+        if seq.0 <= lw && self.log.contains_key(&seq.0) {
+            return;
+        }
+        let instance = self.replica_instances.entry(seq.0).or_default();
+        if let Some(expected) = instance.notarization_digest {
+            if expected != proof_digest {
+                return;
+            }
+        }
+        if instance.is_confirmed() {
+            return;
+        }
+        instance.state = BlockState::Confirmed;
+        instance.confirmation = Some(proof);
+        if let Some(block) = instance.block.clone() {
+            self.log.insert(seq.0, block);
+        }
+        self.try_execute(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Execution, acknowledgement, checkpoints
+    // ------------------------------------------------------------------
+
+    fn try_execute(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let next = SeqNum(self.last_executed.0 + 1);
+            let Some(block) = self.log.get(&next.0).cloned() else {
+                break;
+            };
+            // Every linked datablock must be locally available before execution.
+            let mut missing = Vec::new();
+            for link in &block.links {
+                if !self.pool.contains(link) {
+                    missing.push(*link);
+                }
+            }
+            if !missing.is_empty() {
+                for link in missing {
+                    if self.retrieval.note_missing(link, next, ctx.now()) {
+                        // The retrieval timer is periodic; nothing else to arm here.
+                    }
+                }
+                break;
+            }
+
+            let mut request_count = 0u64;
+            let mut payload_bytes = 0u64;
+            for link in &block.links {
+                let datablock = self.pool.get(link).expect("checked above").clone();
+                request_count += datablock.len() as u64;
+                payload_bytes += datablock.payload_bytes() as u64;
+                // Acknowledge our own requests (client-side latency measurement).
+                if datablock.id.producer == self.id {
+                    for request in &datablock.requests {
+                        if let Some(latency) = self.mempool.acknowledge(&request.id, ctx.now()) {
+                            ctx.observe(ObservationKind::RequestLatency { nanos: latency });
+                        }
+                    }
+                }
+                // Latency breakdown for datablocks we produced.
+                if let Some(timing) = self.own_datablocks.remove(link) {
+                    let generation = timing
+                        .created_at
+                        .saturating_since(timing.oldest_request_at)
+                        .as_nanos();
+                    let linked = timing.linked_at.unwrap_or(ctx.now());
+                    let dissemination = linked.saturating_since(timing.created_at).as_nanos();
+                    let agreement = ctx.now().saturating_since(linked).as_nanos();
+                    ctx.observe(ObservationKind::Custom {
+                        label: "latency_generation",
+                        value: generation,
+                    });
+                    ctx.observe(ObservationKind::Custom {
+                        label: "latency_dissemination",
+                        value: dissemination,
+                    });
+                    ctx.observe(ObservationKind::Custom {
+                        label: "latency_agreement",
+                        value: agreement,
+                    });
+                }
+            }
+            self.confirmed_requests += request_count;
+            if request_count > 0 {
+                ctx.observe(ObservationKind::RequestsConfirmed {
+                    count: request_count,
+                    payload_bytes,
+                });
+            }
+            ctx.observe(ObservationKind::BlockCommitted {
+                sequence: next.0,
+                requests: request_count,
+            });
+            self.last_executed = next;
+
+            // Checkpoint (Algorithm 4).
+            if CheckpointState::is_checkpoint_height(next, self.config.checkpoint_interval)
+                && !self.behaviour().withholds_votes()
+            {
+                let state_digest = hash_parts([b"state".as_slice(), &next.0.to_le_bytes()]);
+                let digest = checkpoint_digest(next, &state_digest);
+                let share = self
+                    .keys
+                    .scheme
+                    .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+                ctx.send(
+                    self.leader(),
+                    LeopardMessage::Checkpoint {
+                        seq: next,
+                        state_digest,
+                        share,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_checkpoint_share(
+        &mut self,
+        from: NodeId,
+        seq: SeqNum,
+        state_digest: Digest,
+        share: leopard_crypto::threshold::SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.is_leader() {
+            return;
+        }
+        let digest = checkpoint_digest(seq, &state_digest);
+        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &digest) {
+            return;
+        }
+        if let Some(shares) = self
+            .checkpoints
+            .record_share(seq, state_digest, share, self.quorum())
+        {
+            if let Ok(proof) = self.keys.scheme.combine(&shares, &digest) {
+                let message = LeopardMessage::CheckpointProof {
+                    seq,
+                    state_digest,
+                    proof,
+                };
+                ctx.multicast(message.clone());
+                ctx.send(self.id, message);
+            }
+        }
+    }
+
+    fn handle_checkpoint_proof(
+        &mut self,
+        seq: SeqNum,
+        state_digest: Digest,
+        proof: CombinedSignature,
+    ) {
+        let digest = checkpoint_digest(seq, &state_digest);
+        if !self.keys.scheme.verify_combined(&proof, &digest) {
+            return;
+        }
+        if !self.checkpoints.advance(seq) {
+            return;
+        }
+        // Garbage collection: drop instances, log entries and executed datablocks at or
+        // below the new watermark.
+        let watermark = seq.0;
+        let mut executed_links = Vec::new();
+        for (&s, block) in self.log.range(..=watermark) {
+            if s <= self.last_executed.0 {
+                executed_links.extend(block.links.iter().copied());
+            }
+        }
+        self.pool.prune(executed_links.iter().copied());
+        self.ready.prune(executed_links);
+        self.leader_instances.retain(|&s, _| s > watermark);
+        self.replica_instances.retain(|&s, _| s > watermark);
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    fn handle_query(&mut self, from: NodeId, digests: Vec<Digest>, ctx: &mut Ctx<'_>) {
+        if self.behaviour().ignores_queries() {
+            return;
+        }
+        for digest in digests {
+            if !self.retrieval.should_serve(digest, from) {
+                continue;
+            }
+            let Some(datablock) = self.pool.get(&digest) else {
+                continue;
+            };
+            if let Some(response) = encode_response(datablock, self.id, self.f(), self.n()) {
+                ctx.send(
+                    from,
+                    LeopardMessage::QueryResponse {
+                        digest,
+                        root: response.root,
+                        shard_index: response.shard_index,
+                        chunk: response.chunk,
+                        proof: response.proof,
+                        payload_len: response.payload_len,
+                    },
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_query_response(
+        &mut self,
+        digest: Digest,
+        root: Digest,
+        shard_index: u32,
+        chunk: Vec<u8>,
+        proof: leopard_crypto::MerkleProof,
+        payload_len: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let outcome = self.retrieval.add_chunk(
+            digest,
+            root,
+            shard_index,
+            chunk,
+            &proof,
+            payload_len,
+            self.f(),
+            self.n(),
+            ctx.now(),
+        );
+        if let ChunkOutcome::Recovered {
+            datablock,
+            waiting,
+            elapsed_nanos,
+            received_bytes,
+        } = outcome
+        {
+            ctx.observe(ObservationKind::RetrievalCompleted {
+                nanos: elapsed_nanos,
+                received_bytes,
+            });
+            if self.pool.insert(datablock).is_some() && !self.behaviour().withholds_votes() {
+                ctx.send(self.leader(), LeopardMessage::Ready { digest });
+            }
+            for seq in waiting {
+                self.resolve_missing_link(seq, digest, ctx);
+            }
+        }
+    }
+
+    fn fire_retrieval_timer(&mut self, ctx: &mut Ctx<'_>) {
+        let digests = self.retrieval.digests_to_query();
+        if !digests.is_empty() {
+            ctx.multicast(LeopardMessage::Query { digests });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View-change (Appendix A)
+    // ------------------------------------------------------------------
+
+    fn outstanding_work(&self) -> bool {
+        self.mempool.outstanding() > 0
+            || self
+                .replica_instances
+                .values()
+                .any(|instance| !instance.is_confirmed())
+    }
+
+    fn fire_progress_timer(&mut self, ctx: &mut Ctx<'_>) {
+        let progressed = self.confirmed_requests > self.confirmed_at_last_check
+            || self.last_executed.0 > 0 && self.confirmed_requests == self.confirmed_at_last_check && !self.outstanding_work();
+        let stalled = !progressed && self.outstanding_work();
+        self.confirmed_at_last_check = self.confirmed_requests;
+        if stalled && !self.in_view_change {
+            self.complain(ctx);
+        }
+    }
+
+    fn complain(&mut self, ctx: &mut Ctx<'_>) {
+        let view = self.view;
+        if !self.view_changes.mark_complained(view) {
+            return;
+        }
+        let digest = timeout_digest(view);
+        let share = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        let message = LeopardMessage::Timeout { view, share };
+        ctx.multicast(message.clone());
+        ctx.send(self.id, message);
+    }
+
+    fn handle_timeout(
+        &mut self,
+        from: NodeId,
+        view: View,
+        share: leopard_crypto::threshold::SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if view != self.view {
+            return;
+        }
+        if share.signer != from.signer_index()
+            || !self.keys.scheme.verify_share(&share, &timeout_digest(view))
+        {
+            return;
+        }
+        let count = self.view_changes.record_timeout(view, from);
+        // Join the complaint once f+1 replicas complained.
+        if count > self.f() && !self.view_changes.has_complained(view) {
+            self.complain(ctx);
+        }
+        // Abandon the view once 2f+1 replicas complained.
+        if count >= self.quorum() && self.view_changes.mark_abandoned(view) {
+            self.start_view_change(ctx);
+        }
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Ctx<'_>) {
+        let old_view = self.view;
+        self.in_view_change = true;
+        self.view_change_started_at = Some(ctx.now());
+        let new_view = old_view.next();
+        let next_leader = new_view.leader(self.n());
+
+        // Collect every notarized-or-better block above the stable checkpoint.
+        let mut notarized = Vec::new();
+        for (&seq, instance) in &self.replica_instances {
+            if seq <= self.checkpoints.low_watermark().0 {
+                continue;
+            }
+            if let (Some(block), Some(proof)) = (&instance.block, instance.notarization) {
+                if instance.state >= BlockState::Notarized {
+                    notarized.push(NotarizedEntry {
+                        block: block.clone(),
+                        proof,
+                    });
+                }
+            }
+        }
+        let message = LeopardMessage::ViewChange {
+            new_view,
+            checkpoint_seq: self.checkpoints.low_watermark(),
+            notarized,
+        };
+        ctx.send(next_leader, message.clone());
+        if next_leader == self.id {
+            // Self-send happens through the same path for uniformity.
+        }
+        // The replica stops participating in the old view; it resumes on new-view.
+        let _ = old_view;
+    }
+
+    fn handle_view_change(
+        &mut self,
+        from: NodeId,
+        new_view: View,
+        checkpoint_seq: SeqNum,
+        notarized: Vec<NotarizedEntry>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if new_view.leader(self.n()) != self.id || new_view.0 <= self.view.0 && !self.in_view_change
+        {
+            // Only the prospective leader of `new_view` processes these.
+            if new_view.leader(self.n()) != self.id {
+                return;
+            }
+        }
+        // Verify the notarization proofs before accepting the entries.
+        let valid: Vec<NotarizedEntry> = notarized
+            .into_iter()
+            .filter(|entry| {
+                self.keys
+                    .scheme
+                    .verify_combined(&entry.proof, &entry.block.digest())
+            })
+            .collect();
+        let bytes = view_change_wire_size(&valid);
+        self.view_changes
+            .record_view_change(new_view, from, checkpoint_seq, valid, bytes);
+        if let Some(payload) = self.view_changes.build_new_view(new_view, self.quorum()) {
+            // Become the leader of the new view.
+            self.enter_view(new_view, ctx);
+            let blocks = payload.entries.clone();
+            let message = LeopardMessage::NewView {
+                view: new_view,
+                view_change_count: payload.view_change_count,
+                view_change_bytes: payload.view_change_bytes,
+                blocks: blocks.clone(),
+            };
+            ctx.multicast(message.clone());
+            ctx.send(self.id, message);
+
+            // Re-propose the surviving blocks (and dummies for the gaps) in the new view.
+            let mut highest = payload.stable_checkpoint.0;
+            for entry in &blocks {
+                highest = highest.max(entry.block.id.seq.0);
+                let block = Arc::new(BftBlock::new(new_view, entry.block.id.seq, entry.block.links.clone()));
+                self.repropose(block, ctx);
+            }
+            for gap in &payload.gaps {
+                let block = Arc::new(BftBlock::dummy(new_view, *gap));
+                self.repropose(block, ctx);
+            }
+            self.next_seq = SeqNum(highest + 1).max(self.next_seq);
+        }
+    }
+
+    fn repropose(&mut self, block: Arc<BftBlock>, ctx: &mut Ctx<'_>) {
+        let digest = block.digest();
+        let share = self
+            .keys
+            .scheme
+            .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        self.leader_instances
+            .insert(block.id.seq.0, LeaderInstance::new(block.clone(), ctx.now()));
+        let message = LeopardMessage::PrePrepare { block, share };
+        ctx.multicast(message.clone());
+        ctx.send(self.id, message);
+    }
+
+    fn handle_new_view(
+        &mut self,
+        from: NodeId,
+        view: View,
+        view_change_count: u32,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if view.0 <= self.view.0 {
+            return;
+        }
+        if from != view.leader(self.n()) {
+            return;
+        }
+        if (view_change_count as usize) < self.quorum() {
+            return;
+        }
+        self.enter_view(view, ctx);
+    }
+
+    fn enter_view(&mut self, view: View, ctx: &mut Ctx<'_>) {
+        self.view = view;
+        self.in_view_change = false;
+        if let Some(started) = self.view_change_started_at.take() {
+            ctx.observe(ObservationKind::Custom {
+                label: "view_change_nanos",
+                value: ctx.now().saturating_since(started).as_nanos(),
+            });
+        }
+        ctx.observe(ObservationKind::ViewChange { view: view.0 });
+        // Unconfirmed instances will be re-proposed in the new view; reset their voting
+        // state so replicas can vote again (for the re-proposed block).
+        for instance in self.replica_instances.values_mut() {
+            if !instance.is_confirmed() {
+                instance.block = None;
+                instance.block_digest = None;
+                instance.prepare_voted = false;
+                instance.commit_voted = false;
+                instance.notarization = None;
+                instance.notarization_digest = None;
+                instance.state = BlockState::Proposed;
+                instance.missing_links.clear();
+            }
+        }
+        self.confirmed_at_last_check = self.confirmed_requests;
+    }
+}
+
+impl Protocol for LeopardReplica {
+    type Message = LeopardMessage;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Message = LeopardMessage>) {
+        // Stagger the batch timer so system-wide datablock generation is spread evenly.
+        let batch_interval = match self.config.workload {
+            WorkloadMode::Saturated { pacing } => pacing,
+            _ => self.config.batch_timeout,
+        };
+        let stagger = if batch_interval.as_nanos() > 0 {
+            SimDuration::from_nanos(ctx.rng().gen_range(0..batch_interval.as_nanos()))
+        } else {
+            SimDuration::ZERO
+        };
+        ctx.set_timer(WORKLOAD_TICK, TOKEN_WORKLOAD);
+        ctx.set_timer(batch_interval + stagger, TOKEN_BATCH);
+        ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
+        ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
+        ctx.set_timer(self.config.retrieval_timeout, TOKEN_RETRIEVAL);
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: LeopardMessage,
+        ctx: &mut dyn Context<Message = LeopardMessage>,
+    ) {
+        match message {
+            LeopardMessage::Datablock(datablock) => self.handle_datablock(from, datablock, ctx),
+            LeopardMessage::Ready { digest } => self.handle_ready(from, digest),
+            LeopardMessage::PrePrepare { block, share } => {
+                self.handle_pre_prepare(from, block, share, ctx)
+            }
+            LeopardMessage::PrepareVote {
+                seq,
+                block_digest,
+                share,
+            } => self.handle_prepare_vote(from, seq, block_digest, share, ctx),
+            LeopardMessage::NotarizationProof {
+                seq,
+                block_digest,
+                proof,
+            } => self.handle_notarization(seq, block_digest, proof, ctx),
+            LeopardMessage::CommitVote {
+                seq,
+                proof_digest,
+                share,
+            } => self.handle_commit_vote(from, seq, proof_digest, share, ctx),
+            LeopardMessage::ConfirmationProof {
+                seq,
+                proof_digest,
+                proof,
+            } => self.handle_confirmation(seq, proof_digest, proof, ctx),
+            LeopardMessage::Query { digests } => self.handle_query(from, digests, ctx),
+            LeopardMessage::QueryResponse {
+                digest,
+                root,
+                shard_index,
+                chunk,
+                proof,
+                payload_len,
+            } => self.handle_query_response(digest, root, shard_index, chunk, proof, payload_len, ctx),
+            LeopardMessage::Checkpoint {
+                seq,
+                state_digest,
+                share,
+            } => self.handle_checkpoint_share(from, seq, state_digest, share, ctx),
+            LeopardMessage::CheckpointProof {
+                seq,
+                state_digest,
+                proof,
+            } => self.handle_checkpoint_proof(seq, state_digest, proof),
+            LeopardMessage::Timeout { view, share } => self.handle_timeout(from, view, share, ctx),
+            LeopardMessage::ViewChange {
+                new_view,
+                checkpoint_seq,
+                notarized,
+            } => self.handle_view_change(from, new_view, checkpoint_seq, notarized, ctx),
+            LeopardMessage::NewView {
+                view,
+                view_change_count,
+                ..
+            } => self.handle_new_view(from, view, view_change_count, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Context<Message = LeopardMessage>) {
+        match token {
+            TOKEN_WORKLOAD => {
+                self.inject_workload(ctx);
+                ctx.set_timer(WORKLOAD_TICK, TOKEN_WORKLOAD);
+            }
+            TOKEN_BATCH => {
+                self.generate_datablocks(ctx);
+                let interval = match self.config.workload {
+                    WorkloadMode::Saturated { pacing } => pacing,
+                    _ => self.config.batch_timeout,
+                };
+                ctx.set_timer(interval, TOKEN_BATCH);
+            }
+            TOKEN_PROPOSE => {
+                self.propose(ctx);
+                ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
+            }
+            TOKEN_PROGRESS => {
+                self.fire_progress_timer(ctx);
+                ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
+            }
+            TOKEN_RETRIEVAL => {
+                self.fire_retrieval_timer(ctx);
+                ctx.set_timer(self.config.retrieval_timeout, TOKEN_RETRIEVAL);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_simnet::{FaultPlan, NetworkConfig, Simulation};
+
+    fn run_small(
+        n: usize,
+        config_for: impl Fn(NodeId) -> LeopardConfig,
+        faults: FaultPlan,
+        secs: u64,
+    ) -> (leopard_simnet::SimulationReport, Vec<LeopardConfig>) {
+        let base = LeopardConfig::small_test(n);
+        let shared = LeopardConfig::shared_keys(&base, 7);
+        let configs: Vec<LeopardConfig> = (0..n).map(|i| config_for(NodeId(i as u32))).collect();
+        let configs_clone = configs.clone();
+        let sim = Simulation::new(NetworkConfig::datacenter(n), faults, move |id| {
+            LeopardReplica::new(id, configs_clone[id.as_index()].clone(), shared.clone())
+        });
+        let report = sim.run_to_report(
+            SimTime(SimDuration::from_secs(secs).as_nanos()),
+            10_000_000,
+        );
+        (report, configs)
+    }
+
+    #[test]
+    fn four_replicas_confirm_requests() {
+        let (report, _) = run_small(4, |_| LeopardConfig::small_test(4), FaultPlan::none(), 2);
+        assert!(report.metrics.max_confirmed_requests(4) > 100);
+        // Every replica confirms (not only the leader).
+        for node in 0..4u32 {
+            assert!(
+                report.metrics.confirmed_requests_at(NodeId(node)) > 0,
+                "replica {node} confirmed nothing"
+            );
+        }
+        // Latency samples exist (clients got acknowledgements).
+        assert!(!report.metrics.latency_samples().is_empty());
+    }
+
+    #[test]
+    fn seven_replicas_confirm_requests() {
+        let (report, _) = run_small(7, |_| LeopardConfig::small_test(7), FaultPlan::none(), 2);
+        assert!(report.metrics.max_confirmed_requests(7) > 100);
+    }
+
+    #[test]
+    fn withholding_votes_by_f_replicas_does_not_stop_progress() {
+        let n = 7; // f = 2
+        let (report, _) = run_small(
+            n,
+            |id| {
+                let config = LeopardConfig::small_test(n);
+                if id.as_index() >= n - 2 {
+                    config.with_byzantine(ByzantineBehavior::WithholdVotes)
+                } else {
+                    config
+                }
+            },
+            FaultPlan::none(),
+            2,
+        );
+        assert!(report.metrics.max_confirmed_requests(n) > 100);
+    }
+
+    #[test]
+    fn equivocating_leader_cannot_violate_safety() {
+        let n = 4;
+        let (report, _) = run_small(
+            n,
+            |id| {
+                let config = LeopardConfig::small_test(n);
+                // View 1's leader is replica 1.
+                if id == NodeId(1) {
+                    config.with_byzantine(ByzantineBehavior::EquivocatingLeader)
+                } else {
+                    config
+                }
+            },
+            FaultPlan::none(),
+            2,
+        );
+        // Safety: for every sequence number, all replicas that committed a block at that
+        // sequence committed a block with the same request count. (The detailed
+        // block-equality check lives in the integration tests where replica state is
+        // accessible; here we check that nothing paniced and progress was not required.)
+        let _ = report;
+    }
+
+    #[test]
+    fn silent_leader_triggers_view_change_and_recovery() {
+        let n = 4;
+        let (report, _) = run_small(
+            n,
+            |id| {
+                let config = LeopardConfig::small_test(n);
+                if id == NodeId(1) {
+                    // Replica 1 leads view 1 and stays silent.
+                    config.with_byzantine(ByzantineBehavior::SilentLeader)
+                } else {
+                    config
+                }
+            },
+            FaultPlan::none(),
+            6,
+        );
+        // A view change happened...
+        let view_changes: Vec<_> = report
+            .metrics
+            .observations
+            .iter()
+            .filter(|o| matches!(o.kind, ObservationKind::ViewChange { .. }))
+            .collect();
+        assert!(!view_changes.is_empty(), "no view change was observed");
+        // ...and requests are confirmed afterwards under the new leader.
+        assert!(report.metrics.max_confirmed_requests(n) > 0);
+    }
+
+    #[test]
+    fn selective_attack_is_survived_via_retrieval() {
+        let n = 4;
+        // Replica 3 sends its datablocks only to the leader (replica 1) and replica 0.
+        let faults = FaultPlan::selective_attack(vec![NodeId(3)], "datablock", 2);
+        let (report, _) = run_small(n, |_| LeopardConfig::small_test(n), faults, 4);
+        assert!(report.metrics.max_confirmed_requests(n) > 0);
+    }
+}

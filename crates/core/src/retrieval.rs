@@ -1,0 +1,466 @@
+//! The datablock retrieval mechanism (Algorithm 3).
+//!
+//! A replica that receives a BFTblock linking a datablock it never got starts a timer;
+//! on expiry it multicasts a `Query`. Every replica that holds the datablock (and has
+//! not served this querier before) erasure-codes it with the `(f+1, n)` code, builds a
+//! Merkle tree over the `n` chunks, and sends back *its own* chunk plus the Merkle
+//! proof. The querier validates chunks individually and decodes as soon as `f+1` chunks
+//! under the same root are available, then checks that the decoded datablock really
+//! hashes to the queried digest.
+
+use leopard_crypto::{Digest, MerkleProof, MerkleTree};
+use leopard_erasure::ReedSolomon;
+use leopard_simnet::SimTime;
+use leopard_types::{Datablock, Decode, Encode, NodeId, SeqNum};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A chunk of an erasure-coded datablock, as produced by [`encode_response`].
+#[derive(Debug, Clone)]
+pub struct ResponseChunk {
+    /// Merkle root over all `n` chunks.
+    pub root: Digest,
+    /// Index of the chunk (the responder's replica index).
+    pub shard_index: u32,
+    /// The chunk bytes.
+    pub chunk: Vec<u8>,
+    /// Merkle inclusion proof for the chunk.
+    pub proof: MerkleProof,
+    /// Length of the encoded datablock (needed to strip padding when decoding).
+    pub payload_len: u64,
+}
+
+/// Erasure-codes `datablock` and returns the chunk owned by `responder`, with proof.
+///
+/// Returns `None` if the erasure-code parameters are invalid (cannot happen for
+/// `n = 3f + 1 ≥ 4`) or the responder index is out of range.
+pub fn encode_response(
+    datablock: &Datablock,
+    responder: NodeId,
+    f: usize,
+    n: usize,
+) -> Option<ResponseChunk> {
+    let rs = ReedSolomon::new(f + 1, n).ok()?;
+    let encoded = datablock.encode_to_vec();
+    let shards = rs.encode_payload(&encoded);
+    let index = responder.as_index();
+    if index >= shards.len() {
+        return None;
+    }
+    let tree = MerkleTree::from_leaves(shards.iter().map(|s| s.as_slice()));
+    let proof = tree.prove(index)?;
+    Some(ResponseChunk {
+        root: tree.root(),
+        shard_index: index as u32,
+        chunk: shards[index].clone(),
+        proof,
+        payload_len: encoded.len() as u64,
+    })
+}
+
+/// State of one in-progress retrieval at the querier.
+#[derive(Debug)]
+struct PendingRetrieval {
+    /// Serial numbers of BFTblocks waiting for this datablock.
+    waiting: HashSet<SeqNum>,
+    /// Valid chunks collected so far, grouped by Merkle root.
+    chunks: HashMap<Digest, BTreeMap<u32, Vec<u8>>>,
+    /// Declared encoded length per root.
+    payload_len: HashMap<Digest, u64>,
+    /// When the datablock was first discovered missing.
+    started_at: SimTime,
+    /// Whether the query has been multicast already.
+    queried: bool,
+    /// Bytes received for this retrieval (for the Fig. 12 cost accounting).
+    received_bytes: u64,
+}
+
+/// The querier-side manager of all in-progress retrievals, plus the responder-side
+/// "serve each querier at most once" bookkeeping.
+#[derive(Debug, Default)]
+pub struct RetrievalManager {
+    pending: HashMap<Digest, PendingRetrieval>,
+    served: HashSet<(Digest, NodeId)>,
+}
+
+/// Outcome of feeding a response chunk into the manager.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChunkOutcome {
+    /// The chunk was stored; more are needed.
+    Stored,
+    /// The chunk was invalid or irrelevant and was ignored.
+    Ignored,
+    /// Enough chunks arrived and the datablock was reconstructed.
+    Recovered {
+        /// The reconstructed datablock.
+        datablock: Arc<Datablock>,
+        /// Serial numbers that were waiting for it.
+        waiting: Vec<SeqNum>,
+        /// Time the retrieval took.
+        elapsed_nanos: u64,
+        /// Bytes received over the course of the retrieval.
+        received_bytes: u64,
+    },
+}
+
+impl RetrievalManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of datablocks currently being retrieved.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registers that BFTblock `seq` needs the missing datablock `digest`.
+    ///
+    /// Returns true if this is the first time the datablock is reported missing (i.e.
+    /// the caller should start the retrieval timer).
+    pub fn note_missing(&mut self, digest: Digest, seq: SeqNum, now: SimTime) -> bool {
+        match self.pending.get_mut(&digest) {
+            Some(pending) => {
+                pending.waiting.insert(seq);
+                false
+            }
+            None => {
+                let mut waiting = HashSet::new();
+                waiting.insert(seq);
+                self.pending.insert(
+                    digest,
+                    PendingRetrieval {
+                        waiting,
+                        chunks: HashMap::new(),
+                        payload_len: HashMap::new(),
+                        started_at: now,
+                        queried: false,
+                        received_bytes: 0,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// True if `digest` is still being retrieved.
+    pub fn is_pending(&self, digest: &Digest) -> bool {
+        self.pending.contains_key(digest)
+    }
+
+    /// Called when the retrieval timer fires: returns the digests that still need to be
+    /// queried (and marks them as queried).
+    pub fn digests_to_query(&mut self) -> Vec<Digest> {
+        let mut digests: Vec<Digest> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| !p.queried)
+            .map(|(d, _)| *d)
+            .collect();
+        digests.sort_unstable();
+        for digest in &digests {
+            if let Some(pending) = self.pending.get_mut(digest) {
+                pending.queried = true;
+            }
+        }
+        digests
+    }
+
+    /// Cancels a retrieval because the datablock arrived through normal dissemination.
+    ///
+    /// Returns the serial numbers that were waiting for it.
+    pub fn cancel(&mut self, digest: &Digest) -> Vec<SeqNum> {
+        self.pending
+            .remove(digest)
+            .map(|p| p.waiting.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Responder-side: should this replica answer a query for `digest` from `querier`?
+    /// (At most one response per datablock per querier — Algorithm 3.)
+    pub fn should_serve(&mut self, digest: Digest, querier: NodeId) -> bool {
+        self.served.insert((digest, querier))
+    }
+
+    /// Feeds a received chunk into the matching retrieval.
+    ///
+    /// Verifies the Merkle proof, groups chunks by root, and attempts to decode once
+    /// `f + 1` chunks under one root are available. The decoded datablock must hash to
+    /// the queried digest; otherwise the chunks under that root are discarded (the root
+    /// was forged).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_chunk(
+        &mut self,
+        digest: Digest,
+        root: Digest,
+        shard_index: u32,
+        chunk: Vec<u8>,
+        proof: &MerkleProof,
+        payload_len: u64,
+        f: usize,
+        n: usize,
+        now: SimTime,
+    ) -> ChunkOutcome {
+        let Some(pending) = self.pending.get_mut(&digest) else {
+            return ChunkOutcome::Ignored;
+        };
+        if proof.leaf_index() != shard_index as usize || !proof.verify(root, &chunk) {
+            return ChunkOutcome::Ignored;
+        }
+        pending.received_bytes += chunk.len() as u64 + 64 + proof.wire_size() as u64;
+        pending.payload_len.insert(root, payload_len);
+        let chunks = pending.chunks.entry(root).or_default();
+        chunks.insert(shard_index, chunk);
+
+        if chunks.len() < f + 1 {
+            return ChunkOutcome::Stored;
+        }
+
+        // Try to decode from the first f+1 chunks under this root.
+        let rs = match ReedSolomon::new(f + 1, n) {
+            Ok(rs) => rs,
+            Err(_) => return ChunkOutcome::Ignored,
+        };
+        let shards: Vec<(usize, Vec<u8>)> = chunks
+            .iter()
+            .take(f + 1)
+            .map(|(&i, c)| (i as usize, c.clone()))
+            .collect();
+        let encoded_len = pending.payload_len.get(&root).copied().unwrap_or(0) as usize;
+        let decoded = match rs.decode_payload(&shards, encoded_len) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                pending.chunks.remove(&root);
+                return ChunkOutcome::Ignored;
+            }
+        };
+        let datablock = match Datablock::decode_from_slice(&decoded) {
+            Ok(db) => db,
+            Err(_) => {
+                pending.chunks.remove(&root);
+                return ChunkOutcome::Ignored;
+            }
+        };
+        if datablock.digest() != digest {
+            // The responders under this root colluded on a different datablock.
+            pending.chunks.remove(&root);
+            return ChunkOutcome::Ignored;
+        }
+
+        let pending = self.pending.remove(&digest).expect("checked above");
+        ChunkOutcome::Recovered {
+            datablock: Arc::new(datablock),
+            waiting: pending.waiting.into_iter().collect(),
+            elapsed_nanos: now.saturating_since(pending.started_at).as_nanos(),
+            received_bytes: pending.received_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_types::{ClientId, Request};
+
+    fn sample_datablock(requests: usize) -> Datablock {
+        Datablock::new(
+            NodeId(2),
+            1,
+            (0..requests)
+                .map(|i| Request::new_inline(ClientId(1), i as u64, vec![i as u8; 128]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn encode_response_produces_verifiable_chunks() {
+        let db = sample_datablock(50);
+        let (f, n) = (1, 4);
+        for responder in 0..n as u32 {
+            let chunk = encode_response(&db, NodeId(responder), f, n).unwrap();
+            assert_eq!(chunk.shard_index, responder);
+            assert!(chunk.proof.verify(chunk.root, &chunk.chunk));
+        }
+        assert!(encode_response(&db, NodeId(99), f, n).is_none());
+    }
+
+    #[test]
+    fn full_retrieval_roundtrip() {
+        let db = sample_datablock(40);
+        let digest = db.digest();
+        let (f, n) = (1, 4);
+        let mut manager = RetrievalManager::new();
+
+        assert!(manager.note_missing(digest, SeqNum(3), SimTime(1_000)));
+        assert!(!manager.note_missing(digest, SeqNum(4), SimTime(2_000)));
+        assert_eq!(manager.digests_to_query(), vec![digest]);
+        // Second call does not re-query.
+        assert!(manager.digests_to_query().is_empty());
+
+        let mut outcome = ChunkOutcome::Stored;
+        for responder in [NodeId(1), NodeId(3)] {
+            let r = encode_response(&db, responder, f, n).unwrap();
+            outcome = manager.add_chunk(
+                digest,
+                r.root,
+                r.shard_index,
+                r.chunk,
+                &r.proof,
+                r.payload_len,
+                f,
+                n,
+                SimTime(5_000_000),
+            );
+        }
+        match outcome {
+            ChunkOutcome::Recovered {
+                datablock,
+                mut waiting,
+                elapsed_nanos,
+                received_bytes,
+            } => {
+                assert_eq!(datablock.digest(), digest);
+                waiting.sort();
+                assert_eq!(waiting, vec![SeqNum(3), SeqNum(4)]);
+                assert_eq!(elapsed_nanos, 4_999_000);
+                assert!(received_bytes > 0);
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        assert!(!manager.is_pending(&digest));
+    }
+
+    #[test]
+    fn invalid_chunks_are_ignored() {
+        let db = sample_datablock(10);
+        let digest = db.digest();
+        let (f, n) = (1, 4);
+        let mut manager = RetrievalManager::new();
+        manager.note_missing(digest, SeqNum(1), SimTime(0));
+
+        let r = encode_response(&db, NodeId(1), f, n).unwrap();
+        // Tampered chunk fails the Merkle proof.
+        let mut tampered = r.chunk.clone();
+        tampered[0] ^= 0xff;
+        assert_eq!(
+            manager.add_chunk(digest, r.root, r.shard_index, tampered, &r.proof, r.payload_len, f, n, SimTime(1)),
+            ChunkOutcome::Ignored
+        );
+        // Chunk for an unknown digest is ignored.
+        let other_digest = sample_datablock(11).digest();
+        assert_eq!(
+            manager.add_chunk(other_digest, r.root, r.shard_index, r.chunk.clone(), &r.proof, r.payload_len, f, n, SimTime(1)),
+            ChunkOutcome::Ignored
+        );
+        // The original chunk still works.
+        assert_eq!(
+            manager.add_chunk(digest, r.root, r.shard_index, r.chunk, &r.proof, r.payload_len, f, n, SimTime(1)),
+            ChunkOutcome::Stored
+        );
+    }
+
+    #[test]
+    fn forged_root_does_not_recover_wrong_datablock() {
+        // Two colluding responders serve chunks of a *different* datablock under a
+        // consistent root; the decode succeeds but the digest check rejects it.
+        let real = sample_datablock(10);
+        let fake = sample_datablock(12);
+        let digest = real.digest();
+        let (f, n) = (1, 4);
+        let mut manager = RetrievalManager::new();
+        manager.note_missing(digest, SeqNum(1), SimTime(0));
+
+        let mut last = ChunkOutcome::Stored;
+        for responder in [NodeId(0), NodeId(2)] {
+            let r = encode_response(&fake, responder, f, n).unwrap();
+            last = manager.add_chunk(
+                digest,
+                r.root,
+                r.shard_index,
+                r.chunk,
+                &r.proof,
+                r.payload_len,
+                f,
+                n,
+                SimTime(1),
+            );
+        }
+        assert_eq!(last, ChunkOutcome::Ignored);
+        // The retrieval is still pending: honest chunks can still recover it.
+        assert!(manager.is_pending(&digest));
+        let mut outcome = ChunkOutcome::Stored;
+        for responder in [NodeId(1), NodeId(3)] {
+            let r = encode_response(&real, responder, f, n).unwrap();
+            outcome = manager.add_chunk(
+                digest,
+                r.root,
+                r.shard_index,
+                r.chunk,
+                &r.proof,
+                r.payload_len,
+                f,
+                n,
+                SimTime(2),
+            );
+        }
+        assert!(matches!(outcome, ChunkOutcome::Recovered { .. }));
+    }
+
+    #[test]
+    fn cancel_returns_waiting_sequences() {
+        let db = sample_datablock(5);
+        let digest = db.digest();
+        let mut manager = RetrievalManager::new();
+        manager.note_missing(digest, SeqNum(7), SimTime(0));
+        manager.note_missing(digest, SeqNum(9), SimTime(0));
+        let mut waiting = manager.cancel(&digest);
+        waiting.sort();
+        assert_eq!(waiting, vec![SeqNum(7), SeqNum(9)]);
+        assert!(manager.cancel(&digest).is_empty());
+    }
+
+    #[test]
+    fn responders_serve_each_querier_once() {
+        let digest = sample_datablock(5).digest();
+        let mut manager = RetrievalManager::new();
+        assert!(manager.should_serve(digest, NodeId(1)));
+        assert!(!manager.should_serve(digest, NodeId(1)));
+        assert!(manager.should_serve(digest, NodeId(2)));
+        let other = sample_datablock(6).digest();
+        assert!(manager.should_serve(other, NodeId(1)));
+    }
+
+    #[test]
+    fn large_committee_retrieval_matches_paper_scale() {
+        // n = 128, f = 42: the Fig. 12 / Table V configuration with a 2000-request
+        // datablock. Chunk cost per responder should be roughly α / (f+1).
+        let requests = 200; // scaled down ×10 to keep the unit test fast
+        let db = sample_datablock(requests);
+        let digest = db.digest();
+        let (f, n) = (42usize, 128usize);
+        let mut manager = RetrievalManager::new();
+        manager.note_missing(digest, SeqNum(1), SimTime(0));
+
+        let encoded_len = db.encode_to_vec().len();
+        let mut outcome = ChunkOutcome::Stored;
+        let mut per_responder_bytes = 0usize;
+        for responder in 0..=f as u32 {
+            let r = encode_response(&db, NodeId(responder), f, n).unwrap();
+            per_responder_bytes = r.chunk.len();
+            outcome = manager.add_chunk(
+                digest,
+                r.root,
+                r.shard_index,
+                r.chunk,
+                &r.proof,
+                r.payload_len,
+                f,
+                n,
+                SimTime(1),
+            );
+        }
+        assert!(matches!(outcome, ChunkOutcome::Recovered { .. }));
+        // Each responder ships ~1/(f+1) of the datablock.
+        assert!(per_responder_bytes <= encoded_len / (f + 1) + 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Arithmetic in GF(2^8) with the irreducible polynomial `x^8 + x^4 + x^3 + x + 1`
+//! (0x11B, the AES polynomial), generator 0x03.
+//!
+//! Multiplication and division go through log/antilog tables that are computed once at
+//! first use; addition is XOR.
+
+use std::sync::OnceLock;
+
+/// The reduction polynomial without the leading x^8 term.
+const POLY: u16 = 0x11B;
+/// Generator element used to build the log/antilog tables.
+const GENERATOR: u8 = 0x03;
+
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        // Tables are built once; the bit-by-bit multiply keeps this obviously correct.
+        let mut x: u8 = 1;
+        for i in 0..255usize {
+            exp[i] = x;
+            log[x as usize] = i as u8;
+            x = mul_slow(x, GENERATOR);
+        }
+        // Duplicate the exp table so `exp[a + b]` never needs a modulo.
+        for i in 255..512usize {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Bit-by-bit ("Russian peasant") multiplication used to build the tables and as a
+/// cross-check in tests.
+pub fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut acc: u8 = 0;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= (POLY & 0xFF) as u8;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Addition in GF(2^8) (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2^8).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    let log_a = t.log[a as usize] as usize;
+    let log_b = t.log[b as usize] as usize;
+    t.exp[log_a + log_b]
+}
+
+/// Multiplicative inverse; `None` for zero.
+#[inline]
+pub fn inverse(a: u8) -> Option<u8> {
+    if a == 0 {
+        return None;
+    }
+    let t = tables();
+    let log_a = t.log[a as usize] as usize;
+    Some(t.exp[255 - log_a])
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    let inv = inverse(b).expect("division by zero in GF(256)");
+    mul(a, inv)
+}
+
+/// Exponentiation `base^power` where the exponent is an ordinary integer.
+pub fn pow(base: u8, power: usize) -> u8 {
+    if power == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let t = tables();
+    let log_base = t.log[base as usize] as usize;
+    let log_result = (log_base * power) % 255;
+    t.exp[log_result]
+}
+
+/// Multiplies every byte of `src` by `c` and XORs the result into `dst`
+/// (`dst[i] ^= c * src[i]`). This is the inner loop of Reed–Solomon encoding/decoding.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_mul_matches_slow_mul_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_aes_products() {
+        // Classic AES MixColumns constants.
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        assert_eq!(mul(0x57, 0x13), 0xfe);
+        assert_eq!(mul(2, 0x80), 0x1b);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            let inv = inverse(a).unwrap();
+            assert_eq!(mul(a, inv), 1, "a={a}");
+        }
+        assert!(inverse(0).is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for base in [0u8, 1, 2, 3, 0x53, 0xFF] {
+            let mut acc = 1u8;
+            for e in 0..20usize {
+                assert_eq!(pow(base, e), if base == 0 && e > 0 { 0 } else { acc });
+                acc = mul(acc, base);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 7, 0x1d, 0xff] {
+            let mut dst = vec![0xAAu8; src.len()];
+            let mut expected = dst.clone();
+            for (e, s) in expected.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            mul_acc_slice(&mut dst, &src, c);
+            assert_eq!(dst, expected, "c={c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div(1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            prop_assert_eq!(mul(a, 1), a);
+            prop_assert_eq!(add(a, a), 0);
+        }
+
+        #[test]
+        fn division_inverts_multiplication(a in any::<u8>(), b in 1u8..=255) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Dense matrices over GF(2^8) with the operations required by Reed–Solomon coding:
+//! multiplication, sub-matrix extraction, and inversion by Gauss–Jordan elimination.
+
+use crate::gf256;
+
+/// A row-major dense matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0u8; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of the given size.
+    pub fn identity(size: usize) -> Self {
+        let mut m = Self::zero(size, size);
+        for i in 0..size {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        let row_count = rows.len();
+        let col_count = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(row_count * col_count);
+        for row in &rows {
+            assert_eq!(row.len(), col_count, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: row_count,
+            cols: col_count,
+            data,
+        }
+    }
+
+    /// A Vandermonde matrix with `rows` rows and `cols` columns: entry `(r, c)` is
+    /// `r^c` in GF(2^8). Any `cols` rows of such a matrix are linearly independent as
+    /// long as `rows <= 256`.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Entry mutator.
+    pub fn set(&mut self, row: usize, col: usize, value: u8) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows a whole row.
+    pub fn row(&self, row: usize) -> &[u8] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner matrix dimensions must match");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(k, c));
+                    out.set(r, c, gf256::add(out.get(r, c), prod));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix consisting of the selected rows, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (new_row, &old_row) in indices.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(new_row, c, self.get(old_row, c));
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination, or returns `None` if it is
+    /// singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot in this column.
+            let pivot_row = (col..n).find(|&r| work.get(r, col) != 0)?;
+            if pivot_row != col {
+                work.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            // Scale the pivot row so the pivot becomes 1.
+            let pivot = work.get(col, col);
+            let pivot_inv = gf256::inverse(pivot)?;
+            work.scale_row(col, pivot_inv);
+            inv.scale_row(col, pivot_inv);
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor != 0 {
+                    work.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    fn scale_row(&mut self, row: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(row, c), factor);
+            self.set(row, c, v);
+        }
+    }
+
+    /// `row(target) ^= factor * row(source)`.
+    fn add_scaled_row(&mut self, target: usize, source: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::add(self.get(target, c), gf256::mul(factor, self.get(source, c)));
+            self.set(target, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let id = Matrix::identity(3);
+        assert_eq!(m.multiply(&id), m);
+        let id2 = Matrix::identity(2);
+        assert_eq!(id2.multiply(&m), m);
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let id = Matrix::identity(5);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let m = Matrix::from_rows(vec![
+            vec![56, 23, 98],
+            vec![3, 100, 200],
+            vec![45, 201, 123],
+        ]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.multiply(&inv), Matrix::identity(3));
+        assert_eq!(inv.multiply(&m), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        // Two equal rows.
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(m.inverse().is_none());
+        // A zero row.
+        let z = Matrix::from_rows(vec![vec![0, 0], vec![1, 2]]);
+        assert!(z.inverse().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_are_invertible() {
+        let vm = Matrix::vandermonde(10, 4);
+        // Every contiguous selection of 4 distinct rows must be invertible.
+        for start in 0..=6usize {
+            let rows: Vec<usize> = (start..start + 4).collect();
+            let sub = vm.select_rows(&rows);
+            assert!(sub.inverse().is_some(), "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_order() {
+        let m = Matrix::from_rows(vec![vec![1, 1], vec![2, 2], vec![3, 3]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[3, 3]);
+        assert_eq!(s.row(1), &[1, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn random_vandermonde_row_subsets_are_invertible(
+            k in 1usize..8,
+            extra in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            use rand::{seq::SliceRandom, SeedableRng};
+            let n = k + extra;
+            let vm = Matrix::vandermonde(n, k);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut indices: Vec<usize> = (0..n).collect();
+            indices.shuffle(&mut rng);
+            let selected = &indices[..k];
+            let sub = vm.select_rows(selected);
+            prop_assert!(sub.inverse().is_some());
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! One function per table/figure of the paper's evaluation section (§VI).
+//!
+//! Every function returns a [`Table`] whose rows mirror the corresponding plot or table
+//! in the paper. `quick = true` selects reduced scales / durations suitable for CI and
+//! criterion benchmarks; `quick = false` selects the scales reported in
+//! `EXPERIMENTS.md`.
+
+use crate::analysis;
+use crate::report::Table;
+use crate::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use crate::workload::WorkloadConfig;
+use leopard_simnet::SimDuration;
+use leopard_types::{NodeId, ProtocolParams};
+
+fn scales(quick: bool, quick_list: &[usize], full_list: &[usize]) -> Vec<usize> {
+    if quick { quick_list.to_vec() } else { full_list.to_vec() }
+}
+
+fn fmt_f(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+fn fmt_opt_secs(value: Option<f64>) -> String {
+    value.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".to_string())
+}
+
+/// Fig. 1 — throughput of a prior leader-based BFT (HotStuff) at increasing scale, for
+/// 128-byte and 1024-byte payloads.
+pub fn fig1_prior_scalability(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 1 — HotStuff throughput vs n (128 B and 1024 B payloads)",
+        &["n", "throughput 128B (Kreqs/s)", "throughput 1024B (Kreqs/s)"],
+    );
+    for n in scales(quick, &[4, 8, 16], &[16, 32, 64, 128, 256]) {
+        let small = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+        let large = run_hotstuff_scenario(
+            &ScenarioConfig::paper(n).with_workload(WorkloadConfig::large_payload()),
+        );
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(small.throughput_kreqs()),
+            fmt_f(large.throughput_kreqs()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 2 — HotStuff throughput together with the leader's bandwidth utilisation.
+pub fn fig2_leader_bottleneck(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 2 — HotStuff throughput and leader bandwidth vs n (128 B payload)",
+        &["n", "throughput (Kreqs/s)", "leader bandwidth (Gbps)"],
+    );
+    for n in scales(quick, &[4, 8, 16], &[4, 16, 32, 64, 128, 256, 300]) {
+        let report = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(report.throughput_kreqs()),
+            fmt_f(report.leader_bandwidth_bps / 1e9),
+        ]);
+    }
+    table
+}
+
+/// Table I — amortized cost comparison (analytical).
+pub fn tab1_cost_model() -> Table {
+    analysis::table1(300)
+}
+
+/// Fig. 6 — HotStuff throughput on varying batch sizes.
+pub fn fig6_hotstuff_batch(quick: bool) -> Table {
+    let ns = scales(quick, &[8], &[32, 64, 128]);
+    let batches: Vec<usize> = if quick {
+        vec![50, 200, 800]
+    } else {
+        vec![100, 200, 400, 800, 1200]
+    };
+    let mut headers = vec!["batch size".to_string()];
+    headers.extend(ns.iter().map(|n| format!("n={n} (Kreqs/s)")));
+    let mut table = Table::new("Fig. 6 — HotStuff throughput vs batch size", &[]);
+    table.headers = headers;
+    for &batch in &batches {
+        let mut row = vec![batch.to_string()];
+        for &n in &ns {
+            let report =
+                run_hotstuff_scenario(&ScenarioConfig::paper(n).with_hotstuff_batch(batch));
+            row.push(fmt_f(report.throughput_kreqs()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Fig. 7 — Leopard throughput on varying BFTblock sizes (number of datablock links).
+pub fn fig7_bftblock_size(quick: bool) -> Table {
+    let ns = scales(quick, &[8], &[32, 64, 128, 256]);
+    let sizes: Vec<usize> = if quick { vec![2, 8, 32] } else { vec![10, 50, 100, 200, 400] };
+    let mut headers = vec!["BFTblock size".to_string()];
+    headers.extend(ns.iter().map(|n| format!("n={n} (Kreqs/s)")));
+    let mut table = Table::new("Fig. 7 — Leopard throughput vs BFTblock size", &[]);
+    table.headers = headers;
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for &n in &ns {
+            let config = ScenarioConfig::paper(n);
+            let datablock = config.datablock_size;
+            let report = run_leopard_scenario(&config.with_batches(datablock, size));
+            row.push(fmt_f(report.throughput_kreqs()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Fig. 8 — Leopard throughput on varying datablock sizes, with the BFTblock size fixed
+/// at 10 and at 100.
+pub fn fig8_datablock_size(quick: bool) -> Table {
+    let ns = scales(quick, &[8], &[32, 64, 128]);
+    let sizes: Vec<usize> = if quick {
+        vec![8, 64, 256]
+    } else {
+        vec![500, 1000, 2000, 3000, 4000]
+    };
+    let mut headers = vec!["datablock size".to_string(), "BFTblock size".to_string()];
+    headers.extend(ns.iter().map(|n| format!("n={n} (Kreqs/s)")));
+    let mut table = Table::new("Fig. 8 — Leopard throughput vs datablock size", &[]);
+    table.headers = headers;
+    for &bftblock in &[10usize, 100] {
+        for &size in &sizes {
+            let mut row = vec![size.to_string(), bftblock.to_string()];
+            for &n in &ns {
+                let report =
+                    run_leopard_scenario(&ScenarioConfig::paper(n).with_batches(size, bftblock));
+                row.push(fmt_f(report.throughput_kreqs()));
+            }
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// Table II — the batch sizes used per scale.
+pub fn tab2_batch_sizes() -> Table {
+    let mut table = Table::new(
+        "Table II — batch-size parameters per scale",
+        &["n", "Leopard datablock", "Leopard BFTblock", "HotStuff batch"],
+    );
+    for n in [32usize, 64, 128, 256, 400, 600] {
+        let (datablock, bftblock) = ProtocolParams::table2_batches(n);
+        table.push_row(vec![
+            n.to_string(),
+            datablock.to_string(),
+            bftblock.to_string(),
+            "800".to_string(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 9 — the headline plot: throughput of Leopard and HotStuff at increasing scale.
+pub fn fig9_throughput_scaling(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 9 — throughput of Leopard and HotStuff at different scales",
+        &[
+            "n",
+            "Leopard (Kreqs/s)",
+            "HotStuff (Kreqs/s)",
+            "ratio",
+        ],
+    );
+    for n in scales(quick, &[4, 8, 16], &[32, 64, 128, 256, 300, 400, 600]) {
+        let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
+        let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+        let ratio = if hotstuff.throughput_rps > 0.0 {
+            leopard.throughput_rps / hotstuff.throughput_rps
+        } else {
+            f64::INFINITY
+        };
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(leopard.throughput_kreqs()),
+            fmt_f(hotstuff.throughput_kreqs()),
+            fmt_f(ratio),
+        ]);
+    }
+    table
+}
+
+/// Fig. 10 — effectiveness of scaling up: throughput and latency under 20–200 Mbps
+/// per-replica bandwidth.
+pub fn fig10_scaling_up(quick: bool) -> Table {
+    let ns = scales(quick, &[4], &[4, 16, 64, 128]);
+    let bandwidths: Vec<u64> = if quick { vec![20, 100] } else { vec![20, 40, 80, 100, 200] };
+    let mut table = Table::new(
+        "Fig. 10 — throughput (Mbps) and latency (s) vs per-replica bandwidth",
+        &[
+            "bandwidth (Mbps)",
+            "n",
+            "Leopard tput (Mbps)",
+            "Leopard latency (s)",
+            "HotStuff tput (Mbps)",
+            "HotStuff latency (s)",
+        ],
+    );
+    for &mbps in &bandwidths {
+        for &n in &ns {
+            // The offered load tracks the throttled capacity (≈80 % of the link) so the
+            // system runs near saturation without over-subscribing the FIFO links, and
+            // smaller batches keep per-datablock transfer times reasonable (the paper
+            // also fixes batch sizes in this experiment).
+            let offered_rps = (mbps as f64 * 1e6 * 0.8 / (128.0 * 8.0)) as u64;
+            let config = ScenarioConfig::paper(n)
+                .with_bandwidth_mbps(mbps)
+                .with_workload(WorkloadConfig {
+                    aggregate_rps: offered_rps.max(1_000),
+                    payload_size: 128,
+                })
+                .with_batches(200, 20)
+                .with_hotstuff_batch(400)
+                .with_duration(SimDuration::from_secs(if quick { 5 } else { 20 }));
+            let leopard = run_leopard_scenario(&config);
+            let hotstuff = run_hotstuff_scenario(&config);
+            table.push_row(vec![
+                mbps.to_string(),
+                n.to_string(),
+                fmt_f(leopard.throughput_mbps()),
+                fmt_opt_secs(leopard.average_latency_secs),
+                fmt_f(hotstuff.throughput_mbps()),
+                fmt_opt_secs(hotstuff.average_latency_secs),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table III — bandwidth-utilisation breakdown of Leopard (leader and one non-leader
+/// replica), by message category.
+pub fn tab3_bandwidth_breakdown(quick: bool) -> Table {
+    let n = if quick { 8 } else { 32 };
+    let report = run_leopard_scenario(&ScenarioConfig::paper(n));
+    let traffic = &report.sim.metrics.traffic;
+    let mut table = Table::new(
+        format!("Table III — bandwidth utilisation breakdown of Leopard (n = {n})"),
+        &["role", "direction", "category", "bytes", "% of role+direction"],
+    );
+    let leader_id = ScenarioConfig::paper(n).initial_leader();
+    let non_leader_id = NodeId(if leader_id.0 == 0 { 2 } else { 0 });
+    for (role, node) in [("leader", leader_id), ("non-leader", non_leader_id)] {
+        for direction in ["send", "receive"] {
+            let per_category: Vec<(&'static str, u64)> = traffic
+                .categories()
+                .into_iter()
+                .map(|category| {
+                    let bytes = if direction == "send" {
+                        traffic.sent_bytes_in(node, category)
+                    } else {
+                        traffic.received_bytes_in(node, category)
+                    };
+                    (category, bytes)
+                })
+                .collect();
+            let total: u64 = per_category.iter().map(|(_, b)| *b).sum();
+            for (category, bytes) in per_category {
+                if bytes == 0 {
+                    continue;
+                }
+                let percent = if total > 0 {
+                    bytes as f64 * 100.0 / total as f64
+                } else {
+                    0.0
+                };
+                table.push_row(vec![
+                    role.to_string(),
+                    direction.to_string(),
+                    category.to_string(),
+                    bytes.to_string(),
+                    format!("{percent:.2}%"),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Table IV — latency breakdown of Leopard across protocol stages.
+pub fn tab4_latency_breakdown(quick: bool) -> Table {
+    let n = if quick { 8 } else { 32 };
+    let report = run_leopard_scenario(&ScenarioConfig::paper(n));
+    let stages = [
+        ("datablock generation", "latency_generation"),
+        ("datablock dissemination", "latency_dissemination"),
+        ("agreement", "latency_agreement"),
+    ];
+    let averages: Vec<(&str, f64)> = stages
+        .iter()
+        .map(|(name, label)| {
+            let samples = report.sim.metrics.custom_samples(label);
+            let avg = if samples.is_empty() {
+                0.0
+            } else {
+                samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64
+            };
+            (*name, avg)
+        })
+        .collect();
+    let total: f64 = averages.iter().map(|(_, v)| v).sum();
+    let mut table = Table::new(
+        format!("Table IV — latency breakdown of Leopard (n = {n})"),
+        &["stage", "avg time (ms)", "% of latency"],
+    );
+    for (name, avg) in averages {
+        let percent = if total > 0.0 { avg * 100.0 / total } else { 0.0 };
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", avg / 1e6),
+            format!("{percent:.2}%"),
+        ]);
+    }
+    table
+}
+
+/// Fig. 11 — bandwidth usage of the leader in Leopard and HotStuff at different scales.
+pub fn fig11_leader_bandwidth(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 11 — leader bandwidth usage (Mbps) vs n",
+        &["n", "Leopard leader (Mbps)", "HotStuff leader (Mbps)"],
+    );
+    for n in scales(quick, &[4, 8, 16], &[4, 16, 32, 64, 128, 256, 300]) {
+        let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
+        let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(leopard.leader_bandwidth_mbps()),
+            fmt_f(hotstuff.leader_bandwidth_mbps()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 12 + Table V — communication and time cost of retrieving a missing datablock.
+pub fn fig12_retrieval(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 12 / Table V — datablock retrieval cost vs n",
+        &[
+            "n",
+            "cost on recovering (KB)",
+            "cost on responding (KB)",
+            "time (ms)",
+            "retrievals",
+        ],
+    );
+    for n in scales(quick, &[4, 7], &[4, 7, 16, 32, 64, 128]) {
+        // One selective attacker whose 2000-request datablocks must be retrieved by the
+        // replicas outside its dissemination set.
+        let config = ScenarioConfig::paper(n)
+            .with_batches(2000, 10)
+            .with_selective_attackers(1)
+            .with_workload(WorkloadConfig {
+                aggregate_rps: 20_000,
+                payload_size: 128,
+            })
+            .with_duration(SimDuration::from_secs(4));
+        let report = run_leopard_scenario(&config);
+        table.push_row(vec![
+            n.to_string(),
+            report
+                .average_retrieval_recv_bytes
+                .map(|b| format!("{:.1}", b / 1024.0))
+                .unwrap_or_else(|| "-".to_string()),
+            report
+                .average_responder_bytes
+                .map(|b| format!("{:.1}", b / 1024.0))
+                .unwrap_or_else(|| "-".to_string()),
+            report
+                .average_retrieval_secs
+                .map(|s| format!("{:.1}", s * 1000.0))
+                .unwrap_or_else(|| "-".to_string()),
+            report.retrievals.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 13 — view-change time and communication cost.
+pub fn fig13_view_change(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 13 — view-change time and communication cost vs n",
+        &["n", "time (s)", "total comm. (KB)", "view changes"],
+    );
+    for n in scales(quick, &[4, 8], &[4, 8, 13, 32, 64, 128, 400]) {
+        let config = ScenarioConfig::paper(n)
+            .with_workload(WorkloadConfig {
+                aggregate_rps: 20_000,
+                payload_size: 128,
+            })
+            .with_batches(200, 10)
+            .with_leader_crash_at(SimDuration::from_millis(500))
+            .with_duration(SimDuration::from_secs(8));
+        let report = run_leopard_scenario(&config);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_opt_secs(report.average_view_change_secs),
+            format!("{:.1}", report.view_change_bytes as f64 / 1024.0),
+            report.view_changes.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Every experiment id understood by [`run_experiment`].
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig10", "tab3", "tab4",
+    "fig11", "fig12", "fig13",
+];
+
+/// Dispatches an experiment by id. Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
+    let table = match id {
+        "fig1" => fig1_prior_scalability(quick),
+        "fig2" => fig2_leader_bottleneck(quick),
+        "tab1" => tab1_cost_model(),
+        "fig6" => fig6_hotstuff_batch(quick),
+        "fig7" => fig7_bftblock_size(quick),
+        "fig8" => fig8_datablock_size(quick),
+        "tab2" => tab2_batch_sizes(),
+        "fig9" => fig9_throughput_scaling(quick),
+        "fig10" => fig10_scaling_up(quick),
+        "tab3" => tab3_bandwidth_breakdown(quick),
+        "tab4" => tab4_latency_breakdown(quick),
+        "fig11" => fig11_leader_bandwidth(quick),
+        "fig12" => fig12_retrieval(quick),
+        "fig13" => fig13_view_change(quick),
+        _ => return None,
+    };
+    Some(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_and_tab2_are_static_and_complete() {
+        let t1 = tab1_cost_model();
+        assert_eq!(t1.rows.len(), 4);
+        let t2 = tab2_batch_sizes();
+        assert_eq!(t2.rows.len(), 6);
+    }
+
+    #[test]
+    fn quick_fig9_shows_leopard_ahead_or_equal() {
+        let table = fig9_throughput_scaling(true);
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            let leopard: f64 = row[1].parse().unwrap();
+            assert!(leopard > 0.0);
+        }
+    }
+
+    #[test]
+    fn dispatcher_knows_every_id() {
+        for id in EXPERIMENT_IDS {
+            // Only run the cheap analytical ones here; the rest are covered by the
+            // integration tests and benches.
+            if *id == "tab1" || *id == "tab2" {
+                assert!(run_experiment(id, true).is_some());
+            }
+        }
+        assert!(run_experiment("nope", true).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness: everything needed to regenerate the paper's tables and figures.
+//!
+//! * [`workload`] — workload descriptions shared by the two protocols;
+//! * [`scenario`] — end-to-end scenario runners (`n` replicas, bandwidth, faults →
+//!   throughput / latency / bandwidth report) for Leopard and HotStuff;
+//! * [`analysis`] — the closed-form cost model behind Table I and §V-B;
+//! * [`report`] — plain-text table rendering and CSV output (no external dependencies);
+//! * [`experiments`] — one function per table/figure of the evaluation section, each
+//!   returning a [`report::Table`] whose rows mirror the paper's plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod workload;
+
+pub use report::Table;
+pub use scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig, ScenarioReport};
+pub use workload::WorkloadConfig;

@@ -1,0 +1,178 @@
+//! Plain-text table rendering and CSV output.
+//!
+//! Kept dependency-free on purpose (the approved crate set contains no serialisation
+//! helper for CSV/JSON); the experiment binary writes these tables to stdout and to
+//! `target/experiments/<id>.csv`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple named table: one header row plus data rows of strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 9 — throughput vs n"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has exactly `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match header length"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:width$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
+        let mut separator = String::from("|");
+        for width in &widths {
+            let _ = write!(separator, "{}|", "-".repeat(width + 2));
+        }
+        let _ = writeln!(out, "{separator}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `directory/<file_stem>.csv`, creating the directory
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from creating the directory or writing the file.
+    pub fn write_csv(&self, directory: &Path, file_stem: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(directory)?;
+        let path = directory.join(format!("{file_stem}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a requests-per-second figure the way the paper's plots label it (Kreqs/sec).
+pub fn format_kreqs(rps: f64) -> String {
+    format!("{:.1}", rps / 1_000.0)
+}
+
+/// Formats a bits-per-second figure in Mbps.
+pub fn format_mbps(bps: f64) -> String {
+    format!("{:.1}", bps / 1_000_000.0)
+}
+
+/// Formats a byte count in KB.
+pub fn format_kb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_text_and_csv() {
+        let mut table = Table::new("demo", &["n", "throughput"]);
+        table.push_row(vec!["4".into(), "100.0".into()]);
+        table.push_row(vec!["16".into(), "99.5".into()]);
+        let text = table.to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("| 4 "));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("n,throughput"));
+    }
+
+    #[test]
+    fn csv_escapes_special_characters() {
+        let mut table = Table::new("t", &["a"]);
+        table.push_row(vec!["x,y".into()]);
+        table.push_row(vec!["say \"hi\"".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_length_panics() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_writing_creates_file() {
+        let dir = std::env::temp_dir().join("leopard-harness-test");
+        let mut table = Table::new("t", &["a"]);
+        table.push_row(vec!["1".into()]);
+        let path = table.write_csv(&dir, "unit").unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(format_kreqs(125_000.0), "125.0");
+        assert_eq!(format_mbps(20_000_000.0), "20.0");
+        assert_eq!(format_kb(2048.0), "2.0");
+    }
+}

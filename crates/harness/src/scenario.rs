@@ -1,0 +1,411 @@
+//! End-to-end scenario runners: configure a system (scale, bandwidth, batches, faults),
+//! run it on the simulator, and distil the metrics the paper plots.
+
+use crate::workload::WorkloadConfig;
+use leopard_core::{config::WorkloadMode, LeopardConfig, LeopardReplica};
+use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
+use leopard_simnet::{
+    FaultPlan, NetworkConfig, ObservationKind, SimDuration, SimTime, Simulation, SimulationReport,
+};
+use leopard_types::{NodeId, ProtocolParams};
+
+/// Description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Offered workload.
+    pub workload: WorkloadConfig,
+    /// Per-replica link capacity in Mbps; `None` selects the paper's 9.8 Gbps NIC.
+    pub bandwidth_mbps: Option<u64>,
+    /// Virtual duration of the run.
+    pub duration: SimDuration,
+    /// Requests per datablock (Leopard).
+    pub datablock_size: usize,
+    /// Datablock links per BFTblock (Leopard).
+    pub bftblock_size: usize,
+    /// Requests per block (HotStuff).
+    pub hotstuff_batch: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Crash the initial leader at this offset (for the view-change experiments).
+    pub leader_crash_at: Option<SimDuration>,
+    /// Number of replicas performing the selective datablock attack (for the retrieval
+    /// experiments).
+    pub selective_attackers: usize,
+    /// Event budget (safety valve for runaway configurations).
+    pub max_events: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper's configuration for scale `n`: Table II batch sizes, 9.8 Gbps NICs,
+    /// 128-byte payloads at the calibrated saturation rate, no faults.
+    pub fn paper(n: usize) -> Self {
+        let (datablock_size, bftblock_size) = ProtocolParams::table2_batches(n);
+        Self {
+            n,
+            workload: WorkloadConfig::paper_default(),
+            bandwidth_mbps: None,
+            duration: SimDuration::from_secs(3),
+            datablock_size,
+            bftblock_size,
+            hotstuff_batch: 800,
+            seed: 0xBEEF,
+            leader_crash_at: None,
+            selective_attackers: 0,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// A small, fast configuration for unit tests and doc examples.
+    pub fn small(n: usize) -> Self {
+        Self {
+            n,
+            workload: WorkloadConfig::small(),
+            bandwidth_mbps: None,
+            duration: SimDuration::from_secs(2),
+            datablock_size: 16,
+            bftblock_size: 8,
+            hotstuff_batch: 16,
+            seed: 0xBEEF,
+            leader_crash_at: None,
+            selective_attackers: 0,
+            max_events: 5_000_000,
+        }
+    }
+
+    /// Overrides the per-replica bandwidth (Mbps).
+    pub fn with_bandwidth_mbps(mut self, mbps: u64) -> Self {
+        self.bandwidth_mbps = Some(mbps);
+        self
+    }
+
+    /// Overrides the workload.
+    pub fn with_workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the virtual duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the Leopard batch sizes.
+    pub fn with_batches(mut self, datablock_size: usize, bftblock_size: usize) -> Self {
+        self.datablock_size = datablock_size;
+        self.bftblock_size = bftblock_size;
+        self
+    }
+
+    /// Overrides the HotStuff batch size.
+    pub fn with_hotstuff_batch(mut self, batch: usize) -> Self {
+        self.hotstuff_batch = batch;
+        self
+    }
+
+    /// Schedules a crash of the initial leader.
+    pub fn with_leader_crash_at(mut self, at: SimDuration) -> Self {
+        self.leader_crash_at = Some(at);
+        self
+    }
+
+    /// Makes the last `count` replicas selective attackers (they disseminate datablocks
+    /// only to a `2f+1`-sized prefix of the replicas).
+    pub fn with_selective_attackers(mut self, count: usize) -> Self {
+        self.selective_attackers = count;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The identifier of the initial leader (the leader of view 1).
+    pub fn initial_leader(&self) -> NodeId {
+        leopard_types::View::initial().leader(self.n)
+    }
+
+    fn network(&self) -> NetworkConfig {
+        let config = match self.bandwidth_mbps {
+            Some(mbps) => NetworkConfig::throttled(self.n, mbps),
+            None => NetworkConfig::datacenter(self.n),
+        };
+        config.with_seed(self.seed)
+    }
+
+    fn faults(&self) -> FaultPlan {
+        let mut plan = if self.selective_attackers > 0 {
+            let f = (self.n - 1) / 3;
+            let quorum = 2 * f + 1;
+            let leader = self.initial_leader();
+            let attackers: Vec<NodeId> = (0..self.n as u32)
+                .rev()
+                .map(NodeId)
+                .filter(|id| *id != leader)
+                .take(self.selective_attackers)
+                .collect();
+            FaultPlan::selective_attack(attackers, "datablock", quorum)
+        } else {
+            FaultPlan::none()
+        };
+        if let Some(at) = self.leader_crash_at {
+            plan = plan.with_crash(self.initial_leader(), SimTime::ZERO + at);
+        }
+        plan
+    }
+
+    fn leopard_config(&self) -> LeopardConfig {
+        let mut config = LeopardConfig::paper(self.n, self.workload.aggregate_rps);
+        config.params.payload_size = self.workload.payload_size;
+        config.params.datablock_size = self.datablock_size;
+        config.params.bftblock_size = self.bftblock_size;
+        // Saturated pacing calibrated so the aggregate datablock production matches the
+        // offered load (see EXPERIMENTS.md, "calibration").
+        let producers = (self.n - 1).max(1) as f64;
+        let pacing_secs =
+            producers * self.datablock_size as f64 / self.workload.aggregate_rps.max(1) as f64;
+        config.workload = WorkloadMode::Saturated {
+            pacing: SimDuration::from_secs_f64(pacing_secs),
+        };
+        config
+    }
+
+    fn hotstuff_config(&self) -> HotStuffConfig {
+        let mut config = HotStuffConfig::paper(self.n, self.workload.aggregate_rps);
+        config.payload_size = self.workload.payload_size;
+        config.batch_size = self.hotstuff_batch;
+        config
+    }
+}
+
+/// The distilled result of one scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Which protocol produced it (`"leopard"` or `"hotstuff"`).
+    pub protocol: &'static str,
+    /// Number of replicas.
+    pub n: usize,
+    /// Virtual duration in seconds.
+    pub duration_secs: f64,
+    /// Requests confirmed (max over replicas).
+    pub confirmed_requests: u64,
+    /// Confirmed requests per second.
+    pub throughput_rps: f64,
+    /// Confirmed payload bits per second.
+    pub throughput_bps: f64,
+    /// Average client latency in seconds (None if nothing completed).
+    pub average_latency_secs: Option<f64>,
+    /// Bits per second moved (sent + received) by the initial leader.
+    pub leader_bandwidth_bps: f64,
+    /// Number of view changes observed (across all replicas).
+    pub view_changes: u64,
+    /// Average view-change completion time in seconds, if any completed.
+    pub average_view_change_secs: Option<f64>,
+    /// Total bytes of view-change traffic (timeout + view-change + new-view messages).
+    pub view_change_bytes: u64,
+    /// Number of completed datablock retrievals.
+    pub retrievals: u64,
+    /// Average retrieval time in seconds, if any completed.
+    pub average_retrieval_secs: Option<f64>,
+    /// Average bytes received to recover one datablock.
+    pub average_retrieval_recv_bytes: Option<f64>,
+    /// Average bytes sent per responding replica during retrievals.
+    pub average_responder_bytes: Option<f64>,
+    /// The raw simulation report (traffic matrix, observations) for detailed breakdowns.
+    pub sim: SimulationReport,
+}
+
+impl ScenarioReport {
+    fn from_sim(protocol: &'static str, config: &ScenarioConfig, sim: SimulationReport) -> Self {
+        let duration_secs = sim.end_time.as_secs_f64();
+        let confirmed = sim.metrics.max_confirmed_requests(config.n);
+        let throughput_rps = sim.throughput_rps();
+        let payload_bits = confirmed as f64 * config.workload.payload_size as f64 * 8.0;
+        let throughput_bps = if duration_secs > 0.0 {
+            payload_bits / duration_secs
+        } else {
+            0.0
+        };
+        let leader = config.initial_leader();
+        let leader_bandwidth_bps = sim.node_bandwidth_bps(leader);
+        let average_latency_secs = sim.average_latency_secs();
+
+        let view_changes = sim
+            .metrics
+            .observations
+            .iter()
+            .filter(|o| matches!(o.kind, ObservationKind::ViewChange { .. }))
+            .count() as u64;
+        let view_change_samples: Vec<u64> = sim.metrics.custom_samples("view_change_nanos");
+        let average_view_change_secs = if view_change_samples.is_empty() {
+            None
+        } else {
+            Some(
+                view_change_samples.iter().map(|&v| v as f64 / 1e9).sum::<f64>()
+                    / view_change_samples.len() as f64,
+            )
+        };
+        let view_change_bytes: u64 = (0..config.n as u32)
+            .map(|node| {
+                sim.metrics.traffic.sent_bytes_in(NodeId(node), "viewchange")
+                    + sim.metrics.traffic.sent_bytes_in(NodeId(node), "newview")
+            })
+            .sum();
+
+        let mut retrieval_times = Vec::new();
+        let mut retrieval_bytes = Vec::new();
+        for observation in &sim.metrics.observations {
+            if let ObservationKind::RetrievalCompleted {
+                nanos,
+                received_bytes,
+            } = observation.kind
+            {
+                retrieval_times.push(nanos as f64 / 1e9);
+                retrieval_bytes.push(received_bytes as f64);
+            }
+        }
+        let retrievals = retrieval_times.len() as u64;
+        let average = |values: &[f64]| {
+            if values.is_empty() {
+                None
+            } else {
+                Some(values.iter().sum::<f64>() / values.len() as f64)
+            }
+        };
+        // Responder cost: average bytes of a single retrieval response (one erasure-coded
+        // chunk plus its Merkle proof) — the per-replica "cost on responding" of Fig. 12.
+        let (retrieval_bytes_sent, retrieval_messages) = sim
+            .metrics
+            .traffic
+            .iter_sent()
+            .filter(|(_, category, _, _)| *category == "retrieval")
+            .fold((0u64, 0u64), |(bytes, count), (_, _, b, c)| (bytes + b, count + c));
+        let average_responder_bytes = if retrieval_messages > 0 {
+            Some(retrieval_bytes_sent as f64 / retrieval_messages as f64)
+        } else {
+            None
+        };
+
+        Self {
+            protocol,
+            n: config.n,
+            duration_secs,
+            confirmed_requests: confirmed,
+            throughput_rps,
+            throughput_bps,
+            average_latency_secs,
+            leader_bandwidth_bps,
+            view_changes,
+            average_view_change_secs,
+            view_change_bytes,
+            retrievals,
+            average_retrieval_secs: average(&retrieval_times),
+            average_retrieval_recv_bytes: average(&retrieval_bytes),
+            average_responder_bytes,
+            sim,
+        }
+    }
+
+    /// Throughput in the paper's Kreqs/sec unit.
+    pub fn throughput_kreqs(&self) -> f64 {
+        self.throughput_rps / 1_000.0
+    }
+
+    /// Throughput in Mbps of confirmed payload (the unit of Fig. 10).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bps / 1_000_000.0
+    }
+
+    /// Leader bandwidth in Mbps (the unit of Fig. 11).
+    pub fn leader_bandwidth_mbps(&self) -> f64 {
+        self.leader_bandwidth_bps / 1_000_000.0
+    }
+}
+
+/// Runs Leopard under the given scenario.
+pub fn run_leopard_scenario(config: &ScenarioConfig) -> ScenarioReport {
+    let leopard_config = config.leopard_config();
+    let shared = LeopardConfig::shared_keys(&leopard_config, config.seed);
+    let sim = Simulation::new(config.network(), config.faults(), move |id| {
+        LeopardReplica::new(id, leopard_config.clone(), shared.clone())
+    });
+    let report = sim.run_to_report(SimTime::ZERO + config.duration, config.max_events);
+    ScenarioReport::from_sim("leopard", config, report)
+}
+
+/// Runs the HotStuff baseline under the given scenario.
+pub fn run_hotstuff_scenario(config: &ScenarioConfig) -> ScenarioReport {
+    let hotstuff_config = config.hotstuff_config();
+    let keys = hotstuff_config.shared_keys(config.seed);
+    let sim = Simulation::new(config.network(), config.faults(), move |id| {
+        HotStuffReplica::new(id, hotstuff_config.clone(), keys.clone())
+    });
+    let report = sim.run_to_report(SimTime::ZERO + config.duration, config.max_events);
+    ScenarioReport::from_sim("hotstuff", config, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_leopard_scenario_confirms_requests() {
+        let config = ScenarioConfig::small(4);
+        let report = run_leopard_scenario(&config);
+        assert_eq!(report.protocol, "leopard");
+        assert!(report.confirmed_requests > 0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.throughput_mbps() > 0.0);
+        assert!(report.leader_bandwidth_bps > 0.0);
+    }
+
+    #[test]
+    fn small_hotstuff_scenario_confirms_requests() {
+        let config = ScenarioConfig::small(4);
+        let report = run_hotstuff_scenario(&config);
+        assert_eq!(report.protocol, "hotstuff");
+        assert!(report.confirmed_requests > 0);
+        assert!(report.average_latency_secs.is_some());
+    }
+
+    #[test]
+    fn leader_crash_scenario_reports_view_changes() {
+        let config = ScenarioConfig::small(4)
+            .with_leader_crash_at(SimDuration::from_millis(300))
+            .with_duration(SimDuration::from_secs(5));
+        let report = run_leopard_scenario(&config);
+        assert!(report.view_changes > 0, "no view change observed");
+        assert!(report.view_change_bytes > 0);
+    }
+
+    #[test]
+    fn selective_attack_scenario_reports_retrievals() {
+        let config = ScenarioConfig::small(4)
+            .with_selective_attackers(1)
+            .with_duration(SimDuration::from_secs(4));
+        let report = run_leopard_scenario(&config);
+        assert!(report.confirmed_requests > 0);
+        // The attacked replicas' datablocks must have been recovered at least once.
+        assert!(report.retrievals > 0, "no retrieval was needed/completed");
+        assert!(report.average_retrieval_secs.is_some());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = ScenarioConfig::paper(16)
+            .with_bandwidth_mbps(100)
+            .with_batches(500, 50)
+            .with_hotstuff_batch(400)
+            .with_seed(1)
+            .with_workload(WorkloadConfig::small())
+            .with_duration(SimDuration::from_secs(1));
+        assert_eq!(config.bandwidth_mbps, Some(100));
+        assert_eq!(config.datablock_size, 500);
+        assert_eq!(config.hotstuff_batch, 400);
+        assert_eq!(config.initial_leader(), NodeId(1));
+    }
+}

@@ -1,0 +1,144 @@
+//! HotStuff blocks and quorum certificates.
+
+use leopard_crypto::threshold::CombinedSignature;
+use leopard_crypto::{hash_parts, Digest};
+use leopard_types::{Request, View, WireSize};
+
+/// A quorum certificate: `2f+1` combined votes on a block at a given height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumCertificate {
+    /// Height of the certified block.
+    pub height: u64,
+    /// Digest of the certified block.
+    pub block_digest: Digest,
+    /// The combined threshold signature, `None` only for the genesis certificate.
+    pub proof: Option<CombinedSignature>,
+}
+
+impl QuorumCertificate {
+    /// The genesis certificate every replica starts from.
+    pub fn genesis() -> Self {
+        Self {
+            height: 0,
+            block_digest: Digest::zero(),
+            proof: None,
+        }
+    }
+
+    /// True for the genesis certificate.
+    pub fn is_genesis(&self) -> bool {
+        self.proof.is_none()
+    }
+}
+
+impl WireSize for QuorumCertificate {
+    fn wire_size(&self) -> usize {
+        8 + 32 + 48
+    }
+}
+
+/// A HotStuff block: the leader's proposal carrying the full request batch plus the QC
+/// of its parent (chained / pipelined HotStuff).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotStuffBlock {
+    /// Height (one per proposal; equals the view in the happy path).
+    pub height: u64,
+    /// View in which the block was proposed.
+    pub view: View,
+    /// Digest of the parent block.
+    pub parent: Digest,
+    /// The request batch carried by the block.
+    pub requests: Vec<Request>,
+}
+
+impl HotStuffBlock {
+    /// Creates a block.
+    pub fn new(height: u64, view: View, parent: Digest, requests: Vec<Request>) -> Self {
+        Self {
+            height,
+            view,
+            parent,
+            requests,
+        }
+    }
+
+    /// The block digest replicas vote on.
+    ///
+    /// The digest commits to the height, view, parent and the request identifiers; it is
+    /// *not* a full serialisation hash to keep large-batch simulations cheap (the
+    /// request payloads are synthetic).
+    pub fn digest(&self) -> Digest {
+        let mut id_bytes = Vec::with_capacity(12 * self.requests.len() + 48);
+        id_bytes.extend_from_slice(&self.height.to_le_bytes());
+        id_bytes.extend_from_slice(&self.view.0.to_le_bytes());
+        id_bytes.extend_from_slice(self.parent.as_bytes());
+        for request in &self.requests {
+            id_bytes.extend_from_slice(&request.id.client.0.to_le_bytes());
+            id_bytes.extend_from_slice(&request.id.seq.to_le_bytes());
+        }
+        hash_parts([b"hotstuff-block".as_slice(), &id_bytes])
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the block carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total request payload bytes in the batch.
+    pub fn payload_bytes(&self) -> usize {
+        self.requests.iter().map(|r| r.payload.len()).sum()
+    }
+}
+
+impl WireSize for HotStuffBlock {
+    fn wire_size(&self) -> usize {
+        8 + 8 + 32 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_types::ClientId;
+
+    fn requests(count: usize) -> Vec<Request> {
+        (0..count)
+            .map(|i| Request::new_synthetic(ClientId(0), i as u64, 128))
+            .collect()
+    }
+
+    #[test]
+    fn genesis_certificate() {
+        let qc = QuorumCertificate::genesis();
+        assert!(qc.is_genesis());
+        assert_eq!(qc.height, 0);
+        assert!(qc.wire_size() > 0);
+    }
+
+    #[test]
+    fn block_digest_depends_on_contents() {
+        let a = HotStuffBlock::new(1, View(1), Digest::zero(), requests(3));
+        let b = HotStuffBlock::new(2, View(1), Digest::zero(), requests(3));
+        let c = HotStuffBlock::new(1, View(1), a.digest(), requests(3));
+        let d = HotStuffBlock::new(1, View(1), Digest::zero(), requests(4));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
+        assert_eq!(a.digest(), HotStuffBlock::new(1, View(1), Digest::zero(), requests(3)).digest());
+    }
+
+    #[test]
+    fn wire_size_counts_the_full_payload() {
+        let block = HotStuffBlock::new(1, View(1), Digest::zero(), requests(800));
+        // 800 requests of 128 bytes: the proposal is payload-dominated.
+        assert!(block.wire_size() > 800 * 128);
+        assert_eq!(block.len(), 800);
+        assert_eq!(block.payload_bytes(), 800 * 128);
+        assert!(!block.is_empty());
+    }
+}

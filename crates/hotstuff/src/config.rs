@@ -1,0 +1,149 @@
+//! HotStuff baseline configuration.
+
+use leopard_crypto::threshold::{ThresholdKeyPair, ThresholdScheme};
+use leopard_simnet::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Configuration of one HotStuff replica.
+#[derive(Debug, Clone)]
+pub struct HotStuffConfig {
+    /// Number of replicas `n = 3f + 1`.
+    pub n: usize,
+    /// Request payload size in bytes.
+    pub payload_size: usize,
+    /// Number of requests batched into one block.
+    pub batch_size: usize,
+    /// Offered client load in requests per second (clients submit to the leader); `0`
+    /// means the leader's mempool is saturated.
+    pub aggregate_rps: u64,
+    /// Leader proposal pacing.
+    pub propose_interval: SimDuration,
+    /// Pacemaker timeout: the view is abandoned if no block commits for this long while
+    /// requests are outstanding.
+    pub progress_timeout: SimDuration,
+}
+
+impl HotStuffConfig {
+    /// The paper's configuration for scale `n` (128-byte payloads, batch size 800) with
+    /// an open-loop load of `aggregate_rps` requests per second.
+    pub fn paper(n: usize, aggregate_rps: u64) -> Self {
+        Self {
+            n,
+            payload_size: 128,
+            batch_size: 800,
+            aggregate_rps,
+            propose_interval: SimDuration::from_millis(10),
+            progress_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small_test(n: usize) -> Self {
+        Self {
+            n,
+            payload_size: 128,
+            batch_size: 16,
+            aggregate_rps: 2_000,
+            propose_interval: SimDuration::from_millis(10),
+            progress_timeout: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Overrides the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the offered load.
+    pub fn with_rate(mut self, aggregate_rps: u64) -> Self {
+        self.aggregate_rps = aggregate_rps;
+        self
+    }
+
+    /// Number of tolerated faults `f`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// Generates the shared threshold-signature key material for this configuration.
+    pub fn shared_keys(&self, seed: u64) -> Arc<HotStuffKeys> {
+        Arc::new(HotStuffKeys::generate(self.quorum(), self.n, seed))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 4 {
+            return Err(format!("n must be at least 4, got {}", self.n));
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".to_string());
+        }
+        if self.payload_size == 0 {
+            return Err("payload_size must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Shared key material for a HotStuff deployment.
+#[derive(Debug)]
+pub struct HotStuffKeys {
+    /// The threshold scheme.
+    pub scheme: ThresholdScheme,
+    /// Per-replica key pairs.
+    pub keypairs: Vec<ThresholdKeyPair>,
+}
+
+impl HotStuffKeys {
+    /// Runs the trusted setup.
+    pub fn generate(threshold: usize, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (scheme, keypairs) = ThresholdScheme::trusted_setup(threshold, n, &mut rng);
+        Self { scheme, keypairs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_and_test_configs_validate() {
+        assert!(HotStuffConfig::paper(128, 100_000).validate().is_ok());
+        assert!(HotStuffConfig::small_test(4).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut config = HotStuffConfig::small_test(4);
+        config.n = 3;
+        assert!(config.validate().is_err());
+        let config = HotStuffConfig::small_test(4).with_batch_size(0);
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn quorum_math() {
+        let config = HotStuffConfig::paper(301, 0);
+        assert_eq!(config.f(), 100);
+        assert_eq!(config.quorum(), 201);
+    }
+
+    #[test]
+    fn shared_keys_match_scale() {
+        let config = HotStuffConfig::small_test(7);
+        let keys = config.shared_keys(3);
+        assert_eq!(keys.keypairs.len(), 7);
+        assert_eq!(keys.scheme.threshold(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! HotStuff protocol messages.
+
+use crate::block::{HotStuffBlock, QuorumCertificate};
+use leopard_crypto::threshold::SignatureShare;
+use leopard_crypto::Digest;
+use leopard_simnet::SimMessage;
+use leopard_types::{View, WireSize};
+use std::sync::Arc;
+
+/// Messages exchanged by HotStuff replicas.
+#[derive(Debug, Clone)]
+pub enum HotStuffMessage {
+    /// The leader's proposal: a block carrying the full request batch plus the QC of its
+    /// parent (pipelined voting).
+    Proposal {
+        /// The proposed block.
+        block: Arc<HotStuffBlock>,
+        /// QC certifying the parent block.
+        justify: QuorumCertificate,
+        /// The leader's own vote share on the block.
+        share: SignatureShare,
+    },
+    /// A replica's vote on a proposal, sent to the leader.
+    Vote {
+        /// Height of the voted block.
+        height: u64,
+        /// Digest of the voted block.
+        block_digest: Digest,
+        /// The voter's signature share.
+        share: SignatureShare,
+    },
+    /// Pacemaker: a replica's complaint that the current view makes no progress,
+    /// carrying its highest QC for the next leader.
+    NewView {
+        /// The view being abandoned.
+        view: View,
+        /// The sender's highest QC.
+        high_qc: QuorumCertificate,
+        /// The sender's signature share on the complaint.
+        share: SignatureShare,
+    },
+}
+
+impl WireSize for HotStuffMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            HotStuffMessage::Proposal { block, justify, .. } => {
+                block.wire_size() + justify.wire_size() + 48
+            }
+            HotStuffMessage::Vote { .. } => 8 + 32 + 48,
+            HotStuffMessage::NewView { high_qc, .. } => 8 + high_qc.wire_size() + 48,
+        }
+    }
+}
+
+impl SimMessage for HotStuffMessage {
+    fn category(&self) -> &'static str {
+        match self {
+            HotStuffMessage::Proposal { .. } => "block",
+            HotStuffMessage::Vote { .. } => "vote",
+            HotStuffMessage::NewView { .. } => "newview",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::hash_bytes;
+    use leopard_crypto::threshold::ThresholdScheme;
+    use leopard_types::{ClientId, Request};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn categories_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let digest = hash_bytes(b"x");
+        let share = scheme.sign_share(&keys[0], &digest);
+
+        let block = Arc::new(HotStuffBlock::new(
+            1,
+            View(1),
+            Digest::zero(),
+            (0..100)
+                .map(|i| Request::new_synthetic(ClientId(0), i, 128))
+                .collect(),
+        ));
+        let proposal = HotStuffMessage::Proposal {
+            block: block.clone(),
+            justify: QuorumCertificate::genesis(),
+            share,
+        };
+        let vote = HotStuffMessage::Vote {
+            height: 1,
+            block_digest: digest,
+            share,
+        };
+        let newview = HotStuffMessage::NewView {
+            view: View(1),
+            high_qc: QuorumCertificate::genesis(),
+            share,
+        };
+        assert_eq!(proposal.category(), "block");
+        assert_eq!(vote.category(), "vote");
+        assert_eq!(newview.category(), "newview");
+        // The proposal dominates: it carries the whole batch.
+        assert!(proposal.wire_size() > 100 * 128);
+        assert!(vote.wire_size() < 128);
+        assert!(newview.wire_size() < 256);
+    }
+}

@@ -1,0 +1,546 @@
+//! The HotStuff replica state machine.
+
+use crate::block::{HotStuffBlock, QuorumCertificate};
+use crate::config::{HotStuffConfig, HotStuffKeys};
+use crate::messages::HotStuffMessage;
+use leopard_crypto::threshold::SignatureShare;
+use leopard_crypto::Digest;
+use leopard_simnet::{Context, ObservationKind, Protocol, SimDuration, SimTime};
+use leopard_types::{ClientId, NodeId, Request, RequestId, View};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+const TOKEN_WORKLOAD: u64 = 1;
+const TOKEN_PROPOSE: u64 = 2;
+const TOKEN_PROGRESS: u64 = 3;
+
+const WORKLOAD_TICK: SimDuration = SimDuration(10_000_000); // 10 ms
+
+type Ctx<'a> = dyn Context<Message = HotStuffMessage> + 'a;
+
+/// Vote collection state for one proposed block (leader side).
+#[derive(Debug, Default)]
+struct VoteSet {
+    shares: Vec<SignatureShare>,
+    voters: HashSet<usize>,
+}
+
+/// A chained-HotStuff replica.
+pub struct HotStuffReplica {
+    id: NodeId,
+    config: HotStuffConfig,
+    keys: Arc<HotStuffKeys>,
+
+    view: View,
+    /// Client stub (requests are submitted to the leader in HotStuff).
+    mempool: VecDeque<Request>,
+    outstanding: HashMap<RequestId, SimTime>,
+    next_request_seq: u64,
+    injection_carry: f64,
+
+    /// All blocks seen, by digest.
+    blocks: HashMap<Digest, Arc<HotStuffBlock>>,
+    /// QCs by certified block digest.
+    certificates: HashMap<Digest, QuorumCertificate>,
+    /// The highest QC known.
+    high_qc: QuorumCertificate,
+    /// Leader: collected votes per block digest.
+    votes: HashMap<Digest, VoteSet>,
+    /// Leader: digest of the proposal still waiting for its QC.
+    awaiting_qc: Option<Digest>,
+    /// The highest height this replica voted for.
+    last_voted_height: u64,
+    /// Height of the latest committed block.
+    committed_height: u64,
+    /// Blocks already executed.
+    executed: HashSet<Digest>,
+    /// Total requests confirmed by this replica.
+    confirmed_requests: u64,
+    confirmed_at_last_check: u64,
+}
+
+impl std::fmt::Debug for HotStuffReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotStuffReplica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("committed_height", &self.committed_height)
+            .field("confirmed_requests", &self.confirmed_requests)
+            .finish()
+    }
+}
+
+impl HotStuffReplica {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(id: NodeId, config: HotStuffConfig, keys: Arc<HotStuffKeys>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|message| panic!("invalid HotStuff config: {message}"));
+        Self {
+            id,
+            view: View::initial(),
+            mempool: VecDeque::new(),
+            outstanding: HashMap::new(),
+            next_request_seq: 0,
+            injection_carry: 0.0,
+            blocks: HashMap::new(),
+            certificates: HashMap::new(),
+            high_qc: QuorumCertificate::genesis(),
+            votes: HashMap::new(),
+            awaiting_qc: None,
+            last_voted_height: 0,
+            committed_height: 0,
+            executed: HashSet::new(),
+            confirmed_requests: 0,
+            confirmed_at_last_check: 0,
+            config,
+            keys,
+        }
+    }
+
+    /// This replica's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The current leader.
+    pub fn leader(&self) -> NodeId {
+        self.view.leader(self.config.n)
+    }
+
+    /// True if this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.id
+    }
+
+    /// Height of the latest committed block.
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height
+    }
+
+    /// Total requests confirmed (committed and executed) by this replica.
+    pub fn confirmed_requests(&self) -> u64 {
+        self.confirmed_requests
+    }
+
+    fn keypair(&self) -> &leopard_crypto::threshold::ThresholdKeyPair {
+        &self.keys.keypairs[self.id.as_index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Client stub (clients submit to the leader)
+    // ------------------------------------------------------------------
+
+    fn inject_workload(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.is_leader() || self.config.aggregate_rps == 0 {
+            return;
+        }
+        let per_tick =
+            self.config.aggregate_rps as f64 * WORKLOAD_TICK.as_secs_f64() + self.injection_carry;
+        let whole = per_tick.floor() as usize;
+        self.injection_carry = per_tick - whole as f64;
+        for _ in 0..whole {
+            let request = Request::new_synthetic(
+                ClientId(self.id.0),
+                self.next_request_seq,
+                self.config.payload_size as u32,
+            );
+            self.next_request_seq += 1;
+            self.outstanding.insert(request.id, ctx.now());
+            self.mempool.push_back(request);
+        }
+    }
+
+    fn take_batch(&mut self, now: SimTime) -> Vec<Request> {
+        if self.config.aggregate_rps == 0 {
+            // Saturated mode: a full batch is always available.
+            let batch: Vec<Request> = (0..self.config.batch_size)
+                .map(|_| {
+                    let request = Request::new_synthetic(
+                        ClientId(self.id.0),
+                        self.next_request_seq,
+                        self.config.payload_size as u32,
+                    );
+                    self.next_request_seq += 1;
+                    self.outstanding.insert(request.id, now);
+                    request
+                })
+                .collect();
+            return batch;
+        }
+        let take = self.config.batch_size.min(self.mempool.len());
+        self.mempool.drain(..take).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Proposing and voting
+    // ------------------------------------------------------------------
+
+    fn try_propose(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.is_leader() || self.awaiting_qc.is_some() {
+            return;
+        }
+        let pipeline_pending = self.high_qc.height > self.committed_height;
+        let batch = self.take_batch(ctx.now());
+        if batch.is_empty() && !pipeline_pending {
+            return;
+        }
+        let height = self.high_qc.height + 1;
+        let block = Arc::new(HotStuffBlock::new(
+            height,
+            self.view,
+            self.high_qc.block_digest,
+            batch,
+        ));
+        let digest = block.digest();
+        self.blocks.insert(digest, block.clone());
+        self.awaiting_qc = Some(digest);
+        let share = self.keys.scheme.sign_share(self.keypair(), &digest);
+        // The leader's own vote.
+        self.votes.entry(digest).or_default();
+        let message = HotStuffMessage::Proposal {
+            block,
+            justify: self.high_qc,
+            share,
+        };
+        ctx.multicast(message.clone());
+        ctx.send(self.id, message);
+    }
+
+    fn handle_proposal(
+        &mut self,
+        from: NodeId,
+        block: Arc<HotStuffBlock>,
+        justify: QuorumCertificate,
+        share: SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if from != self.leader() {
+            return;
+        }
+        let digest = block.digest();
+        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &digest) {
+            return;
+        }
+        // Verify and adopt the carried QC (this is what makes the protocol pipelined).
+        if !justify.is_genesis() {
+            let Some(proof) = justify.proof else { return };
+            if !self.keys.scheme.verify_combined(&proof, &justify.block_digest) {
+                return;
+            }
+            self.certificates.insert(justify.block_digest, justify);
+            if justify.height > self.high_qc.height {
+                self.high_qc = justify;
+            }
+        }
+        self.blocks.insert(digest, block.clone());
+        self.try_commit(&justify, ctx);
+
+        // Vote once per height, only on blocks extending the highest QC.
+        if block.height <= self.last_voted_height || block.height != self.high_qc.height + 1 {
+            return;
+        }
+        self.last_voted_height = block.height;
+        let vote_share = self.keys.scheme.sign_share(self.keypair(), &digest);
+        ctx.send(
+            self.leader(),
+            HotStuffMessage::Vote {
+                height: block.height,
+                block_digest: digest,
+                share: vote_share,
+            },
+        );
+    }
+
+    fn handle_vote(
+        &mut self,
+        from: NodeId,
+        height: u64,
+        block_digest: Digest,
+        share: SignatureShare,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if !self.is_leader() {
+            return;
+        }
+        if share.signer != from.signer_index()
+            || !self.keys.scheme.verify_share(&share, &block_digest)
+        {
+            return;
+        }
+        if self.certificates.contains_key(&block_digest) {
+            return;
+        }
+        let quorum = self.config.quorum();
+        let votes = self.votes.entry(block_digest).or_default();
+        if !votes.voters.insert(share.signer) {
+            return;
+        }
+        votes.shares.push(share);
+        if votes.shares.len() < quorum {
+            return;
+        }
+        let Ok(proof) = self.keys.scheme.combine(&votes.shares, &block_digest) else {
+            return;
+        };
+        let qc = QuorumCertificate {
+            height,
+            block_digest,
+            proof: Some(proof),
+        };
+        self.certificates.insert(block_digest, qc);
+        if qc.height > self.high_qc.height {
+            self.high_qc = qc;
+        }
+        if self.awaiting_qc == Some(block_digest) {
+            self.awaiting_qc = None;
+        }
+        self.try_commit(&qc, ctx);
+        // Pipelining: the next proposal carries this QC immediately.
+        self.try_propose(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit rule and execution
+    // ------------------------------------------------------------------
+
+    /// The three-chain commit rule: when a QC certifies block `b1`, and `b1 → b2 → b3`
+    /// is a chain of parent links with consecutive heights where `b2` is also certified,
+    /// then `b3` (and all its ancestors) become committed.
+    fn try_commit(&mut self, qc: &QuorumCertificate, ctx: &mut Ctx<'_>) {
+        if qc.is_genesis() {
+            return;
+        }
+        let Some(b1) = self.blocks.get(&qc.block_digest).cloned() else {
+            return;
+        };
+        let Some(b2) = self.blocks.get(&b1.parent).cloned() else {
+            return;
+        };
+        if !self.certificates.contains_key(&b1.parent) || b2.height + 1 != b1.height {
+            return;
+        }
+        let Some(b3) = self.blocks.get(&b2.parent).cloned() else {
+            return;
+        };
+        if b3.height + 1 != b2.height {
+            return;
+        }
+        if b3.height <= self.committed_height {
+            return;
+        }
+        // Commit b3 and all its uncommitted ancestors, oldest first.
+        let mut chain = Vec::new();
+        let mut cursor = Some(b3.clone());
+        while let Some(block) = cursor {
+            if block.height <= self.committed_height || self.executed.contains(&block.digest()) {
+                break;
+            }
+            cursor = self.blocks.get(&block.parent).cloned();
+            chain.push(block);
+        }
+        self.committed_height = b3.height;
+        for block in chain.into_iter().rev() {
+            self.execute(&block, ctx);
+        }
+    }
+
+    fn execute(&mut self, block: &Arc<HotStuffBlock>, ctx: &mut Ctx<'_>) {
+        if !self.executed.insert(block.digest()) {
+            return;
+        }
+        let count = block.len() as u64;
+        let bytes = block.payload_bytes() as u64;
+        self.confirmed_requests += count;
+        if count > 0 {
+            ctx.observe(ObservationKind::RequestsConfirmed {
+                count,
+                payload_bytes: bytes,
+            });
+        }
+        ctx.observe(ObservationKind::BlockCommitted {
+            sequence: block.height,
+            requests: count,
+        });
+        // Client-side latency: the leader's stub submitted these requests.
+        for request in &block.requests {
+            if let Some(submitted) = self.outstanding.remove(&request.id) {
+                ctx.observe(ObservationKind::RequestLatency {
+                    nanos: ctx.now().saturating_since(submitted).as_nanos(),
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pacemaker
+    // ------------------------------------------------------------------
+
+    fn fire_progress_timer(&mut self, ctx: &mut Ctx<'_>) {
+        // Clients keep submitting requests (to whoever leads), so a replica that has
+        // never committed anything treats the view as stalled even before it received
+        // any request of its own.
+        let outstanding = !self.outstanding.is_empty()
+            || !self.mempool.is_empty()
+            || self.high_qc.height > self.committed_height
+            || self.committed_height == 0;
+        let progressed = self.confirmed_requests > self.confirmed_at_last_check;
+        self.confirmed_at_last_check = self.confirmed_requests;
+        if progressed || !outstanding {
+            return;
+        }
+        // Abandon the view: rotate the leader and hand it our highest QC.
+        let old_view = self.view;
+        self.view = self.view.next();
+        self.awaiting_qc = None;
+        ctx.observe(ObservationKind::ViewChange { view: self.view.0 });
+        let share = self
+            .keys
+            .scheme
+            .sign_share(self.keypair(), &self.high_qc.block_digest);
+        ctx.send(
+            self.leader(),
+            HotStuffMessage::NewView {
+                view: old_view,
+                high_qc: self.high_qc,
+                share,
+            },
+        );
+    }
+
+    fn handle_new_view(&mut self, high_qc: QuorumCertificate) {
+        if high_qc.is_genesis() {
+            return;
+        }
+        let Some(proof) = high_qc.proof else { return };
+        if !self.keys.scheme.verify_combined(&proof, &high_qc.block_digest) {
+            return;
+        }
+        self.certificates.insert(high_qc.block_digest, high_qc);
+        if high_qc.height > self.high_qc.height {
+            self.high_qc = high_qc;
+        }
+    }
+}
+
+impl Protocol for HotStuffReplica {
+    type Message = HotStuffMessage;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Message = HotStuffMessage>) {
+        ctx.set_timer(WORKLOAD_TICK, TOKEN_WORKLOAD);
+        ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
+        ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: HotStuffMessage,
+        ctx: &mut dyn Context<Message = HotStuffMessage>,
+    ) {
+        match message {
+            HotStuffMessage::Proposal {
+                block,
+                justify,
+                share,
+            } => self.handle_proposal(from, block, justify, share, ctx),
+            HotStuffMessage::Vote {
+                height,
+                block_digest,
+                share,
+            } => self.handle_vote(from, height, block_digest, share, ctx),
+            HotStuffMessage::NewView { high_qc, .. } => self.handle_new_view(high_qc),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Context<Message = HotStuffMessage>) {
+        match token {
+            TOKEN_WORKLOAD => {
+                self.inject_workload(ctx);
+                ctx.set_timer(WORKLOAD_TICK, TOKEN_WORKLOAD);
+            }
+            TOKEN_PROPOSE => {
+                self.try_propose(ctx);
+                ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
+            }
+            TOKEN_PROGRESS => {
+                self.fire_progress_timer(ctx);
+                ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_simnet::{FaultPlan, NetworkConfig, SimTime, Simulation};
+
+    fn run(n: usize, config: HotStuffConfig, faults: FaultPlan, secs: u64) -> leopard_simnet::SimulationReport {
+        let keys = config.shared_keys(11);
+        let sim = Simulation::new(NetworkConfig::datacenter(n), faults, move |id| {
+            HotStuffReplica::new(id, config.clone(), keys.clone())
+        });
+        sim.run_to_report(SimTime(SimDuration::from_secs(secs).as_nanos()), 10_000_000)
+    }
+
+    #[test]
+    fn four_replicas_commit_requests() {
+        let report = run(4, HotStuffConfig::small_test(4), FaultPlan::none(), 2);
+        assert!(report.metrics.max_confirmed_requests(4) > 100);
+        for node in 0..4u32 {
+            assert!(report.metrics.confirmed_requests_at(NodeId(node)) > 0);
+        }
+        assert!(!report.metrics.latency_samples().is_empty());
+    }
+
+    #[test]
+    fn seven_replicas_commit_requests() {
+        let report = run(7, HotStuffConfig::small_test(7), FaultPlan::none(), 2);
+        assert!(report.metrics.max_confirmed_requests(7) > 100);
+    }
+
+    #[test]
+    fn saturated_mode_commits_full_batches() {
+        let config = HotStuffConfig::small_test(4).with_rate(0).with_batch_size(32);
+        let report = run(4, config, FaultPlan::none(), 2);
+        assert!(report.metrics.max_confirmed_requests(4) >= 32);
+    }
+
+    #[test]
+    fn leader_crash_triggers_pacemaker_view_change() {
+        let faults = FaultPlan::none().with_crash(NodeId(1), SimTime(0));
+        let report = run(4, HotStuffConfig::small_test(4), faults, 5);
+        let saw_view_change = report
+            .metrics
+            .observations
+            .iter()
+            .any(|o| matches!(o.kind, ObservationKind::ViewChange { .. }));
+        assert!(saw_view_change, "pacemaker never rotated the leader");
+    }
+
+    #[test]
+    fn leader_uplink_dominates_traffic() {
+        // The structural property the paper's Fig. 2 measures: the leader ships the
+        // payload to everyone, so its sent bytes dwarf any other replica's.
+        let report = run(4, HotStuffConfig::small_test(4), FaultPlan::none(), 2);
+        let leader_sent = report.metrics.traffic.sent_bytes(NodeId(1));
+        for node in [0u32, 2, 3] {
+            let other_sent = report.metrics.traffic.sent_bytes(NodeId(node));
+            assert!(
+                leader_sent > 3 * other_sent,
+                "leader {leader_sent} vs replica {node} {other_sent}"
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Fault injection: message filters and crash schedules.
+//!
+//! The paper's Byzantine experiments need two kinds of interference below the protocol
+//! level: *selective dissemination* (a faulty replica sends its datablocks only to a
+//! subset of replicas — §IV "Datablock Retrieval") and *crashes* (the leader is stopped
+//! to trigger a view-change — §VI-D). Protocol-level misbehaviour (equivocation, vote
+//! withholding) is implemented inside the protocol crates; this module only interferes
+//! with message delivery.
+
+use crate::time::SimTime;
+use leopard_types::NodeId;
+
+/// The fate of a message decided by a [`FaultPlan`] filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the message. The sender still pays the uplink cost (it did send the
+    /// bytes); the receiver never sees it.
+    Drop,
+}
+
+/// A plan describing which messages to drop and which nodes crash when.
+///
+/// The filter closure receives `(now, from, to, category, wire_size)` so that selective
+/// attacks can discriminate by message category without depending on the concrete
+/// protocol message type.
+pub struct FaultPlan {
+    #[allow(clippy::type_complexity)]
+    filter: Option<Box<dyn FnMut(SimTime, NodeId, NodeId, &'static str, usize) -> MessageFate + Send>>,
+    crashes: Vec<(NodeId, SimTime)>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("has_filter", &self.filter.is_some())
+            .field("crashes", &self.crashes)
+            .finish()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults: every message is delivered, no node crashes.
+    pub fn none() -> Self {
+        Self {
+            filter: None,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Installs a message filter.
+    pub fn with_filter<F>(mut self, filter: F) -> Self
+    where
+        F: FnMut(SimTime, NodeId, NodeId, &'static str, usize) -> MessageFate + Send + 'static,
+    {
+        self.filter = Some(Box::new(filter));
+        self
+    }
+
+    /// Schedules `node` to crash at `at`: from that instant it neither sends nor
+    /// receives messages and its timers stop firing.
+    pub fn with_crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// The selective attack of the paper: every faulty replica (the first `f` non-leader
+    /// replicas by convention of the experiments) sends messages of the given category
+    /// only to the `keep` lowest-numbered replicas (which include the leader), and drops
+    /// that category entirely when it is inbound from honest replicas.
+    pub fn selective_attack(
+        faulty: Vec<NodeId>,
+        category: &'static str,
+        keep: usize,
+    ) -> Self {
+        Self::none().with_filter(move |_now, from, to, cat, _size| {
+            if cat != category {
+                return MessageFate::Deliver;
+            }
+            let from_faulty = faulty.contains(&from);
+            let to_faulty = faulty.contains(&to);
+            if from_faulty && to.as_index() >= keep {
+                // Faulty producer only serves a small subset.
+                MessageFate::Drop
+            } else if to_faulty && !from_faulty {
+                // Faulty replicas pretend not to receive honest datablocks.
+                MessageFate::Drop
+            } else {
+                MessageFate::Deliver
+            }
+        })
+    }
+
+    /// Decides the fate of one message.
+    pub fn judge(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        category: &'static str,
+        wire_size: usize,
+    ) -> MessageFate {
+        if self.is_crashed(from, now) || self.is_crashed(to, now) {
+            return MessageFate::Drop;
+        }
+        match &mut self.filter {
+            Some(filter) => filter(now, from, to, category, wire_size),
+            None => MessageFate::Deliver,
+        }
+    }
+
+    /// True if `node` has crashed by time `now`.
+    pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|&(crashed, at)| crashed == node && now >= at)
+    }
+
+    /// The configured crash schedule.
+    pub fn crashes(&self) -> &[(NodeId, SimTime)] {
+        &self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_delivers_everything() {
+        let mut plan = FaultPlan::none();
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(0), NodeId(1), "datablock", 100),
+            MessageFate::Deliver
+        );
+        assert!(!plan.is_crashed(NodeId(0), SimTime(1_000_000)));
+    }
+
+    #[test]
+    fn crash_drops_messages_after_the_crash_instant() {
+        let mut plan = FaultPlan::none().with_crash(NodeId(2), SimTime(1000));
+        assert_eq!(
+            plan.judge(SimTime(999), NodeId(2), NodeId(0), "vote", 10),
+            MessageFate::Deliver
+        );
+        assert_eq!(
+            plan.judge(SimTime(1000), NodeId(2), NodeId(0), "vote", 10),
+            MessageFate::Drop
+        );
+        assert_eq!(
+            plan.judge(SimTime(2000), NodeId(0), NodeId(2), "vote", 10),
+            MessageFate::Drop
+        );
+        assert!(plan.is_crashed(NodeId(2), SimTime(1500)));
+        assert_eq!(plan.crashes(), &[(NodeId(2), SimTime(1000))]);
+    }
+
+    #[test]
+    fn selective_attack_filters_only_the_target_category() {
+        let faulty = vec![NodeId(3)];
+        let mut plan = FaultPlan::selective_attack(faulty, "datablock", 2);
+        // Faulty producer -> low-numbered replica: delivered.
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(3), NodeId(0), "datablock", 100),
+            MessageFate::Deliver
+        );
+        // Faulty producer -> high-numbered replica: dropped.
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(3), NodeId(2), "datablock", 100),
+            MessageFate::Drop
+        );
+        // Honest producer -> faulty replica: dropped (pretends not to receive).
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(1), NodeId(3), "datablock", 100),
+            MessageFate::Drop
+        );
+        // Other categories unaffected.
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(3), NodeId(2), "vote", 48),
+            MessageFate::Deliver
+        );
+        // Honest to honest unaffected.
+        assert_eq!(
+            plan.judge(SimTime(0), NodeId(0), NodeId(2), "datablock", 100),
+            MessageFate::Deliver
+        );
+    }
+
+    #[test]
+    fn custom_filter_sees_all_fields() {
+        let mut plan = FaultPlan::none().with_filter(|now, from, to, category, size| {
+            if now >= SimTime(500) && from == NodeId(0) && to == NodeId(1) && category == "x" && size > 10 {
+                MessageFate::Drop
+            } else {
+                MessageFate::Deliver
+            }
+        });
+        assert_eq!(
+            plan.judge(SimTime(600), NodeId(0), NodeId(1), "x", 11),
+            MessageFate::Drop
+        );
+        assert_eq!(
+            plan.judge(SimTime(600), NodeId(0), NodeId(1), "x", 5),
+            MessageFate::Deliver
+        );
+        assert_eq!(
+            plan.judge(SimTime(400), NodeId(0), NodeId(1), "x", 11),
+            MessageFate::Deliver
+        );
+    }
+}

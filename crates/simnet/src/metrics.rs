@@ -1,0 +1,296 @@
+//! Metric collection: per-node, per-category traffic accounting and protocol
+//! observations.
+
+use crate::time::SimTime;
+use leopard_types::NodeId;
+use std::collections::BTreeMap;
+
+/// A protocol-level observation emitted through [`crate::Context::observe`].
+///
+/// Observations are the channel through which protocol implementations report
+/// throughput-, latency- and fault-related facts to the experiment harness without the
+/// harness having to understand protocol internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservationKind {
+    /// `count` requests totalling `payload_bytes` became confirmed at this node.
+    RequestsConfirmed {
+        /// Number of requests confirmed.
+        count: u64,
+        /// Total request payload bytes confirmed.
+        payload_bytes: u64,
+    },
+    /// A client measured end-to-end latency for one request (submission →
+    /// acknowledgement), in nanoseconds.
+    RequestLatency {
+        /// Latency in nanoseconds.
+        nanos: u64,
+    },
+    /// A BFTblock (or HotStuff block) reached the committed state at this node.
+    BlockCommitted {
+        /// The serial number / height of the block.
+        sequence: u64,
+        /// Number of requests the block confirms.
+        requests: u64,
+    },
+    /// The node entered a new view.
+    ViewChange {
+        /// The new view number.
+        view: u64,
+    },
+    /// One datablock retrieval round-trip completed.
+    RetrievalCompleted {
+        /// Nanoseconds between the query and the successful decode.
+        nanos: u64,
+        /// Bytes received while recovering the datablock.
+        received_bytes: u64,
+    },
+    /// A labelled scalar sample, for protocol-specific breakdowns (e.g. stage latencies).
+    Custom {
+        /// Sample label.
+        label: &'static str,
+        /// Sample value.
+        value: u64,
+    },
+}
+
+/// An observation together with when and where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Simulated time at which the observation was emitted.
+    pub at: SimTime,
+    /// Node that emitted it.
+    pub node: NodeId,
+    /// The payload.
+    pub kind: ObservationKind,
+}
+
+/// Per-node, per-category traffic counters (bytes and message counts).
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    /// `(node, category) -> (bytes, messages)` for sent traffic.
+    sent: BTreeMap<(u32, &'static str), (u64, u64)>,
+    /// `(node, category) -> (bytes, messages)` for received traffic.
+    received: BTreeMap<(u32, &'static str), (u64, u64)>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sent message.
+    pub fn record_sent(&mut self, node: NodeId, category: &'static str, bytes: u64) {
+        let entry = self.sent.entry((node.0, category)).or_insert((0, 0));
+        entry.0 += bytes;
+        entry.1 += 1;
+    }
+
+    /// Records a received message.
+    pub fn record_received(&mut self, node: NodeId, category: &'static str, bytes: u64) {
+        let entry = self.received.entry((node.0, category)).or_insert((0, 0));
+        entry.0 += bytes;
+        entry.1 += 1;
+    }
+
+    /// Total bytes sent by `node` across all categories.
+    pub fn sent_bytes(&self, node: NodeId) -> u64 {
+        self.sent
+            .range((node.0, "")..(node.0 + 1, ""))
+            .map(|(_, (bytes, _))| *bytes)
+            .sum()
+    }
+
+    /// Total bytes received by `node` across all categories.
+    pub fn received_bytes(&self, node: NodeId) -> u64 {
+        self.received
+            .range((node.0, "")..(node.0 + 1, ""))
+            .map(|(_, (bytes, _))| *bytes)
+            .sum()
+    }
+
+    /// Bytes sent by `node` in a given category.
+    pub fn sent_bytes_in(&self, node: NodeId, category: &'static str) -> u64 {
+        self.sent.get(&(node.0, category)).map_or(0, |(b, _)| *b)
+    }
+
+    /// Bytes received by `node` in a given category.
+    pub fn received_bytes_in(&self, node: NodeId, category: &'static str) -> u64 {
+        self.received.get(&(node.0, category)).map_or(0, |(b, _)| *b)
+    }
+
+    /// Iterates over `(node, category, bytes, messages)` for sent traffic.
+    pub fn iter_sent(&self) -> impl Iterator<Item = (NodeId, &'static str, u64, u64)> + '_ {
+        self.sent
+            .iter()
+            .map(|(&(node, category), &(bytes, messages))| (NodeId(node), category, bytes, messages))
+    }
+
+    /// Iterates over `(node, category, bytes, messages)` for received traffic.
+    pub fn iter_received(&self) -> impl Iterator<Item = (NodeId, &'static str, u64, u64)> + '_ {
+        self.received
+            .iter()
+            .map(|(&(node, category), &(bytes, messages))| (NodeId(node), category, bytes, messages))
+    }
+
+    /// All categories that appear anywhere in the matrix.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut categories: Vec<&'static str> = self
+            .sent
+            .keys()
+            .chain(self.received.keys())
+            .map(|&(_, category)| category)
+            .collect();
+        categories.sort_unstable();
+        categories.dedup();
+        categories
+    }
+
+    /// Total bytes sent across the whole system.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.sent.values().map(|(bytes, _)| *bytes).sum()
+    }
+
+    /// Total bytes received across the whole system.
+    pub fn total_received_bytes(&self) -> u64 {
+        self.received.values().map(|(bytes, _)| *bytes).sum()
+    }
+}
+
+/// Collects traffic counters and observations during a run.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    /// Traffic counters.
+    pub traffic: TrafficMatrix,
+    /// Ordered list of protocol observations.
+    pub observations: Vec<Observation>,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observation.
+    pub fn observe(&mut self, at: SimTime, node: NodeId, kind: ObservationKind) {
+        self.observations.push(Observation { at, node, kind });
+    }
+
+    /// Total confirmed requests across all [`ObservationKind::RequestsConfirmed`]
+    /// observations emitted by `node`.
+    pub fn confirmed_requests_at(&self, node: NodeId) -> u64 {
+        self.observations
+            .iter()
+            .filter(|o| o.node == node)
+            .map(|o| match o.kind {
+                ObservationKind::RequestsConfirmed { count, .. } => count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The largest number of confirmed requests reported by any single node.
+    ///
+    /// Throughput is measured "from the server's side" in the paper; using the maximum
+    /// over nodes avoids double counting while still reflecting system progress.
+    pub fn max_confirmed_requests(&self, nodes: usize) -> u64 {
+        (0..nodes)
+            .map(|i| self.confirmed_requests_at(NodeId(i as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All request latency samples in nanoseconds.
+    pub fn latency_samples(&self) -> Vec<u64> {
+        self.observations
+            .iter()
+            .filter_map(|o| match o.kind {
+                ObservationKind::RequestLatency { nanos } => Some(nanos),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Samples recorded under a custom label.
+    pub fn custom_samples(&self, label: &str) -> Vec<u64> {
+        self.observations
+            .iter()
+            .filter_map(|o| match &o.kind {
+                ObservationKind::Custom { label: l, value } if *l == label => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_matrix_accumulates_by_node_and_category() {
+        let mut matrix = TrafficMatrix::new();
+        matrix.record_sent(NodeId(0), "datablock", 100);
+        matrix.record_sent(NodeId(0), "datablock", 50);
+        matrix.record_sent(NodeId(0), "vote", 10);
+        matrix.record_received(NodeId(1), "datablock", 150);
+
+        assert_eq!(matrix.sent_bytes(NodeId(0)), 160);
+        assert_eq!(matrix.sent_bytes_in(NodeId(0), "datablock"), 150);
+        assert_eq!(matrix.sent_bytes_in(NodeId(0), "vote"), 10);
+        assert_eq!(matrix.received_bytes(NodeId(1)), 150);
+        assert_eq!(matrix.received_bytes(NodeId(0)), 0);
+        assert_eq!(matrix.categories(), vec!["datablock", "vote"]);
+        assert_eq!(matrix.total_sent_bytes(), 160);
+        assert_eq!(matrix.total_received_bytes(), 150);
+        assert_eq!(matrix.iter_sent().count(), 2);
+        assert_eq!(matrix.iter_received().count(), 1);
+    }
+
+    #[test]
+    fn node_ranges_do_not_bleed_into_each_other() {
+        let mut matrix = TrafficMatrix::new();
+        matrix.record_sent(NodeId(1), "a", 5);
+        matrix.record_sent(NodeId(2), "a", 7);
+        assert_eq!(matrix.sent_bytes(NodeId(1)), 5);
+        assert_eq!(matrix.sent_bytes(NodeId(2)), 7);
+    }
+
+    #[test]
+    fn sink_aggregates_observations() {
+        let mut sink = MetricsSink::new();
+        sink.observe(
+            SimTime(10),
+            NodeId(0),
+            ObservationKind::RequestsConfirmed {
+                count: 5,
+                payload_bytes: 640,
+            },
+        );
+        sink.observe(
+            SimTime(20),
+            NodeId(0),
+            ObservationKind::RequestsConfirmed {
+                count: 7,
+                payload_bytes: 896,
+            },
+        );
+        sink.observe(SimTime(30), NodeId(1), ObservationKind::RequestLatency { nanos: 500 });
+        sink.observe(
+            SimTime(40),
+            NodeId(1),
+            ObservationKind::Custom {
+                label: "stage",
+                value: 3,
+            },
+        );
+
+        assert_eq!(sink.confirmed_requests_at(NodeId(0)), 12);
+        assert_eq!(sink.confirmed_requests_at(NodeId(1)), 0);
+        assert_eq!(sink.max_confirmed_requests(2), 12);
+        assert_eq!(sink.latency_samples(), vec![500]);
+        assert_eq!(sink.custom_samples("stage"), vec![3]);
+        assert_eq!(sink.custom_samples("missing"), Vec::<u64>::new());
+    }
+}

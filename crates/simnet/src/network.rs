@@ -1,0 +1,201 @@
+//! Network model configuration: per-node link capacities, propagation latency, and the
+//! partial-synchrony (GST) model.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Capacity of one node's network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Uplink capacity in bits per second (`0` means unlimited).
+    pub uplink_bps: u64,
+    /// Downlink capacity in bits per second (`0` means unlimited).
+    pub downlink_bps: u64,
+}
+
+impl LinkConfig {
+    /// A symmetric link of the given capacity in bits per second.
+    pub fn symmetric(bps: u64) -> Self {
+        Self {
+            uplink_bps: bps,
+            downlink_bps: bps,
+        }
+    }
+
+    /// A symmetric link of the given capacity in megabits per second.
+    pub fn symmetric_mbps(mbps: u64) -> Self {
+        Self::symmetric(mbps * 1_000_000)
+    }
+
+    /// An unlimited link (no serialisation delay).
+    pub fn unlimited() -> Self {
+        Self::symmetric(0)
+    }
+
+    /// The EC2 c5.xlarge NIC used in the paper's evaluation: 9.8 Gbps.
+    pub fn paper_default() -> Self {
+        Self::symmetric(9_800_000_000)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full network configuration.
+///
+/// The model charges each message `wire_size` bytes of serialisation delay at the
+/// sender's uplink and the receiver's downlink (FIFO queues), plus a propagation delay
+/// drawn uniformly from `[base_latency, base_latency + jitter]`. Before
+/// [`NetworkConfig::gst`] an additional asynchronous delay of up to
+/// `pre_gst_extra_delay` is added to every message, modelling the unstable period of
+/// the partial-synchrony model of Dwork et al.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node link capacities; either one entry shared by every node or one per node.
+    pub links: Vec<LinkConfig>,
+    /// Base one-way propagation latency.
+    pub base_latency: SimDuration,
+    /// Maximum additional random latency (uniform jitter).
+    pub jitter: SimDuration,
+    /// Global stabilisation time; before this instant messages suffer the extra delay.
+    pub gst: SimTime,
+    /// Maximum extra delay applied to messages sent before GST.
+    pub pre_gst_extra_delay: SimDuration,
+    /// Seed for the simulation's deterministic randomness.
+    pub seed: u64,
+    /// When true a node's uplink and downlink share one serialisation queue, i.e. the
+    /// link capacity bounds the *total* bits the node moves per second. This matches the
+    /// paper's cost model, where `C` is "the number of bits that can be transmitted per
+    /// second at each replica" and the predicted scaling-up gain of Leopard is `C/2`.
+    pub half_duplex: bool,
+}
+
+impl NetworkConfig {
+    /// A LAN-like datacenter network of `nodes` replicas with the paper's 9.8 Gbps NICs
+    /// and 500 µs one-way latency, already synchronous from the start (GST = 0).
+    pub fn datacenter(nodes: usize) -> Self {
+        Self {
+            nodes,
+            links: vec![LinkConfig::paper_default()],
+            base_latency: SimDuration::from_micros(500),
+            jitter: SimDuration::from_micros(50),
+            gst: SimTime::ZERO,
+            pre_gst_extra_delay: SimDuration::ZERO,
+            seed: 0xC0FFEE,
+            half_duplex: true,
+        }
+    }
+
+    /// A datacenter network with every NIC throttled to `mbps` megabits per second
+    /// (the NetEm-throttled configurations of the paper's Fig. 10).
+    pub fn throttled(nodes: usize, mbps: u64) -> Self {
+        let mut config = Self::datacenter(nodes);
+        config.links = vec![LinkConfig::symmetric_mbps(mbps)];
+        config
+    }
+
+    /// Overrides the link configuration of a single node (e.g. to model a slow replica).
+    pub fn with_node_link(mut self, node: usize, link: LinkConfig) -> Self {
+        if self.links.len() != self.nodes {
+            let shared = self.links.first().copied().unwrap_or_default();
+            self.links = vec![shared; self.nodes];
+        }
+        self.links[node] = link;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets GST and the pre-GST extra delay.
+    pub fn with_gst(mut self, gst: SimTime, extra: SimDuration) -> Self {
+        self.gst = gst;
+        self.pre_gst_extra_delay = extra;
+        self
+    }
+
+    /// The link configuration of `node`.
+    pub fn link(&self, node: usize) -> LinkConfig {
+        if self.links.len() == self.nodes {
+            self.links[node]
+        } else {
+            self.links.first().copied().unwrap_or_default()
+        }
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("network must have at least one node".to_string());
+        }
+        if self.links.is_empty() {
+            return Err("at least one link configuration is required".to_string());
+        }
+        if self.links.len() != 1 && self.links.len() != self.nodes {
+            return Err(format!(
+                "links must have 1 or {} entries, got {}",
+                self.nodes,
+                self.links.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_constructors() {
+        assert_eq!(LinkConfig::symmetric_mbps(100).uplink_bps, 100_000_000);
+        assert_eq!(LinkConfig::unlimited().downlink_bps, 0);
+        assert_eq!(LinkConfig::paper_default().uplink_bps, 9_800_000_000);
+    }
+
+    #[test]
+    fn datacenter_config_is_valid() {
+        let config = NetworkConfig::datacenter(16);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.link(3), LinkConfig::paper_default());
+    }
+
+    #[test]
+    fn throttled_config_caps_all_links() {
+        let config = NetworkConfig::throttled(8, 20);
+        assert_eq!(config.link(0).uplink_bps, 20_000_000);
+        assert_eq!(config.link(7).downlink_bps, 20_000_000);
+    }
+
+    #[test]
+    fn per_node_override() {
+        let config = NetworkConfig::datacenter(4).with_node_link(2, LinkConfig::symmetric_mbps(10));
+        assert_eq!(config.link(2).uplink_bps, 10_000_000);
+        assert_eq!(config.link(0), LinkConfig::paper_default());
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut config = NetworkConfig::datacenter(4);
+        config.nodes = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = NetworkConfig::datacenter(4);
+        config.links = vec![];
+        assert!(config.validate().is_err());
+
+        let mut config = NetworkConfig::datacenter(4);
+        config.links = vec![LinkConfig::unlimited(); 3];
+        assert!(config.validate().is_err());
+    }
+}

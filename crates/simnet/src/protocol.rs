@@ -1,0 +1,179 @@
+//! The sans-IO interface implemented by protocol state machines.
+//!
+//! A [`Protocol`] never performs IO: it reacts to `on_start`, `on_message` and
+//! `on_timer` callbacks by calling methods on a [`Context`] (send, multicast, set a
+//! timer, emit an observation). The same implementation therefore runs unchanged under
+//! the deterministic discrete-event [`crate::Simulation`] and under the thread-based
+//! [`crate::runtime`].
+
+use crate::metrics::ObservationKind;
+use crate::time::{SimDuration, SimTime};
+use leopard_types::{NodeId, WireSize};
+use rand::RngCore;
+
+/// Messages exchanged by a protocol.
+///
+/// `category()` labels each message for the bandwidth-utilisation breakdown
+/// (paper, Table III); it should be a small, fixed set of labels such as
+/// `"datablock"`, `"bftblock"`, `"vote"`, `"proof"`.
+pub trait SimMessage: Clone + WireSize + Send + 'static {
+    /// The accounting category of this message.
+    fn category(&self) -> &'static str;
+}
+
+/// The environment a protocol interacts with.
+pub trait Context {
+    /// The message type of the protocol.
+    type Message: SimMessage;
+
+    /// Current (simulated or wall-clock) time.
+    fn now(&self) -> SimTime;
+
+    /// This node's identifier.
+    fn node_id(&self) -> NodeId;
+
+    /// Total number of nodes in the system.
+    fn node_count(&self) -> usize;
+
+    /// Sends a message to a single peer. Sending to oneself delivers the message
+    /// locally without charging any bandwidth.
+    fn send(&mut self, to: NodeId, message: Self::Message);
+
+    /// Sends a message to every other node (not to oneself).
+    ///
+    /// The default implementation performs `node_count() - 1` unicast sends, which is
+    /// exactly how the bandwidth cost of a multicast is charged in the paper's model.
+    fn multicast(&mut self, message: Self::Message) {
+        let me = self.node_id();
+        for index in 0..self.node_count() {
+            let peer = NodeId(index as u32);
+            if peer != me {
+                self.send(peer, message.clone());
+            }
+        }
+    }
+
+    /// Schedules `on_timer(token)` to fire after `delay`.
+    fn set_timer(&mut self, delay: SimDuration, token: u64);
+
+    /// Emits a protocol observation (confirmed requests, view changes, stage latencies…)
+    /// for the metrics sink.
+    fn observe(&mut self, observation: ObservationKind);
+
+    /// A deterministic per-node random number generator.
+    fn rng(&mut self) -> &mut dyn RngCore;
+}
+
+/// A sans-IO protocol state machine.
+pub trait Protocol {
+    /// The message type exchanged between nodes running this protocol.
+    type Message: SimMessage;
+
+    /// Called once when the node starts.
+    fn on_start(&mut self, ctx: &mut dyn Context<Message = Self::Message>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: Self::Message,
+        ctx: &mut dyn Context<Message = Self::Message>,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Context<Message = Self::Message>);
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A tiny ping/pong protocol used by the simulator and runtime unit tests.
+
+    use super::*;
+
+    /// Message of the test protocol.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum PingMessage {
+        /// A ping carrying a hop counter and a payload size.
+        Ping {
+            /// Number of hops performed so far.
+            hops: u32,
+            /// Size of the simulated payload.
+            payload: usize,
+        },
+        /// Final acknowledgement.
+        Done,
+    }
+
+    impl WireSize for PingMessage {
+        fn wire_size(&self) -> usize {
+            match self {
+                PingMessage::Ping { payload, .. } => 8 + payload,
+                PingMessage::Done => 8,
+            }
+        }
+    }
+
+    impl SimMessage for PingMessage {
+        fn category(&self) -> &'static str {
+            match self {
+                PingMessage::Ping { .. } => "ping",
+                PingMessage::Done => "done",
+            }
+        }
+    }
+
+    /// Bounces a ping back and forth `max_hops` times, then emits an observation.
+    #[derive(Debug)]
+    pub struct PingPong {
+        /// Maximum number of hops before stopping.
+        pub max_hops: u32,
+        /// Payload size attached to each ping.
+        pub payload: usize,
+        /// Number of pings this node received.
+        pub received: u32,
+    }
+
+    impl Protocol for PingPong {
+        type Message = PingMessage;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<Message = Self::Message>) {
+            if ctx.node_id() == NodeId(0) {
+                ctx.send(
+                    NodeId(1),
+                    PingMessage::Ping {
+                        hops: 0,
+                        payload: self.payload,
+                    },
+                );
+            }
+        }
+
+        fn on_message(
+            &mut self,
+            from: NodeId,
+            message: Self::Message,
+            ctx: &mut dyn Context<Message = Self::Message>,
+        ) {
+            if let PingMessage::Ping { hops, payload } = message {
+                self.received += 1;
+                if hops + 1 >= self.max_hops {
+                    ctx.observe(ObservationKind::Custom {
+                        label: "pingpong_done",
+                        value: u64::from(hops + 1),
+                    });
+                    ctx.send(from, PingMessage::Done);
+                } else {
+                    ctx.send(
+                        from,
+                        PingMessage::Ping {
+                            hops: hops + 1,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Context<Message = Self::Message>) {}
+    }
+}

@@ -1,0 +1,622 @@
+//! The deterministic discrete-event simulation engine.
+//!
+//! # Network model
+//!
+//! Sending a message of `s` bytes from `a` to `b` at time `t`:
+//!
+//! 1. The message queues at `a`'s uplink: it departs at
+//!    `departure = max(t, uplink_free[a]) + s·8 / uplink_bps`.
+//! 2. It propagates for `base_latency + U(0, jitter)` (plus `U(0, pre_gst_extra_delay)`
+//!    before GST).
+//! 3. It queues at `b`'s downlink: it is delivered at
+//!    `max(arrival, downlink_free[b]) + s·8 / downlink_bps`.
+//!
+//! In half-duplex mode (the paper's cost model, where `C` is the total bits a replica
+//! can move per second) the uplink and downlink of a node share one queue.
+//!
+//! The model is a *fluid approximation*: queue occupancy is tracked through the
+//! `*_free` horizons rather than per-packet, which is exact for FIFO links and accurate
+//! enough to reproduce the paper's bandwidth-bound behaviour. Determinism: for a fixed
+//! seed and protocol, the event order is completely reproducible.
+
+use crate::fault::{FaultPlan, MessageFate};
+use crate::metrics::{MetricsSink, ObservationKind};
+use crate::network::NetworkConfig;
+use crate::protocol::{Context, Protocol, SimMessage};
+use crate::time::{SimDuration, SimTime};
+use leopard_types::{NodeId, WireSize};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What a queued event does when it fires.
+enum EventKind<M> {
+    /// Call `on_start` on the node.
+    Start(NodeId),
+    /// Deliver a message.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The message.
+        message: M,
+    },
+    /// Fire a timer.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The token passed to `set_timer`.
+        token: u64,
+    },
+}
+
+/// An entry in the event queue, ordered by time then insertion sequence.
+struct QueuedEvent<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Actions a protocol requested during one callback, applied by the engine afterwards.
+struct ActionBuffer<M> {
+    sends: Vec<(NodeId, M)>,
+    timers: Vec<(SimDuration, u64)>,
+    observations: Vec<ObservationKind>,
+}
+
+impl<M> Default for ActionBuffer<M> {
+    fn default() -> Self {
+        Self {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+}
+
+/// The [`Context`] implementation handed to protocols during callbacks.
+struct SimContext<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    node_count: usize,
+    actions: &'a mut ActionBuffer<M>,
+    rng: &'a mut StdRng,
+}
+
+impl<M: SimMessage> Context for SimContext<'_, M> {
+    type Message = M;
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn send(&mut self, to: NodeId, message: M) {
+        self.actions.sends.push((to, message));
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.timers.push((delay, token));
+    }
+
+    fn observe(&mut self, observation: ObservationKind) {
+        self.actions.observations.push(observation);
+    }
+
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// Summary of a finished simulation run.
+#[derive(Debug)]
+pub struct SimulationReport {
+    /// Number of nodes simulated.
+    pub nodes: usize,
+    /// Simulated time at the end of the run.
+    pub end_time: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// Collected metrics.
+    pub metrics: MetricsSink,
+}
+
+impl SimulationReport {
+    /// Confirmed requests per second, measured as the maximum per-node confirmation
+    /// count divided by the run duration.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.end_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.metrics.max_confirmed_requests(self.nodes) as f64 / secs
+    }
+
+    /// Average request latency in seconds over all latency samples, or `None` if no
+    /// request completed.
+    pub fn average_latency_secs(&self) -> Option<f64> {
+        let samples = self.metrics.latency_samples();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().map(|&n| n as f64 / 1e9).sum::<f64>() / samples.len() as f64)
+    }
+
+    /// Average bits per second moved (sent + received) by `node` over the run.
+    pub fn node_bandwidth_bps(&self, node: NodeId) -> f64 {
+        let secs = self.end_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        let bytes = self.metrics.traffic.sent_bytes(node) + self.metrics.traffic.received_bytes(node);
+        bytes as f64 * 8.0 / secs
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` nodes running a [`Protocol`].
+pub struct Simulation<P: Protocol> {
+    config: NetworkConfig,
+    faults: FaultPlan,
+    nodes: Vec<P>,
+    node_rngs: Vec<StdRng>,
+    net_rng: StdRng,
+    queue: BinaryHeap<Reverse<QueuedEvent<P::Message>>>,
+    now: SimTime,
+    seq: u64,
+    events: u64,
+    started: bool,
+    uplink_free: Vec<SimTime>,
+    downlink_free: Vec<SimTime>,
+    metrics: MetricsSink,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Builds a simulation, creating one protocol instance per node with `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is invalid.
+    pub fn new(config: NetworkConfig, faults: FaultPlan, mut factory: impl FnMut(NodeId) -> P) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|message| panic!("invalid network config: {message}"));
+        let n = config.nodes;
+        let nodes: Vec<P> = (0..n).map(|i| factory(NodeId(i as u32))).collect();
+        let node_rngs = (0..n)
+            .map(|i| StdRng::seed_from_u64(config.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1))))
+            .collect();
+        let net_rng = StdRng::seed_from_u64(config.seed ^ 0xD1B54A32D192ED03);
+        Self {
+            faults,
+            nodes,
+            node_rngs,
+            net_rng,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events: 0,
+            started: false,
+            uplink_free: vec![SimTime::ZERO; n],
+            downlink_free: vec![SimTime::ZERO; n],
+            metrics: MetricsSink::new(),
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Immutable access to the metrics collected so far.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Immutable access to a node's protocol state (for tests and assertions).
+    pub fn node(&self, node: NodeId) -> &P {
+        &self.nodes[node.as_index()]
+    }
+
+    /// Mutable access to the fault plan (e.g. to add crashes mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.config.nodes {
+            self.push_event(SimTime::ZERO, EventKind::Start(NodeId(i as u32)));
+        }
+    }
+
+    /// Runs until the event queue is exhausted, `deadline` is reached, or `max_events`
+    /// events have been processed. Returns the report so far without consuming the
+    /// simulation.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) {
+        self.ensure_started();
+        let mut processed = 0u64;
+        while processed < max_events {
+            let Some(Reverse(peek)) = self.queue.peek() else {
+                break;
+            };
+            if peek.at > deadline {
+                break;
+            }
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
+            self.now = event.at.max(self.now);
+            self.dispatch(event.kind);
+            self.events += 1;
+            processed += 1;
+        }
+        // Advance the clock to the deadline if we stopped because the queue ran dry or
+        // only future events remain; throughput is measured against wall-clock windows.
+        if self
+            .queue
+            .peek()
+            .map_or(true, |Reverse(event)| event.at > deadline)
+        {
+            self.now = self.now.max(deadline);
+        }
+    }
+
+    /// Consumes the simulation and produces the final report.
+    pub fn into_report(self) -> SimulationReport {
+        SimulationReport {
+            nodes: self.config.nodes,
+            end_time: self.now,
+            events: self.events,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Convenience: run until `deadline` (with an event budget) and produce the report.
+    pub fn run_to_report(mut self, deadline: SimTime, max_events: u64) -> SimulationReport {
+        self.run_until(deadline, max_events);
+        self.into_report()
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P::Message>) {
+        match kind {
+            EventKind::Start(node) => {
+                if self.faults.is_crashed(node, self.now) {
+                    return;
+                }
+                let mut actions = ActionBuffer::default();
+                {
+                    let mut ctx = SimContext {
+                        now: self.now,
+                        node,
+                        node_count: self.config.nodes,
+                        actions: &mut actions,
+                        rng: &mut self.node_rngs[node.as_index()],
+                    };
+                    self.nodes[node.as_index()].on_start(&mut ctx);
+                }
+                self.apply_actions(node, actions);
+            }
+            EventKind::Deliver { from, to, message } => {
+                if self.faults.is_crashed(to, self.now) {
+                    return;
+                }
+                let mut actions = ActionBuffer::default();
+                {
+                    let mut ctx = SimContext {
+                        now: self.now,
+                        node: to,
+                        node_count: self.config.nodes,
+                        actions: &mut actions,
+                        rng: &mut self.node_rngs[to.as_index()],
+                    };
+                    self.nodes[to.as_index()].on_message(from, message, &mut ctx);
+                }
+                self.apply_actions(to, actions);
+            }
+            EventKind::Timer { node, token } => {
+                if self.faults.is_crashed(node, self.now) {
+                    return;
+                }
+                let mut actions = ActionBuffer::default();
+                {
+                    let mut ctx = SimContext {
+                        now: self.now,
+                        node,
+                        node_count: self.config.nodes,
+                        actions: &mut actions,
+                        rng: &mut self.node_rngs[node.as_index()],
+                    };
+                    self.nodes[node.as_index()].on_timer(token, &mut ctx);
+                }
+                self.apply_actions(node, actions);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: ActionBuffer<P::Message>) {
+        for observation in actions.observations {
+            self.metrics.observe(self.now, node, observation);
+        }
+        for (delay, token) in actions.timers {
+            self.push_event(self.now + delay, EventKind::Timer { node, token });
+        }
+        for (to, message) in actions.sends {
+            self.route(node, to, message);
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, message: P::Message) {
+        let size = message.wire_size();
+        let category = message.category();
+
+        if from == to {
+            // Local delivery: no bandwidth cost, a negligible scheduling delay.
+            self.push_event(self.now, EventKind::Deliver { from, to, message });
+            return;
+        }
+
+        let fate = self.faults.judge(self.now, from, to, category, size);
+        if self.faults.is_crashed(from, self.now) {
+            return;
+        }
+
+        // Uplink serialisation at the sender.
+        let from_link = self.config.link(from.as_index());
+        let uplink_start = self.now.max(self.uplink_free[from.as_index()]);
+        let departure = uplink_start + SimDuration::transmission(size, from_link.uplink_bps);
+        self.uplink_free[from.as_index()] = departure;
+        if self.config.half_duplex {
+            self.downlink_free[from.as_index()] =
+                self.downlink_free[from.as_index()].max(departure);
+        }
+        self.metrics.traffic.record_sent(from, category, size as u64);
+
+        if fate == MessageFate::Drop {
+            return;
+        }
+
+        // Propagation.
+        let jitter_nanos = if self.config.jitter.as_nanos() == 0 {
+            0
+        } else {
+            self.net_rng.gen_range(0..=self.config.jitter.as_nanos())
+        };
+        let mut latency = self.config.base_latency + SimDuration::from_nanos(jitter_nanos);
+        if self.now < self.config.gst && self.config.pre_gst_extra_delay.as_nanos() > 0 {
+            latency = latency
+                + SimDuration::from_nanos(
+                    self.net_rng.gen_range(0..=self.config.pre_gst_extra_delay.as_nanos()),
+                );
+        }
+        let arrival = departure + latency;
+
+        // Downlink serialisation at the receiver.
+        let to_link = self.config.link(to.as_index());
+        let downlink_start = arrival.max(self.downlink_free[to.as_index()]);
+        let delivery = downlink_start + SimDuration::transmission(size, to_link.downlink_bps);
+        self.downlink_free[to.as_index()] = delivery;
+        if self.config.half_duplex {
+            self.uplink_free[to.as_index()] = self.uplink_free[to.as_index()].max(delivery);
+        }
+        self.metrics.traffic.record_received(to, category, size as u64);
+
+        self.push_event(delivery, EventKind::Deliver { from, to, message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::test_support::PingPong;
+    use crate::LinkConfig;
+
+    fn two_node_config(bps: u64) -> NetworkConfig {
+        let mut config = NetworkConfig::datacenter(2);
+        config.links = vec![LinkConfig::symmetric(bps)];
+        config.jitter = SimDuration::ZERO;
+        config.base_latency = SimDuration::from_micros(100);
+        config.half_duplex = false;
+        config
+    }
+
+    fn pingpong_factory(max_hops: u32, payload: usize) -> impl FnMut(NodeId) -> PingPong {
+        move |_| PingPong {
+            max_hops,
+            payload,
+            received: 0,
+        }
+    }
+
+    #[test]
+    fn pingpong_completes_and_counts_messages() {
+        let config = two_node_config(0);
+        let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(4, 100));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        // 4 pings + 1 done message.
+        let total_messages: u64 = report
+            .metrics
+            .traffic
+            .iter_sent()
+            .map(|(_, _, _, count)| count)
+            .sum();
+        assert_eq!(total_messages, 5);
+        assert_eq!(report.metrics.custom_samples("pingpong_done"), vec![4]);
+    }
+
+    #[test]
+    fn latency_determines_completion_time_on_unlimited_links() {
+        let config = two_node_config(0);
+        let mut sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(4, 0));
+        sim.run_until(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        // 5 messages, each 100 µs of latency: the last delivery is at 500 µs.
+        let done_at = sim
+            .metrics()
+            .observations
+            .iter()
+            .find(|o| matches!(o.kind, ObservationKind::Custom { label: "pingpong_done", .. }))
+            .map(|o| o.at)
+            .unwrap();
+        assert_eq!(done_at.as_micros(), 400);
+    }
+
+    #[test]
+    fn bandwidth_adds_serialisation_delay() {
+        // 1 Mbps, 12_500-byte payload: 100 ms per hop of serialisation at each side.
+        let config = two_node_config(1_000_000);
+        let mut sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(1, 12_500 - 8));
+        sim.run_until(SimTime(SimDuration::from_secs(10).as_nanos()), 10_000);
+        let done_at = sim
+            .metrics()
+            .observations
+            .iter()
+            .find(|o| matches!(o.kind, ObservationKind::Custom { label: "pingpong_done", .. }))
+            .map(|o| o.at)
+            .unwrap();
+        // One ping: 100 ms uplink + 100 µs latency + 100 ms downlink ≈ 200.1 ms.
+        assert!(done_at.as_millis() >= 200 && done_at.as_millis() <= 201, "{done_at}");
+    }
+
+    #[test]
+    fn traffic_is_conserved_when_nothing_is_dropped() {
+        let config = two_node_config(0);
+        let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(10, 64));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        assert_eq!(
+            report.metrics.traffic.total_sent_bytes(),
+            report.metrics.traffic.total_received_bytes()
+        );
+    }
+
+    #[test]
+    fn dropped_messages_charge_sender_but_not_receiver() {
+        let config = two_node_config(0);
+        let faults = FaultPlan::none().with_filter(|_, _, _, category, _| {
+            if category == "ping" {
+                MessageFate::Drop
+            } else {
+                MessageFate::Deliver
+            }
+        });
+        let sim = Simulation::new(config, faults, pingpong_factory(4, 100));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        assert!(report.metrics.traffic.total_sent_bytes() > 0);
+        assert_eq!(report.metrics.traffic.total_received_bytes(), 0);
+    }
+
+    #[test]
+    fn crashed_node_goes_silent() {
+        let config = two_node_config(0);
+        let faults = FaultPlan::none().with_crash(NodeId(1), SimTime::ZERO);
+        let sim = Simulation::new(config, faults, pingpong_factory(4, 100));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        // Node 0 sends the first ping; node 1 never responds.
+        assert_eq!(report.metrics.traffic.received_bytes(NodeId(1)), 0);
+        assert!(report.metrics.custom_samples("pingpong_done").is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = |seed: u64| {
+            let mut config = NetworkConfig::datacenter(2).with_seed(seed);
+            config.half_duplex = false;
+            let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(20, 256));
+            let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 100_000);
+            (
+                report.events,
+                report.metrics.traffic.total_sent_bytes(),
+                report
+                    .metrics
+                    .observations
+                    .iter()
+                    .map(|o| o.at.as_nanos())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let config = two_node_config(0);
+        let mut sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(1000, 8));
+        sim.run_until(SimTime(SimDuration::from_secs(100).as_nanos()), 10);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_when_idle() {
+        let config = two_node_config(0);
+        let mut sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(1, 8));
+        let deadline = SimTime(SimDuration::from_secs(2).as_nanos());
+        sim.run_until(deadline, 100_000);
+        assert_eq!(sim.now(), deadline);
+    }
+
+    #[test]
+    fn half_duplex_couples_the_two_directions() {
+        // With half-duplex links, a node that is busy sending delays its receives too.
+        let mut config = two_node_config(1_000_000);
+        config.half_duplex = true;
+        let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(2, 12_492));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(10).as_nanos()), 10_000);
+
+        let mut config_full = two_node_config(1_000_000);
+        config_full.half_duplex = false;
+        let sim_full = Simulation::new(config_full, FaultPlan::none(), pingpong_factory(2, 12_492));
+        let report_full = sim_full.run_to_report(SimTime(SimDuration::from_secs(10).as_nanos()), 10_000);
+
+        let done = |r: &SimulationReport| {
+            r.metrics
+                .observations
+                .iter()
+                .find(|o| matches!(o.kind, ObservationKind::Custom { label: "pingpong_done", .. }))
+                .map(|o| o.at.as_nanos())
+                .unwrap()
+        };
+        assert!(done(&report) >= done(&report_full));
+    }
+}

@@ -1,0 +1,359 @@
+//! The two block planes of the paper: datablocks (request payloads) and BFTblocks
+//! (index blocks the replicas agree on).
+
+use crate::ids::{NodeId, SeqNum, View};
+use crate::request::Request;
+use crate::wire::{Decode, DecodeError, Encode, WireReader, WireSize, WireWriter};
+use leopard_crypto::{hash_bytes, Digest};
+
+/// Identifier of a datablock: the producing replica plus that replica's local counter
+/// (`(i, counter)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatablockId {
+    /// The non-leader replica that generated the datablock.
+    pub producer: NodeId,
+    /// The producer's local counter `d`, starting at 1.
+    pub counter: u64,
+}
+
+impl DatablockId {
+    /// Creates a datablock id.
+    pub fn new(producer: NodeId, counter: u64) -> Self {
+        Self { producer, counter }
+    }
+}
+
+impl std::fmt::Display for DatablockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "db({}, {})", self.producer, self.counter)
+    }
+}
+
+/// A datablock: `⟨datablock, (i, counter), R⟩` — a batch of pending requests generated
+/// and multicast by a non-leader replica (paper, Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct Datablock {
+    /// Producer and counter.
+    pub id: DatablockId,
+    /// The batched requests `R`.
+    pub requests: Vec<Request>,
+    /// Lazily computed digest; shared clones (e.g. through `Arc`) compute it once.
+    cached_digest: std::sync::OnceLock<Digest>,
+    /// Lazily computed total payload size.
+    cached_payload_bytes: std::sync::OnceLock<usize>,
+}
+
+impl PartialEq for Datablock {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.requests == other.requests
+    }
+}
+
+impl Eq for Datablock {}
+
+impl Datablock {
+    /// Creates a datablock.
+    pub fn new(producer: NodeId, counter: u64, requests: Vec<Request>) -> Self {
+        Self {
+            id: DatablockId::new(producer, counter),
+            requests,
+            cached_digest: std::sync::OnceLock::new(),
+            cached_payload_bytes: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The digest linking this datablock from BFTblocks.
+    ///
+    /// The digest covers the encoded representation and is cached after the first call.
+    pub fn digest(&self) -> Digest {
+        *self
+            .cached_digest
+            .get_or_init(|| hash_bytes(&self.encode_to_vec()))
+    }
+
+    /// Number of requests carried.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the datablock carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total payload bytes carried by the datablock (`α` when full).
+    ///
+    /// Cached after the first call (shared `Arc` clones compute it once).
+    pub fn payload_bytes(&self) -> usize {
+        *self
+            .cached_payload_bytes
+            .get_or_init(|| self.requests.iter().map(|r| r.payload.len()).sum())
+    }
+}
+
+impl WireSize for Datablock {
+    fn wire_size(&self) -> usize {
+        // producer u32 + counter u64 + request count u32 + requests
+        4 + 8 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl Encode for Datablock {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_u32(self.id.producer.0);
+        writer.put_u64(self.id.counter);
+        writer.put_u32(self.requests.len() as u32);
+        for request in &self.requests {
+            request.encode(writer);
+        }
+    }
+}
+
+impl Decode for Datablock {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let producer = NodeId(reader.get_u32("datablock.producer")?);
+        let counter = reader.get_u64("datablock.counter")?;
+        let count = reader.get_u32("datablock.request_count")? as usize;
+        let mut requests = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            requests.push(Request::decode(reader)?);
+        }
+        Ok(Datablock::new(producer, counter, requests))
+    }
+}
+
+/// Identifier of a BFTblock: the view it was proposed in plus its serial number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BftBlockId {
+    /// The view in which the block was proposed.
+    pub view: View,
+    /// The serial number assigned by the leader.
+    pub seq: SeqNum,
+}
+
+impl BftBlockId {
+    /// Creates a BFTblock id.
+    pub fn new(view: View, seq: SeqNum) -> Self {
+        Self { view, seq }
+    }
+}
+
+impl std::fmt::Display for BftBlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bft({}, {})", self.view, self.seq)
+    }
+}
+
+/// Agreement state of a BFTblock (paper §IV): notarized after the first voting round,
+/// confirmed after the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockState {
+    /// Proposed but not yet notarized.
+    Proposed,
+    /// A notarization proof (first-round quorum) exists.
+    Notarized,
+    /// A confirmation proof (second-round quorum) exists; the block may be executed once
+    /// all lower serial numbers are confirmed.
+    Confirmed,
+}
+
+/// A BFTblock: `⟨BFTblock, (v, sn), ct⟩` — the index block the replicas agree on; `ct`
+/// contains only the hashes of datablocks (paper §IV).
+#[derive(Debug, Clone)]
+pub struct BftBlock {
+    /// View and serial number.
+    pub id: BftBlockId,
+    /// Hashes of the linked datablocks (`ct`).
+    pub links: Vec<Digest>,
+    /// True for the dummy blocks that fill serial-number gaps after a view-change.
+    pub dummy: bool,
+    /// Lazily computed digest; shared clones (e.g. through `Arc`) compute it once.
+    cached_digest: std::sync::OnceLock<Digest>,
+}
+
+impl PartialEq for BftBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.links == other.links && self.dummy == other.dummy
+    }
+}
+
+impl Eq for BftBlock {}
+
+impl BftBlock {
+    /// Creates a BFTblock linking the given datablock digests.
+    pub fn new(view: View, seq: SeqNum, links: Vec<Digest>) -> Self {
+        Self {
+            id: BftBlockId::new(view, seq),
+            links,
+            dummy: false,
+            cached_digest: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Creates the dummy block used to fill a serial-number gap during a view-change.
+    pub fn dummy(view: View, seq: SeqNum) -> Self {
+        Self {
+            id: BftBlockId::new(view, seq),
+            links: Vec::new(),
+            dummy: true,
+            cached_digest: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The digest replicas vote on.
+    ///
+    /// The digest covers the encoded representation and is cached after the first call.
+    pub fn digest(&self) -> Digest {
+        *self
+            .cached_digest
+            .get_or_init(|| hash_bytes(&self.encode_to_vec()))
+    }
+
+    /// Number of datablock links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True if the block links no datablocks.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+impl WireSize for BftBlock {
+    fn wire_size(&self) -> usize {
+        // view u64 + seq u64 + dummy u8 + link count u32 + 32 bytes per link
+        8 + 8 + 1 + 4 + self.links.len() * 32
+    }
+}
+
+impl Encode for BftBlock {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_u64(self.id.view.0);
+        writer.put_u64(self.id.seq.0);
+        writer.put_u8(u8::from(self.dummy));
+        writer.put_u32(self.links.len() as u32);
+        for link in &self.links {
+            writer.put_raw(link.as_bytes());
+        }
+    }
+}
+
+impl Decode for BftBlock {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let view = View(reader.get_u64("bftblock.view")?);
+        let seq = SeqNum(reader.get_u64("bftblock.seq")?);
+        let dummy = reader.get_u8("bftblock.dummy")? != 0;
+        let count = reader.get_u32("bftblock.link_count")? as usize;
+        let mut links = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let raw = reader.get_raw(32, "bftblock.link")?;
+            links.push(Digest::from_slice(raw).ok_or(DecodeError::new("bftblock.link"))?);
+        }
+        let mut block = BftBlock::new(view, seq, links);
+        block.dummy = dummy;
+        Ok(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use proptest::prelude::*;
+
+    fn sample_requests(count: usize) -> Vec<Request> {
+        (0..count)
+            .map(|i| Request::new_inline(ClientId(1), i as u64, vec![i as u8; 16]))
+            .collect()
+    }
+
+    #[test]
+    fn datablock_roundtrip_and_sizes() {
+        let db = Datablock::new(NodeId(2), 7, sample_requests(5));
+        let bytes = db.encode_to_vec();
+        assert_eq!(db.wire_size(), bytes.len());
+        assert_eq!(Datablock::decode_from_slice(&bytes).unwrap(), db);
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+        assert_eq!(db.payload_bytes(), 5 * 16);
+    }
+
+    #[test]
+    fn datablock_digest_changes_with_contents() {
+        let a = Datablock::new(NodeId(2), 7, sample_requests(3));
+        let b = Datablock::new(NodeId(2), 8, sample_requests(3));
+        let c = Datablock::new(NodeId(3), 7, sample_requests(3));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest(), Datablock::new(NodeId(2), 7, sample_requests(3)).digest());
+    }
+
+    #[test]
+    fn bftblock_roundtrip_and_sizes() {
+        let links: Vec<Digest> = (0..10u8).map(|i| hash_bytes(&[i])).collect();
+        let block = BftBlock::new(View(3), SeqNum(9), links.clone());
+        let bytes = block.encode_to_vec();
+        assert_eq!(block.wire_size(), bytes.len());
+        assert_eq!(BftBlock::decode_from_slice(&bytes).unwrap(), block);
+        assert_eq!(block.len(), 10);
+    }
+
+    #[test]
+    fn dummy_block_is_empty_and_flagged() {
+        let dummy = BftBlock::dummy(View(4), SeqNum(2));
+        assert!(dummy.dummy);
+        assert!(dummy.is_empty());
+        let decoded = BftBlock::decode_from_slice(&dummy.encode_to_vec()).unwrap();
+        assert!(decoded.dummy);
+    }
+
+    #[test]
+    fn block_state_ordering_matches_protocol_progression() {
+        assert!(BlockState::Proposed < BlockState::Notarized);
+        assert!(BlockState::Notarized < BlockState::Confirmed);
+    }
+
+    #[test]
+    fn bftblock_wire_size_is_small_relative_to_payload() {
+        // The whole point of the decoupling: a BFTblock linking 100 datablocks of 2000
+        // 128-byte requests is ~3 KB while the payload it confirms is ~25 MB.
+        let links: Vec<Digest> = (0..100u8).map(|i| hash_bytes(&[i])).collect();
+        let block = BftBlock::new(View(1), SeqNum(1), links);
+        assert!(block.wire_size() < 4 * 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn datablock_roundtrips_with_any_requests(
+            producer in 0u32..1000,
+            counter in any::<u64>(),
+            sizes in proptest::collection::vec(0u32..256, 0..20),
+        ) {
+            let requests: Vec<Request> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Request::new_synthetic(ClientId(i as u32), i as u64, s))
+                .collect();
+            let db = Datablock::new(NodeId(producer), counter, requests);
+            let decoded = Datablock::decode_from_slice(&db.encode_to_vec()).unwrap();
+            prop_assert_eq!(decoded, db);
+        }
+
+        #[test]
+        fn bftblock_roundtrips_with_any_links(
+            view in 1u64..1_000,
+            seq in 1u64..1_000_000,
+            link_seeds in proptest::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let links: Vec<Digest> = link_seeds
+                .iter()
+                .map(|s| hash_bytes(&s.to_le_bytes()))
+                .collect();
+            let block = BftBlock::new(View(view), SeqNum(seq), links);
+            let bytes = block.encode_to_vec();
+            prop_assert_eq!(block.wire_size(), bytes.len());
+            prop_assert_eq!(BftBlock::decode_from_slice(&bytes).unwrap(), block);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Strongly-typed identifiers used throughout the workspace.
+
+use std::fmt;
+
+/// Identifier of a replica (`i ∈ [n]` in the paper). Replica indices are zero-based in
+/// this codebase; the threshold-signature signer index is `NodeId::as_index() + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from a zero-based index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The zero-based index as `usize`.
+    pub fn as_index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 1-based signer index used by the threshold-signature scheme.
+    pub fn signer_index(&self) -> usize {
+        self.0 as usize + 1
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+/// A view number (`v` in the paper). Views start at 1; view 0 is reserved as "before the
+/// protocol started".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct View(pub u64);
+
+impl View {
+    /// The first view of the protocol.
+    pub fn initial() -> Self {
+        View(1)
+    }
+
+    /// The next view.
+    pub fn next(&self) -> Self {
+        View(self.0 + 1)
+    }
+
+    /// The leader of this view under the round-robin policy of the paper
+    /// (`(v mod n)`-th replica).
+    pub fn leader(&self, n: usize) -> NodeId {
+        NodeId((self.0 % n as u64) as u32)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A BFTblock serial number (`sn` in the paper), assigned by the leader. Serial numbers
+/// start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The first serial number.
+    pub fn first() -> Self {
+        SeqNum(1)
+    }
+
+    /// The next serial number.
+    pub fn next(&self) -> Self {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier of a client submitting requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a request: the submitting client plus a per-client
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RequestId {
+    /// The submitting client.
+    pub client: ClientId,
+    /// Per-client sequence number.
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Creates a request id.
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        RequestId { client, seq }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.client, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_indices() {
+        let node = NodeId::new(3);
+        assert_eq!(node.as_index(), 3);
+        assert_eq!(node.signer_index(), 4);
+        assert_eq!(node.to_string(), "r3");
+        assert_eq!(NodeId::from(7u32), NodeId(7));
+    }
+
+    #[test]
+    fn view_round_robin_leader() {
+        let n = 4;
+        assert_eq!(View(1).leader(n), NodeId(1));
+        assert_eq!(View(4).leader(n), NodeId(0));
+        assert_eq!(View(5).leader(n), NodeId(1));
+        assert_eq!(View::initial().next(), View(2));
+    }
+
+    #[test]
+    fn seq_num_ordering_and_next() {
+        assert!(SeqNum::first() < SeqNum(2));
+        assert_eq!(SeqNum(9).next(), SeqNum(10));
+        assert_eq!(SeqNum(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn request_id_display() {
+        let id = RequestId::new(ClientId(2), 17);
+        assert_eq!(id.to_string(), "c2:17");
+    }
+}

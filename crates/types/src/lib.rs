@@ -1,0 +1,30 @@
+//! Common protocol types shared by the Leopard protocol, the HotStuff baseline, the
+//! simulator and the experiment harness.
+//!
+//! The crate defines:
+//!
+//! * strongly-typed identifiers ([`NodeId`], [`View`], [`SeqNum`], [`ClientId`],
+//!   [`RequestId`]) — see [`ids`];
+//! * client [`Request`]s, including the *synthetic payload* representation used by
+//!   large-scale simulations (the byte size is carried, the bytes are not materialised);
+//! * the two block planes of the paper: [`Datablock`] (request payloads produced by
+//!   non-leader replicas) and [`BftBlock`] (index blocks proposed by the leader);
+//! * a tiny hand-rolled binary codec ([`wire`]) plus the [`WireSize`] trait used for
+//!   bandwidth accounting in the simulator;
+//! * protocol-wide [`params`] such as the sizes `β` (hash) and `κ` (vote) from the
+//!   paper's cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod ids;
+pub mod params;
+pub mod request;
+pub mod wire;
+
+pub use block::{BftBlock, BftBlockId, BlockState, Datablock, DatablockId};
+pub use ids::{ClientId, NodeId, RequestId, SeqNum, View};
+pub use params::ProtocolParams;
+pub use request::{Request, RequestPayload};
+pub use wire::{Decode, Encode, WireReader, WireSize, WireWriter};

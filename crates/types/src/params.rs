@@ -1,0 +1,201 @@
+//! Protocol-wide size and batching parameters, mirroring the symbols of the paper's
+//! cost model (§V-B).
+
+use crate::wire::WireSize;
+
+/// The sizes and batching parameters that drive both the protocol implementations and
+/// the analytical cost model.
+///
+/// | Symbol | Field | Paper default |
+/// |--------|-------|---------------|
+/// | payload | `payload_size` | 128 B |
+/// | β | `hash_size` | 32 B (SHA-256) |
+/// | κ | `vote_size` | 48 B (threshold BLS) |
+/// | α | `datablock_size * payload_size` | e.g. 2000 × 128 B |
+/// | τ | `bftblock_size` | e.g. 100 links |
+/// | k | `max_parallel_instances` | 100 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolParams {
+    /// Number of replicas `n = 3f + 1`.
+    pub n: usize,
+    /// Size of one client request in bytes (`payload`).
+    pub payload_size: usize,
+    /// Size of a hash / digest in bytes (`β`).
+    pub hash_size: usize,
+    /// Size of a vote (threshold signature share) in bytes (`κ`).
+    pub vote_size: usize,
+    /// Number of requests per datablock (so `α = datablock_size * payload_size` bits of
+    /// payload per datablock).
+    pub datablock_size: usize,
+    /// Number of datablock links per BFTblock (`τ`).
+    pub bftblock_size: usize,
+    /// Maximum number of agreement instances in flight (`k`).
+    pub max_parallel_instances: usize,
+}
+
+impl ProtocolParams {
+    /// Parameters matching the paper's defaults for a given `n`, with the batch sizes of
+    /// Table II.
+    pub fn paper_defaults(n: usize) -> Self {
+        let (datablock_size, bftblock_size) = Self::table2_batches(n);
+        Self {
+            n,
+            payload_size: 128,
+            hash_size: 32,
+            vote_size: 48,
+            datablock_size,
+            bftblock_size,
+            max_parallel_instances: 100,
+        }
+    }
+
+    /// The batch sizes of Table II (datablock size, BFTblock size) for a given scale,
+    /// interpolating the paper's reported values for untested scales.
+    pub fn table2_batches(n: usize) -> (usize, usize) {
+        match n {
+            0..=32 => (2000, 100),
+            33..=64 => (2000, 100),
+            65..=128 => (3000, 300),
+            129..=256 => (4000, 300),
+            257..=399 => (4000, 300),
+            _ => (4000, 400),
+        }
+    }
+
+    /// Number of Byzantine faults tolerated, `f = ⌊(n-1)/3⌋`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// `α` in bytes: payload bytes carried by one datablock.
+    pub fn alpha_bytes(&self) -> usize {
+        self.datablock_size * self.payload_size
+    }
+
+    /// The scaling factor of Leopard from the paper's closed form
+    /// `max{(β + 4κ/τ)(n−1)/α + 1, 2 + (β + 4κ/τ)/α}`.
+    pub fn leopard_scaling_factor(&self) -> f64 {
+        let beta = self.hash_size as f64;
+        let kappa = self.vote_size as f64;
+        let tau = self.bftblock_size as f64;
+        let alpha = self.alpha_bytes() as f64;
+        let n = self.n as f64;
+        let per_block_overhead = beta + 4.0 * kappa / tau;
+        let leader = per_block_overhead * (n - 1.0) / alpha + 1.0;
+        let non_leader = 2.0 + per_block_overhead / alpha;
+        leader.max(non_leader)
+    }
+
+    /// The scaling factor of a leader-disseminates-payload protocol (PBFT / SBFT /
+    /// HotStuff): the leader ships every payload bit to `n − 1` replicas, so
+    /// `SF ≈ n − 1` plus vote overhead.
+    pub fn leader_based_scaling_factor(&self) -> f64 {
+        let n = self.n as f64;
+        let kappa = self.vote_size as f64;
+        let tau = self.bftblock_size.max(1) as f64;
+        let payload = self.payload_size as f64;
+        (n - 1.0) * (1.0 + kappa / (tau * payload)) + 1.0
+    }
+
+    /// Validates the structural constraints (`n = 3f + 1` style sanity checks).
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 4 {
+            return Err(format!("n must be at least 4, got {}", self.n));
+        }
+        if self.payload_size == 0 {
+            return Err("payload_size must be positive".to_string());
+        }
+        if self.datablock_size == 0 {
+            return Err("datablock_size must be positive".to_string());
+        }
+        if self.bftblock_size == 0 {
+            return Err("bftblock_size must be positive".to_string());
+        }
+        if self.max_parallel_instances == 0 {
+            return Err("max_parallel_instances must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProtocolParams {
+    fn default() -> Self {
+        Self::paper_defaults(4)
+    }
+}
+
+impl WireSize for ProtocolParams {
+    fn wire_size(&self) -> usize {
+        7 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_and_quorum() {
+        let p = ProtocolParams::paper_defaults(4);
+        assert_eq!(p.f(), 1);
+        assert_eq!(p.quorum(), 3);
+        let p = ProtocolParams::paper_defaults(601);
+        assert_eq!(p.f(), 200);
+        assert_eq!(p.quorum(), 401);
+    }
+
+    #[test]
+    fn table2_batches_match_paper() {
+        assert_eq!(ProtocolParams::table2_batches(32), (2000, 100));
+        assert_eq!(ProtocolParams::table2_batches(64), (2000, 100));
+        assert_eq!(ProtocolParams::table2_batches(128), (3000, 300));
+        assert_eq!(ProtocolParams::table2_batches(256), (4000, 300));
+        assert_eq!(ProtocolParams::table2_batches(400), (4000, 400));
+        assert_eq!(ProtocolParams::table2_batches(600), (4000, 400));
+    }
+
+    #[test]
+    fn leopard_scaling_factor_is_near_constant() {
+        // With α = λ(n−1) the paper predicts an O(1) scaling factor; with the Table II
+        // batches the factor stays small (≈2) across all tested scales.
+        let small = ProtocolParams::paper_defaults(32).leopard_scaling_factor();
+        let large = ProtocolParams::paper_defaults(600).leopard_scaling_factor();
+        assert!(small >= 1.0 && small < 3.0, "small={small}");
+        assert!(large >= 1.0 && large < 3.0, "large={large}");
+        assert!((large - small).abs() < 1.5);
+    }
+
+    #[test]
+    fn leader_based_scaling_factor_grows_linearly() {
+        let sf32 = ProtocolParams::paper_defaults(32).leader_based_scaling_factor();
+        let sf300 = ProtocolParams::paper_defaults(300).leader_based_scaling_factor();
+        assert!(sf300 > 8.0 * sf32);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = ProtocolParams::paper_defaults(4);
+        assert!(p.validate().is_ok());
+        p.n = 3;
+        assert!(p.validate().is_err());
+        p = ProtocolParams::paper_defaults(4);
+        p.datablock_size = 0;
+        assert!(p.validate().is_err());
+        p = ProtocolParams::paper_defaults(4);
+        p.bftblock_size = 0;
+        assert!(p.validate().is_err());
+        p = ProtocolParams::paper_defaults(4);
+        p.payload_size = 0;
+        assert!(p.validate().is_err());
+        p = ProtocolParams::paper_defaults(4);
+        p.max_parallel_instances = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run a small Leopard deployment on the bandwidth-accurate simulator and
+//! print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leopard::prelude::*;
+
+fn main() {
+    // Four replicas (f = 1), the smallest BFT configuration, with a light client load.
+    let config = ScenarioConfig::small(4);
+    println!(
+        "running Leopard with n = {} replicas for {:.1}s of simulated time ...",
+        config.n,
+        config.duration.as_secs_f64()
+    );
+
+    let report = run_leopard_scenario(&config);
+
+    println!("confirmed requests : {}", report.confirmed_requests);
+    println!("throughput         : {:.1} Kreqs/s", report.throughput_kreqs());
+    println!(
+        "average latency    : {}",
+        report
+            .average_latency_secs
+            .map(|s| format!("{:.1} ms", s * 1000.0))
+            .unwrap_or_else(|| "n/a".to_string())
+    );
+    println!(
+        "leader bandwidth   : {:.1} Mbps (initial leader {})",
+        report.leader_bandwidth_mbps(),
+        config.initial_leader()
+    );
+
+    // The same API drives the HotStuff baseline for comparison.
+    let baseline = run_hotstuff_scenario(&config);
+    println!(
+        "HotStuff baseline  : {:.1} Kreqs/s at the same scale",
+        baseline.throughput_kreqs()
+    );
+}

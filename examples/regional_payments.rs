@@ -1,0 +1,60 @@
+//! A consortium payment network: the kind of large-permissioned-deployment workload the
+//! paper's introduction motivates (global supply chains, consortium blockchains).
+//!
+//! Sixteen banks run Leopard; clients submit 128-byte payment orders to their regional
+//! bank at an aggregate 40k payments/s. The example prints throughput, latency and the
+//! bandwidth-utilisation breakdown of the leader vs an ordinary member bank (the
+//! repartition the paper reports in Table III).
+//!
+//! ```text
+//! cargo run --release --example regional_payments
+//! ```
+
+use leopard::harness::scenario::{run_leopard_scenario, ScenarioConfig};
+use leopard::harness::workload::WorkloadConfig;
+use leopard::simnet::SimDuration;
+use leopard::types::NodeId;
+
+fn main() {
+    let banks = 16;
+    let config = ScenarioConfig::paper(banks)
+        .with_workload(WorkloadConfig {
+            aggregate_rps: 40_000,
+            payload_size: 128,
+        })
+        .with_batches(1_000, 50)
+        .with_duration(SimDuration::from_secs(3));
+
+    println!("consortium of {banks} banks, 40k payment orders per second, 128-byte orders\n");
+    let report = run_leopard_scenario(&config);
+
+    println!("confirmed payments : {}", report.confirmed_requests);
+    println!("throughput         : {:.1} Kreqs/s", report.throughput_kreqs());
+    println!(
+        "client latency     : {}",
+        report
+            .average_latency_secs
+            .map(|s| format!("{:.0} ms", s * 1000.0))
+            .unwrap_or_else(|| "n/a".to_string())
+    );
+
+    let leader = config.initial_leader();
+    let member = NodeId(if leader.0 == 0 { 2 } else { 0 });
+    let traffic = &report.sim.metrics.traffic;
+    println!("\nbandwidth breakdown (bytes moved over the run):");
+    for (role, node) in [("leader", leader), ("member bank", member)] {
+        println!("  {role} ({node}):");
+        for category in traffic.categories() {
+            let sent = traffic.sent_bytes_in(node, category);
+            let received = traffic.received_bytes_in(node, category);
+            if sent + received == 0 {
+                continue;
+            }
+            println!("    {category:<10} sent {sent:>12} B   received {received:>12} B");
+        }
+    }
+    println!(
+        "\nthe leader's traffic is dominated by *receiving* datablocks — the dissemination \
+         work itself is spread over the member banks (the paper's Table III observation)."
+    );
+}

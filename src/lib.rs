@@ -1,0 +1,36 @@
+//! # Leopard
+//!
+//! A reproduction of *"Leopard: Towards High Throughput-Preserving BFT for Large-scale
+//! Systems"* (ICDCS 2022) as a Rust workspace, together with every substrate the paper
+//! depends on: a threshold-signature scheme, Reed–Solomon erasure coding, a
+//! bandwidth-accurate discrete-event network simulator, and a HotStuff baseline.
+//!
+//! This facade crate re-exports the workspace members so that downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use leopard::prelude::*;
+//!
+//! let config = ScenarioConfig::small(4);
+//! let report = run_leopard_scenario(&config);
+//! assert!(report.confirmed_requests > 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the reproduction
+//! of every table and figure in the paper's evaluation section.
+
+pub use leopard_core as core;
+pub use leopard_crypto as crypto;
+pub use leopard_erasure as erasure;
+pub use leopard_harness as harness;
+pub use leopard_hotstuff as hotstuff;
+pub use leopard_simnet as simnet;
+pub use leopard_types as types;
+
+/// Commonly used items, suitable for glob import in examples and applications.
+pub mod prelude {
+    pub use leopard_core::config::LeopardConfig;
+    pub use leopard_harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+    pub use leopard_harness::workload::WorkloadConfig;
+    pub use leopard_types::{NodeId, Request, View};
+}

@@ -1,0 +1,76 @@
+//! Fault-injection integration tests: the selective-dissemination attack (retrieval
+//! path) and leader crashes (view-change path), exercised through the public scenario
+//! API.
+
+use leopard::harness::scenario::{run_leopard_scenario, ScenarioConfig};
+use leopard::harness::workload::WorkloadConfig;
+use leopard::simnet::SimDuration;
+
+#[test]
+fn selective_attacker_forces_retrievals_but_not_stalls() {
+    let config = ScenarioConfig::small(7)
+        .with_selective_attackers(2)
+        .with_duration(SimDuration::from_secs(4));
+    let report = run_leopard_scenario(&config);
+    assert!(report.confirmed_requests > 0, "the system stalled");
+    assert!(report.retrievals > 0, "no retrieval happened despite the attack");
+    assert!(report.average_retrieval_secs.unwrap_or(0.0) < 2.0);
+}
+
+#[test]
+fn leader_crash_recovers_via_view_change() {
+    let config = ScenarioConfig::small(4)
+        .with_leader_crash_at(SimDuration::from_millis(400))
+        .with_duration(SimDuration::from_secs(6));
+    let report = run_leopard_scenario(&config);
+    assert!(report.view_changes > 0, "no view change after the leader crash");
+    assert!(
+        report.average_view_change_secs.is_some(),
+        "no replica completed the view change"
+    );
+    assert!(report.view_change_bytes > 0);
+    assert!(report.confirmed_requests > 0, "no progress after recovery");
+}
+
+#[test]
+fn combined_faults_still_make_progress() {
+    let config = ScenarioConfig::small(7)
+        .with_selective_attackers(1)
+        .with_leader_crash_at(SimDuration::from_secs(1))
+        .with_workload(WorkloadConfig {
+            aggregate_rps: 3_000,
+            payload_size: 128,
+        })
+        .with_duration(SimDuration::from_secs(8));
+    let report = run_leopard_scenario(&config);
+    assert!(report.confirmed_requests > 0);
+    assert!(report.view_changes > 0);
+}
+
+#[test]
+fn retrieval_cost_is_split_across_the_committee() {
+    // The Fig. 12 property: the per-responder cost is a fraction of the full datablock,
+    // because responses are erasure-coded chunks rather than whole datablocks.
+    let config = ScenarioConfig::small(7)
+        .with_batches(64, 8)
+        .with_selective_attackers(1)
+        .with_duration(SimDuration::from_secs(4));
+    let report = run_leopard_scenario(&config);
+    // A 64-request synthetic datablock encodes to 64 × 17 B + header ≈ 1.1 KB; a single
+    // response carries only a (f+1 = 3)-way chunk of it plus a Merkle proof.
+    let encoded_datablock_bytes = 64.0 * 17.0;
+    if let (Some(responder), Some(recovered)) = (
+        report.average_responder_bytes,
+        report.average_retrieval_recv_bytes,
+    ) {
+        assert!(
+            responder < encoded_datablock_bytes,
+            "per-response cost {responder} should be below a full encoded datablock {encoded_datablock_bytes}"
+        );
+        assert!(recovered > 0.0);
+        // Recovering needs f+1 chunks, so it costs more than a single response.
+        assert!(recovered > responder);
+    } else {
+        panic!("retrieval statistics missing: {report:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Shape tests for the headline claims, at scales small enough for CI:
+//!
+//! * Leopard's leader moves far less traffic than HotStuff's leader at the same scale
+//!   and offered load (Fig. 2 / Fig. 11);
+//! * HotStuff's leader traffic grows roughly linearly with `n` while Leopard's does not
+//!   (the constant-vs-linear scaling-factor claim, Table I);
+//! * the closed-form cost model agrees with those directions.
+
+use leopard::harness::analysis;
+use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use leopard::harness::workload::WorkloadConfig;
+use leopard::simnet::SimDuration;
+use leopard::types::ProtocolParams;
+
+fn scenario(n: usize) -> ScenarioConfig {
+    ScenarioConfig::small(n)
+        .with_workload(WorkloadConfig {
+            aggregate_rps: 8_000,
+            payload_size: 128,
+        })
+        .with_duration(SimDuration::from_secs(2))
+}
+
+#[test]
+fn leopard_leader_moves_less_traffic_than_hotstuff_leader() {
+    let n = 16;
+    let leopard = run_leopard_scenario(&scenario(n));
+    let hotstuff = run_hotstuff_scenario(&scenario(n));
+    // Both systems confirm a comparable number of requests at this small scale...
+    assert!(leopard.confirmed_requests > 0);
+    assert!(hotstuff.confirmed_requests > 0);
+    // ...but the HotStuff leader personally ships the payload to everyone.
+    let leopard_leader_sent = leopard
+        .sim
+        .metrics
+        .traffic
+        .sent_bytes(ScenarioConfig::small(n).initial_leader());
+    let hotstuff_leader_sent = hotstuff
+        .sim
+        .metrics
+        .traffic
+        .sent_bytes(ScenarioConfig::small(n).initial_leader());
+    assert!(
+        hotstuff_leader_sent > 3 * leopard_leader_sent,
+        "hotstuff leader sent {hotstuff_leader_sent}, leopard leader sent {leopard_leader_sent}"
+    );
+}
+
+#[test]
+fn hotstuff_leader_traffic_grows_with_n_leopards_does_not() {
+    // The scaling-factor metric counts all bits a replica moves (sent + received) per
+    // confirmed request; for the leader this is what stays O(1) in Leopard and grows
+    // O(n) in HotStuff.
+    let per_request_leader_bytes = |n: usize, leopard: bool| -> f64 {
+        let report = if leopard {
+            run_leopard_scenario(&scenario(n))
+        } else {
+            run_hotstuff_scenario(&scenario(n))
+        };
+        let leader = ScenarioConfig::small(n).initial_leader();
+        let moved = (report.sim.metrics.traffic.sent_bytes(leader)
+            + report.sim.metrics.traffic.received_bytes(leader)) as f64;
+        moved / report.confirmed_requests.max(1) as f64
+    };
+
+    let hotstuff_small = per_request_leader_bytes(4, false);
+    let hotstuff_large = per_request_leader_bytes(16, false);
+    let leopard_small = per_request_leader_bytes(4, true);
+    let leopard_large = per_request_leader_bytes(16, true);
+
+    // HotStuff: leader bytes per confirmed request grow roughly with n (×4 scale here,
+    // expect at least ×2.5 to absorb noise).
+    assert!(
+        hotstuff_large > 2.5 * hotstuff_small,
+        "hotstuff per-request leader bytes: {hotstuff_small} -> {hotstuff_large}"
+    );
+    // Leopard: the growth is much smaller than the n factor (the dominant cost is
+    // receiving each datablock once, which does not depend on n).
+    assert!(
+        leopard_large < 2.0 * leopard_small.max(1.0),
+        "leopard per-request leader bytes: {leopard_small} -> {leopard_large}"
+    );
+}
+
+#[test]
+fn analytical_model_predicts_the_same_direction() {
+    let capacity = 9_800_000_000u64;
+    let leopard_32 = analysis::leopard_predicted_throughput(&ProtocolParams::paper_defaults(32), capacity);
+    let leopard_600 = analysis::leopard_predicted_throughput(&ProtocolParams::paper_defaults(600), capacity);
+    let hotstuff_32 =
+        analysis::leader_based_predicted_throughput(&ProtocolParams::paper_defaults(32), capacity);
+    let hotstuff_600 =
+        analysis::leader_based_predicted_throughput(&ProtocolParams::paper_defaults(600), capacity);
+    assert!(leopard_600 > 0.9 * leopard_32);
+    assert!(hotstuff_600 < 0.1 * hotstuff_32);
+    assert!(leopard_600 / hotstuff_600 > 5.0);
+}
+
+#[test]
+fn experiment_dispatcher_produces_tables() {
+    // Smoke-test the cheap experiments through the public dispatcher.
+    for id in ["tab1", "tab2"] {
+        let table = leopard::harness::experiments::run_experiment(id, true)
+            .unwrap_or_else(|| panic!("unknown experiment {id}"));
+        assert!(!table.rows.is_empty());
+        assert!(!table.to_text().is_empty());
+        assert!(!table.to_csv().is_empty());
+    }
+}
