@@ -238,7 +238,7 @@ mod tests {
                 Ok(Byte(reader.get_u8("byte")?))
             }
         }
-        assert!(Byte::decode_from_slice(&[1]).is_ok());
+        assert_eq!(Byte::decode_from_slice(&[1]).unwrap().0, 1);
         assert!(Byte::decode_from_slice(&[1, 2]).is_err());
         assert!(Byte::decode_from_slice(&[]).is_err());
     }

@@ -1,0 +1,66 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam) crate.
+//!
+//! Only the [`channel`] module surface used by this workspace is provided, backed by
+//! `std::sync::mpsc`. Semantics match for the operations used here (unbounded send,
+//! `recv_timeout`, drop-to-disconnect); the main behavioural differences from real
+//! crossbeam — `Receiver` is neither `Clone` nor selectable — do not matter to the
+//! single-consumer-per-node runtime in `leopard-simnet`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels, matching the `crossbeam::channel` module path.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel (clonable), matching
+    /// `crossbeam::channel::Sender`.
+    pub use std::sync::mpsc::Sender;
+
+    /// Receiving half of an unbounded channel, matching `crossbeam::channel::Receiver`.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Creates an unbounded FIFO channel, matching `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_clone_across_threads() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}
