@@ -1,20 +1,42 @@
 //! The `experiments` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run -p leopard-bench --release --bin experiments -- [--full] [<id>...]
+//! cargo run -p leopard-bench --release --bin experiments -- \
+//!     [--full] [--bench-json <path>] [<id>...]
 //! ```
 //!
 //! With no ids every experiment runs. `--full` selects the paper-scale parameter sets
 //! (slower); the default "quick" profile uses reduced scales suitable for a laptop.
 //! Each table is printed to stdout and written to `target/experiments/<id>.csv`.
+//!
+//! `--bench-json <path>` additionally writes a machine-readable JSON document with the
+//! wall-clock seconds and result table of every experiment run — the format of the
+//! repo's `BENCH_*.json` performance trajectory (see `EXPERIMENTS.md`).
 
 use leopard_harness::experiments::{run_experiment, EXPERIMENT_IDS};
+use leopard_harness::report::{bench_records_to_json, BenchRecord};
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let requested: Vec<String> = args.into_iter().filter(|a| a != "--full").collect();
+    let mut bench_json: Option<PathBuf> = None;
+    let mut requested: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => {}
+            "--bench-json" => match iter.next() {
+                Some(path) => bench_json = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--bench-json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => requested.push(arg),
+        }
+    }
     let ids: Vec<&str> = if requested.is_empty() {
         EXPERIMENT_IDS.to_vec()
     } else {
@@ -22,19 +44,39 @@ fn main() {
     };
 
     let out_dir = PathBuf::from("target/experiments");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let mut failures = 0usize;
     for id in ids {
         eprintln!("running experiment {id} ({}) ...", if full { "full" } else { "quick" });
+        let start = Instant::now();
         match run_experiment(id, !full) {
             Some(table) => {
+                let wall_clock_secs = start.elapsed().as_secs_f64();
                 println!("{}", table.to_text());
                 match table.write_csv(&out_dir, id) {
                     Ok(path) => eprintln!("  wrote {}", path.display()),
                     Err(error) => eprintln!("  could not write CSV: {error}"),
                 }
+                eprintln!("  wall clock: {wall_clock_secs:.3}s");
+                records.push(BenchRecord {
+                    id: id.to_string(),
+                    wall_clock_secs,
+                    table,
+                });
             }
             None => {
                 eprintln!("  unknown experiment id: {id}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = bench_json {
+        let profile = if full { "full" } else { "quick" };
+        let json = bench_records_to_json(profile, &records);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote bench trajectory to {}", path.display()),
+            Err(error) => {
+                eprintln!("could not write bench JSON to {}: {error}", path.display());
                 failures += 1;
             }
         }

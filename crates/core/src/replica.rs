@@ -19,7 +19,7 @@ use crate::instance::{LeaderInstance, ReplicaInstance};
 use crate::mempool::Mempool;
 use crate::messages::{LeopardMessage, NotarizedEntry};
 use crate::pool::{DatablockPool, ReadyTracker};
-use crate::retrieval::{encode_response, ChunkOutcome, RetrievalManager};
+use crate::retrieval::{ChunkOutcome, RetrievalManager};
 use crate::view_change::{timeout_digest, view_change_wire_size, ViewChangeState};
 use leopard_crypto::threshold::CombinedSignature;
 use leopard_crypto::{hash_parts, Digest};
@@ -823,14 +823,15 @@ impl LeopardReplica {
         if self.behaviour().ignores_queries() {
             return;
         }
+        let (f, n) = (self.f(), self.n());
         for digest in digests {
             if !self.retrieval.should_serve(digest, from) {
                 continue;
             }
-            let Some(datablock) = self.pool.get(&digest) else {
+            let Some(datablock) = self.pool.get(&digest).cloned() else {
                 continue;
             };
-            if let Some(response) = encode_response(datablock, self.id, self.f(), self.n()) {
+            if let Some(response) = self.retrieval.encode_response(&datablock, self.id, f, n) {
                 ctx.send(
                     from,
                     LeopardMessage::QueryResponse {

@@ -34,6 +34,10 @@ pub struct ResponseChunk {
 ///
 /// Returns `None` if the erasure-code parameters are invalid (cannot happen for
 /// `n = 3f + 1 ≥ 4`) or the responder index is out of range.
+///
+/// This is the stateless reference path; replicas answer queries through
+/// [`RetrievalManager::encode_response`], which caches the `(f+1, n)` code and the
+/// per-datablock encoding across queriers and produces identical chunks.
 pub fn encode_response(
     datablock: &Datablock,
     responder: NodeId,
@@ -41,21 +45,45 @@ pub fn encode_response(
     n: usize,
 ) -> Option<ResponseChunk> {
     let rs = ReedSolomon::new(f + 1, n).ok()?;
-    let encoded = datablock.encode_to_vec();
-    let shards = rs.encode_payload(&encoded);
-    let index = responder.as_index();
-    if index >= shards.len() {
-        return None;
+    let encoding = CachedEncoding::build(&rs, datablock);
+    encoding.chunk_for(responder)
+}
+
+/// The erasure-coded shards and Merkle tree of one datablock at a responder: built once,
+/// then each querier's response is a shard clone plus a Merkle proof.
+#[derive(Debug)]
+struct CachedEncoding {
+    shards: Vec<Vec<u8>>,
+    tree: MerkleTree,
+    payload_len: u64,
+}
+
+impl CachedEncoding {
+    fn build(rs: &ReedSolomon, datablock: &Datablock) -> Self {
+        let encoded = datablock.encode_to_vec();
+        let shards = rs.encode_payload(&encoded);
+        let tree = MerkleTree::from_leaves(shards.iter().map(|s| s.as_slice()));
+        Self {
+            shards,
+            tree,
+            payload_len: encoded.len() as u64,
+        }
     }
-    let tree = MerkleTree::from_leaves(shards.iter().map(|s| s.as_slice()));
-    let proof = tree.prove(index)?;
-    Some(ResponseChunk {
-        root: tree.root(),
-        shard_index: index as u32,
-        chunk: shards[index].clone(),
-        proof,
-        payload_len: encoded.len() as u64,
-    })
+
+    fn chunk_for(&self, responder: NodeId) -> Option<ResponseChunk> {
+        let index = responder.as_index();
+        if index >= self.shards.len() {
+            return None;
+        }
+        let proof = self.tree.prove(index)?;
+        Some(ResponseChunk {
+            root: self.tree.root(),
+            shard_index: index as u32,
+            chunk: self.shards[index].clone(),
+            proof,
+            payload_len: self.payload_len,
+        })
+    }
 }
 
 /// State of one in-progress retrieval at the querier.
@@ -81,7 +109,21 @@ struct PendingRetrieval {
 pub struct RetrievalManager {
     pending: HashMap<Digest, PendingRetrieval>,
     served: HashSet<(Digest, NodeId)>,
+    /// Reed–Solomon codes by `(data_shards, total_shards)`; the parameters are fixed
+    /// per run, so the Vandermonde construction happens once per replica, not once per
+    /// response or decode.
+    codes: HashMap<(usize, usize), ReedSolomon>,
+    /// Responder-side chunks by datablock digest, so serving `k` queriers encodes and
+    /// Merkle-hashes the datablock once instead of `k` times. Only the chunk actually
+    /// served is retained (a replica always responds with its own shard), not the full
+    /// shard set; the cached `(responder, data_shards, total_shards)` guards against a
+    /// mismatched lookup.
+    chunks_served: HashMap<Digest, ((NodeId, usize, usize), ResponseChunk)>,
 }
+
+/// Entry cap for the responder-side chunk cache (memory backstop; digests repeat
+/// within one retrieval storm).
+const ENCODING_CACHE_CAP: usize = 64;
 
 /// Outcome of feeding a response chunk into the manager.
 #[derive(Debug, PartialEq, Eq)]
@@ -182,6 +224,47 @@ impl RetrievalManager {
         self.served.insert((digest, querier))
     }
 
+    /// The `(data_shards, total_shards)` code, constructed on first use.
+    fn code_for(
+        codes: &mut HashMap<(usize, usize), ReedSolomon>,
+        data_shards: usize,
+        total_shards: usize,
+    ) -> Option<&ReedSolomon> {
+        match codes.entry((data_shards, total_shards)) {
+            std::collections::hash_map::Entry::Occupied(entry) => Some(entry.into_mut()),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let rs = ReedSolomon::new(data_shards, total_shards).ok()?;
+                Some(entry.insert(rs))
+            }
+        }
+    }
+
+    /// Responder-side: erasure-codes `datablock` (or reuses this responder's cached
+    /// chunk) and returns the responder's chunk with its Merkle proof. Produces exactly
+    /// the same chunk as the stateless [`encode_response`].
+    pub fn encode_response(
+        &mut self,
+        datablock: &Datablock,
+        responder: NodeId,
+        f: usize,
+        n: usize,
+    ) -> Option<ResponseChunk> {
+        let digest = datablock.digest();
+        let cache_key = (responder, f + 1, n);
+        if let Some((cached_key, chunk)) = self.chunks_served.get(&digest) {
+            if *cached_key == cache_key {
+                return Some(chunk.clone());
+            }
+        }
+        let rs = Self::code_for(&mut self.codes, f + 1, n)?;
+        let chunk = CachedEncoding::build(rs, datablock).chunk_for(responder)?;
+        if self.chunks_served.len() >= ENCODING_CACHE_CAP {
+            self.chunks_served.clear();
+        }
+        self.chunks_served.insert(digest, (cache_key, chunk.clone()));
+        Some(chunk)
+    }
+
     /// Feeds a received chunk into the matching retrieval.
     ///
     /// Verifies the Merkle proof, groups chunks by root, and attempts to decode once
@@ -217,9 +300,8 @@ impl RetrievalManager {
         }
 
         // Try to decode from the first f+1 chunks under this root.
-        let rs = match ReedSolomon::new(f + 1, n) {
-            Ok(rs) => rs,
-            Err(_) => return ChunkOutcome::Ignored,
+        let Some(rs) = Self::code_for(&mut self.codes, f + 1, n) else {
+            return ChunkOutcome::Ignored;
         };
         let shards: Vec<(usize, Vec<u8>)> = chunks
             .iter()
@@ -282,6 +364,30 @@ mod tests {
             assert!(chunk.proof.verify(chunk.root, &chunk.chunk));
         }
         assert!(encode_response(&db, NodeId(99), f, n).is_none());
+    }
+
+    #[test]
+    fn cached_manager_responses_match_stateless_encoding() {
+        let db = sample_datablock(50);
+        let other = sample_datablock(33);
+        let (f, n) = (1, 4);
+        let mut manager = RetrievalManager::new();
+        // Serve several queriers and a second datablock: every cached chunk must be
+        // byte-identical to the stateless reference path.
+        for datablock in [&db, &other] {
+            for responder in 0..n as u32 {
+                let cached = manager
+                    .encode_response(datablock, NodeId(responder), f, n)
+                    .unwrap();
+                let fresh = encode_response(datablock, NodeId(responder), f, n).unwrap();
+                assert_eq!(cached.root, fresh.root);
+                assert_eq!(cached.shard_index, fresh.shard_index);
+                assert_eq!(cached.chunk, fresh.chunk);
+                assert_eq!(cached.payload_len, fresh.payload_len);
+                assert!(cached.proof.verify(cached.root, &cached.chunk));
+            }
+        }
+        assert!(manager.encode_response(&db, NodeId(99), f, n).is_none());
     }
 
     #[test]

@@ -200,16 +200,73 @@ pub fn lagrange_coefficient(xs: &[Fp], j: usize, at: Fp) -> Option<Fp> {
     denominator.inverse().map(|inv| numerator * inv)
 }
 
+/// Computes all Lagrange coefficients `λ_j(at)` for the evaluation points `xs` at once.
+///
+/// Equivalent to calling [`lagrange_coefficient`] for every `j`, but shares the
+/// numerator products through prefix/suffix arrays and inverts all denominators with a
+/// single field inversion (Montgomery's batch-inversion trick), so the whole vector
+/// costs one `pow` instead of `xs.len()` of them.
+///
+/// Returns `None` if two evaluation points coincide (division by zero).
+pub fn lagrange_coefficients(xs: &[Fp], at: Fp) -> Option<Vec<Fp>> {
+    let t = xs.len();
+    if t == 0 {
+        return Some(Vec::new());
+    }
+    // numerator_j = Π_{m != j} (at - x_m) = prefix[j] * suffix[j].
+    let mut prefix = vec![Fp::one(); t];
+    for j in 1..t {
+        prefix[j] = prefix[j - 1] * (at - xs[j - 1]);
+    }
+    let mut suffix = vec![Fp::one(); t];
+    for j in (0..t - 1).rev() {
+        suffix[j] = suffix[j + 1] * (at - xs[j + 1]);
+    }
+    // denominator_j = Π_{m != j} (x_j - x_m).
+    let mut denominators = Vec::with_capacity(t);
+    for (j, &xj) in xs.iter().enumerate() {
+        let mut denominator = Fp::one();
+        for (m, &xm) in xs.iter().enumerate() {
+            if m != j {
+                denominator = denominator * (xj - xm);
+            }
+        }
+        if denominator.is_zero() {
+            return None;
+        }
+        denominators.push(denominator);
+    }
+    // Batch inversion: running[j] = d_0 * ... * d_{j-1}; invert the full product once,
+    // then peel the individual inverses off the back.
+    let mut running = Vec::with_capacity(t);
+    let mut acc = Fp::one();
+    for &d in &denominators {
+        running.push(acc);
+        acc = acc * d;
+    }
+    let mut inv_acc = acc.inverse()?;
+    let mut inverses = vec![Fp::zero(); t];
+    for j in (0..t).rev() {
+        inverses[j] = inv_acc * running[j];
+        inv_acc = inv_acc * denominators[j];
+    }
+    Some(
+        (0..t)
+            .map(|j| prefix[j] * suffix[j] * inverses[j])
+            .collect(),
+    )
+}
+
 /// Interpolates the polynomial defined by points `(xs[i], ys[i])` and evaluates it at
 /// `at`.
 ///
 /// Returns `None` if the evaluation points are not pairwise distinct.
 pub fn lagrange_interpolate(xs: &[Fp], ys: &[Fp], at: Fp) -> Option<Fp> {
     debug_assert_eq!(xs.len(), ys.len());
+    let lambdas = lagrange_coefficients(xs, at)?;
     let mut acc = Fp::zero();
-    for j in 0..xs.len() {
-        let lambda = lagrange_coefficient(xs, j, at)?;
-        acc = acc + lambda * ys[j];
+    for (lambda, &y) in lambdas.into_iter().zip(ys) {
+        acc = acc + lambda * y;
     }
     Some(acc)
 }
@@ -276,6 +333,19 @@ mod tests {
         let xs = [Fp::new(1), Fp::new(1)];
         let ys = [Fp::new(2), Fp::new(3)];
         assert_eq!(lagrange_interpolate(&xs, &ys, Fp::zero()), None);
+        assert_eq!(lagrange_coefficients(&xs, Fp::zero()), None);
+    }
+
+    #[test]
+    fn batch_coefficients_match_single_coefficients() {
+        let xs: Vec<Fp> = [2u64, 5, 9, 11, 40].iter().map(|&x| Fp::new(x)).collect();
+        for at in [Fp::zero(), Fp::new(7), Fp::new(1_000_003)] {
+            let batch = lagrange_coefficients(&xs, at).unwrap();
+            for j in 0..xs.len() {
+                assert_eq!(batch[j], lagrange_coefficient(&xs, j, at).unwrap());
+            }
+        }
+        assert_eq!(lagrange_coefficients(&[], Fp::zero()), Some(Vec::new()));
     }
 
     fn arb_fp() -> impl Strategy<Value = Fp> {

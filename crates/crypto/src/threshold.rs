@@ -23,10 +23,12 @@
 //! Wire sizes are configurable so the communication-cost accounting matches the paper's
 //! `κ = 48` bytes per vote.
 
-use crate::field::{lagrange_interpolate, poly_eval, Fp};
+use crate::field::{lagrange_coefficients, poly_eval, Fp};
 use crate::hash::Digest;
 use rand::Rng;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Default serialized size of a signature share / combined signature in bytes, matching
 /// the 48-byte BLS signatures used by the paper (`κ = 48`).
@@ -127,7 +129,16 @@ pub struct ThresholdScheme {
     verification: Vec<Fp>,
     /// Master verification value (the secret `s`).
     master: Fp,
+    /// Lagrange coefficients at zero, keyed by the signer sequence they were computed
+    /// for. Checkpoint and vote quorums repeat the same `2f+1` signer sets constantly,
+    /// so [`Self::combine`] usually skips interpolation entirely. Shared by all clones
+    /// of the scheme (clones describe the same committee, so the coefficients agree).
+    lambda_cache: Arc<Mutex<HashMap<Vec<u32>, Arc<[Fp]>>>>,
 }
+
+/// Entry cap for the combine cache; distinct signer sets beyond this flush the cache
+/// (quorum sets repeat heavily in practice, so this is a memory backstop, not a policy).
+const LAMBDA_CACHE_CAP: usize = 4096;
 
 impl ThresholdScheme {
     /// Runs the trusted-dealer setup for an `(threshold, n)` scheme.
@@ -171,6 +182,7 @@ impl ThresholdScheme {
                 threshold,
                 verification,
                 master,
+                lambda_cache: Arc::new(Mutex::new(HashMap::new())),
             },
             shares,
         )
@@ -250,11 +262,31 @@ impl ThresholdScheme {
             }
         }
 
-        let xs: Vec<Fp> = selected.iter().map(|s| Fp::new(s.signer as u64)).collect();
-        let ys: Vec<Fp> = selected.iter().map(|s| s.value).collect();
-        let value = lagrange_interpolate(&xs, &ys, Fp::zero())
-            .expect("signer indices are distinct, interpolation cannot fail");
+        let lambdas = self.lambdas_for(selected);
+        let mut value = Fp::zero();
+        for (lambda, share) in lambdas.iter().zip(selected) {
+            value = value + *lambda * share.value;
+        }
         Ok(CombinedSignature { value })
+    }
+
+    /// The Lagrange coefficients at zero for the given (already validated, distinct)
+    /// signer sequence, from the cache when the same quorum combined before.
+    fn lambdas_for(&self, selected: &[SignatureShare]) -> Arc<[Fp]> {
+        let key: Vec<u32> = selected.iter().map(|s| s.signer as u32).collect();
+        if let Some(cached) = self.lambda_cache.lock().expect("combine cache poisoned").get(&key) {
+            return Arc::clone(cached);
+        }
+        let xs: Vec<Fp> = selected.iter().map(|s| Fp::new(s.signer as u64)).collect();
+        let lambdas: Arc<[Fp]> = lagrange_coefficients(&xs, Fp::zero())
+            .expect("signer indices are distinct, interpolation cannot fail")
+            .into();
+        let mut cache = self.lambda_cache.lock().expect("combine cache poisoned");
+        if cache.len() >= LAMBDA_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&lambdas));
+        lambdas
     }
 
     /// `TVrf` on combined signatures: checks a combined signature on `message` against
@@ -415,6 +447,51 @@ mod tests {
                     .collect();
                 let combined = scheme.combine(&shares, &msg).unwrap();
                 prop_assert!(scheme.verify_combined(&combined, &msg));
+            }
+
+            /// Cached-vs-fresh agreement: combining the same random signer set twice on
+            /// the same scheme (second combine hits the lambda cache) must equal a
+            /// combine on a freshly cloned scheme with an empty cache path, for any
+            /// message.
+            #[test]
+            fn cached_combine_matches_fresh_combine(
+                f in 1usize..5,
+                seed in any::<u64>(),
+                quorum_seed in any::<u64>(),
+                msg_a in proptest::collection::vec(any::<u8>(), 1..64),
+                msg_b in proptest::collection::vec(any::<u8>(), 1..64),
+            ) {
+                let n = 3 * f + 1;
+                let t = 2 * f + 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (scheme, keys) = ThresholdScheme::trusted_setup(t, n, &mut rng);
+
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut qrng = StdRng::seed_from_u64(quorum_seed);
+                for i in (1..order.len()).rev() {
+                    let j = rand::Rng::gen_range(&mut qrng, 0..=i);
+                    order.swap(i, j);
+                }
+                let quorum = &order[..t];
+
+                let fresh = ThresholdScheme {
+                    lambda_cache: Arc::new(Mutex::new(HashMap::new())),
+                    ..scheme.clone()
+                };
+                for msg_bytes in [&msg_a, &msg_b] {
+                    let msg = hash_bytes(msg_bytes);
+                    let shares: Vec<_> = quorum
+                        .iter()
+                        .map(|&i| scheme.sign_share(&keys[i], &msg))
+                        .collect();
+                    // First call populates the cache, second call must hit it.
+                    let warm = scheme.combine(&shares, &msg).unwrap();
+                    let cached = scheme.combine(&shares, &msg).unwrap();
+                    let uncached = fresh.combine(&shares, &msg).unwrap();
+                    prop_assert_eq!(warm, cached);
+                    prop_assert_eq!(cached, uncached);
+                    prop_assert!(scheme.verify_combined(&cached, &msg));
+                }
             }
         }
     }

@@ -108,9 +108,53 @@ pub fn pow(base: u8, power: usize) -> u8 {
     t.exp[log_result]
 }
 
+/// The full 256 × 256 multiplication table: `MUL_TABLE[a][b] == mul(a, b)`.
+///
+/// 64 KiB, built once at first use. The bulk kernels below fetch one 256-entry row per
+/// *multiplier* and then run a branch-free single-lookup inner loop — no log/exp pair,
+/// no zero test, and no `OnceLock` dereference per byte.
+fn mul_table() -> &'static [[u8; 256]; 256] {
+    static MUL_TABLE: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    MUL_TABLE.get_or_init(|| {
+        let t = tables();
+        let mut full = vec![[0u8; 256]; 256].into_boxed_slice();
+        for a in 1..256usize {
+            let log_a = t.log[a] as usize;
+            let row = &mut full[a];
+            for b in 1..256usize {
+                row[b] = t.exp[log_a + t.log[b] as usize];
+            }
+        }
+        full.try_into().expect("built exactly 256 rows")
+    })
+}
+
+/// The 256-entry row table of a single multiplier: `mul_table_row(c)[s] == mul(c, s)`.
+///
+/// Useful for callers that apply the same coefficient to many independent slices (e.g.
+/// a Reed–Solomon encoding-matrix cell applied shard by shard).
+pub fn mul_table_row(c: u8) -> &'static [u8; 256] {
+    &mul_table()[c as usize]
+}
+
+/// Multiplies every byte of `dst` by `c` in place (`dst[i] = c * dst[i]`).
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let row = mul_table_row(c);
+    for d in dst.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
 /// Multiplies every byte of `src` by `c` and XORs the result into `dst`
 /// (`dst[i] ^= c * src[i]`). This is the inner loop of Reed–Solomon encoding/decoding.
-pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
     debug_assert_eq!(dst.len(), src.len());
     if c == 0 {
         return;
@@ -121,14 +165,12 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
         }
         return;
     }
-    let t = tables();
-    let log_c = t.log[c as usize] as usize;
+    let row = mul_table_row(c);
     for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
-        }
+        *d ^= row[*s as usize];
     }
 }
+
 
 #[cfg(test)]
 mod tests {
@@ -173,7 +215,17 @@ mod tests {
     }
 
     #[test]
-    fn mul_acc_slice_matches_scalar_loop() {
+    fn mul_table_row_matches_mul_exhaustively() {
+        for c in 0..=255u8 {
+            let row = mul_table_row(c);
+            for s in 0..=255u8 {
+                assert_eq!(row[s as usize], mul_slow(c, s), "c={c} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar_loop() {
         let src: Vec<u8> = (0..=255u8).collect();
         for c in [0u8, 1, 2, 7, 0x1d, 0xff] {
             let mut dst = vec![0xAAu8; src.len()];
@@ -181,7 +233,7 @@ mod tests {
             for (e, s) in expected.iter_mut().zip(&src) {
                 *e ^= mul(c, *s);
             }
-            mul_acc_slice(&mut dst, &src, c);
+            mul_add_slice(&mut dst, &src, c);
             assert_eq!(dst, expected, "c={c}");
         }
     }
@@ -205,6 +257,34 @@ mod tests {
         #[test]
         fn division_inverts_multiplication(a in any::<u8>(), b in 1u8..=255) {
             prop_assert_eq!(div(mul(a, b), b), a);
+        }
+
+        /// The bulk kernels agree with the scalar `mul`/`mul_slow` reference byte by
+        /// byte on random slices and random coefficients.
+        #[test]
+        fn bulk_kernels_match_scalar_reference(
+            src in proptest::collection::vec(any::<u8>(), 0..512),
+            dst_seed in proptest::collection::vec(any::<u8>(), 0..512),
+            c in any::<u8>(),
+        ) {
+            let len = src.len().min(dst_seed.len());
+            let src = &src[..len];
+
+            // mul_add_slice: dst[i] ^= c * src[i].
+            let mut dst = dst_seed[..len].to_vec();
+            let expected: Vec<u8> = dst
+                .iter()
+                .zip(src)
+                .map(|(&d, &s)| d ^ mul_slow(c, s))
+                .collect();
+            mul_add_slice(&mut dst, src, c);
+            prop_assert_eq!(&dst, &expected);
+
+            // mul_slice: dst[i] = c * dst[i].
+            let mut in_place = src.to_vec();
+            let expected_mul: Vec<u8> = src.iter().map(|&s| mul(c, s)).collect();
+            mul_slice(&mut in_place, c);
+            prop_assert_eq!(in_place, expected_mul);
         }
     }
 }

@@ -97,14 +97,11 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "inner matrix dimensions must match");
         let mut out = Matrix::zero(self.rows, rhs.cols);
         for r in 0..self.rows {
+            let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.get(r, k);
-                if a == 0 {
-                    continue;
-                }
-                for c in 0..rhs.cols {
-                    let prod = gf256::mul(a, rhs.get(k, c));
-                    out.set(r, c, gf256::add(out.get(r, c), prod));
+                if a != 0 {
+                    gf256::mul_add_slice(out_row, rhs.row(k), a);
                 }
             }
         }
@@ -161,25 +158,29 @@ impl Matrix {
         if a == b {
             return;
         }
-        for c in 0..self.cols {
-            let tmp = self.get(a, c);
-            self.set(a, c, self.get(b, c));
-            self.set(b, c, tmp);
-        }
+        let cols = self.cols;
+        let (low, high) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(high * cols);
+        head[low * cols..(low + 1) * cols].swap_with_slice(&mut tail[..cols]);
     }
 
     fn scale_row(&mut self, row: usize, factor: u8) {
-        for c in 0..self.cols {
-            let v = gf256::mul(self.get(row, c), factor);
-            self.set(row, c, v);
-        }
+        let cols = self.cols;
+        gf256::mul_slice(&mut self.data[row * cols..(row + 1) * cols], factor);
     }
 
     /// `row(target) ^= factor * row(source)`.
     fn add_scaled_row(&mut self, target: usize, source: usize, factor: u8) {
-        for c in 0..self.cols {
-            let v = gf256::add(self.get(target, c), gf256::mul(factor, self.get(source, c)));
-            self.set(target, c, v);
+        debug_assert_ne!(target, source, "rows must be distinct");
+        let cols = self.cols;
+        let (low, high) = (target.min(source), target.max(source));
+        let (head, tail) = self.data.split_at_mut(high * cols);
+        let low_row = &mut head[low * cols..(low + 1) * cols];
+        let high_row = &mut tail[..cols];
+        if target < source {
+            gf256::mul_add_slice(low_row, high_row, factor);
+        } else {
+            gf256::mul_add_slice(high_row, low_row, factor);
         }
     }
 }

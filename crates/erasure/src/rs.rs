@@ -2,7 +2,9 @@
 
 use crate::gf256;
 use crate::matrix::Matrix;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Errors returned by [`ReedSolomon`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +80,14 @@ pub struct ReedSolomon {
     /// `total_shards x data_shards` encoding matrix whose top square block is the
     /// identity (systematic form).
     encoding: Matrix,
+    /// Inverted decode matrices keyed by the surviving-shard index sequence. A replica
+    /// recovering many datablocks from the same responder set inverts the matrix once
+    /// and reuses it for every shard set. Shared by clones of the code.
+    decode_cache: Arc<Mutex<HashMap<Vec<u8>, Arc<Matrix>>>>,
 }
+
+/// Entry cap for the decode-matrix cache (memory backstop; index sets repeat heavily).
+const DECODE_CACHE_CAP: usize = 1024;
 
 impl ReedSolomon {
     /// Creates a code with the given parameters.
@@ -108,6 +117,7 @@ impl ReedSolomon {
             data_shards,
             total_shards,
             encoding,
+            decode_cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -153,7 +163,7 @@ impl ReedSolomon {
         for row in self.data_shards..self.total_shards {
             let mut parity = vec![0u8; shard_len];
             for (col, data_shard) in data.iter().enumerate() {
-                gf256::mul_acc_slice(&mut parity, data_shard, self.encoding.get(row, col));
+                gf256::mul_add_slice(&mut parity, data_shard, self.encoding.get(row, col));
             }
             shards.push(parity);
         }
@@ -205,21 +215,39 @@ impl ReedSolomon {
             }
         }
 
-        let indices: Vec<usize> = selected.iter().map(|(i, _)| *i).collect();
-        let sub = self.encoding.select_rows(&indices);
-        let decode_matrix = sub
-            .inverse()
-            .expect("any data_shards rows of the encoding matrix are independent");
+        let decode_matrix = self.decode_matrix_for(selected);
 
         let mut originals = Vec::with_capacity(self.data_shards);
         for row in 0..self.data_shards {
             let mut out = vec![0u8; shard_len];
             for (col, (_, shard)) in selected.iter().enumerate() {
-                gf256::mul_acc_slice(&mut out, shard, decode_matrix.get(row, col));
+                gf256::mul_add_slice(&mut out, shard, decode_matrix.get(row, col));
             }
             originals.push(out);
         }
         Ok(originals)
+    }
+
+    /// The inverted decode matrix for the given (validated, distinct, in-range)
+    /// surviving shards, reusing a cached inverse when the same index set decoded
+    /// before.
+    fn decode_matrix_for(&self, selected: &[(usize, Vec<u8>)]) -> Arc<Matrix> {
+        let key: Vec<u8> = selected.iter().map(|(i, _)| *i as u8).collect();
+        if let Some(cached) = self.decode_cache.lock().expect("decode cache poisoned").get(&key) {
+            return Arc::clone(cached);
+        }
+        let indices: Vec<usize> = selected.iter().map(|(i, _)| *i).collect();
+        let sub = self.encoding.select_rows(&indices);
+        let decode_matrix = Arc::new(
+            sub.inverse()
+                .expect("any data_shards rows of the encoding matrix are independent"),
+        );
+        let mut cache = self.decode_cache.lock().expect("decode cache poisoned");
+        if cache.len() >= DECODE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&decode_matrix));
+        decode_matrix
     }
 
     /// Reconstructs a payload of `payload_len` bytes from any `data_shards` surviving

@@ -39,7 +39,7 @@ impl WireSize for QuorumCertificate {
 
 /// A HotStuff block: the leader's proposal carrying the full request batch plus the QC
 /// of its parent (chained / pipelined HotStuff).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HotStuffBlock {
     /// Height (one per proposal; equals the view in the happy path).
     pub height: u64,
@@ -49,7 +49,22 @@ pub struct HotStuffBlock {
     pub parent: Digest,
     /// The request batch carried by the block.
     pub requests: Vec<Request>,
+    /// Lazily computed digest; shared clones (e.g. through `Arc`) compute it once.
+    cached_digest: std::sync::OnceLock<Digest>,
+    /// Lazily computed wire size (the batch sum is `O(requests)` per call otherwise).
+    cached_wire_size: std::sync::OnceLock<usize>,
 }
+
+impl PartialEq for HotStuffBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.height == other.height
+            && self.view == other.view
+            && self.parent == other.parent
+            && self.requests == other.requests
+    }
+}
+
+impl Eq for HotStuffBlock {}
 
 impl HotStuffBlock {
     /// Creates a block.
@@ -59,6 +74,8 @@ impl HotStuffBlock {
             view,
             parent,
             requests,
+            cached_digest: std::sync::OnceLock::new(),
+            cached_wire_size: std::sync::OnceLock::new(),
         }
     }
 
@@ -66,17 +83,20 @@ impl HotStuffBlock {
     ///
     /// The digest commits to the height, view, parent and the request identifiers; it is
     /// *not* a full serialisation hash to keep large-batch simulations cheap (the
-    /// request payloads are synthetic).
+    /// request payloads are synthetic). Cached after the first call: every replica that
+    /// receives the `Arc`-shared proposal reuses the same digest.
     pub fn digest(&self) -> Digest {
-        let mut id_bytes = Vec::with_capacity(12 * self.requests.len() + 48);
-        id_bytes.extend_from_slice(&self.height.to_le_bytes());
-        id_bytes.extend_from_slice(&self.view.0.to_le_bytes());
-        id_bytes.extend_from_slice(self.parent.as_bytes());
-        for request in &self.requests {
-            id_bytes.extend_from_slice(&request.id.client.0.to_le_bytes());
-            id_bytes.extend_from_slice(&request.id.seq.to_le_bytes());
-        }
-        hash_parts([b"hotstuff-block".as_slice(), &id_bytes])
+        *self.cached_digest.get_or_init(|| {
+            let mut id_bytes = Vec::with_capacity(12 * self.requests.len() + 48);
+            id_bytes.extend_from_slice(&self.height.to_le_bytes());
+            id_bytes.extend_from_slice(&self.view.0.to_le_bytes());
+            id_bytes.extend_from_slice(self.parent.as_bytes());
+            for request in &self.requests {
+                id_bytes.extend_from_slice(&request.id.client.0.to_le_bytes());
+                id_bytes.extend_from_slice(&request.id.seq.to_le_bytes());
+            }
+            hash_parts([b"hotstuff-block".as_slice(), &id_bytes])
+        })
     }
 
     /// Number of requests in the batch.
@@ -97,7 +117,9 @@ impl HotStuffBlock {
 
 impl WireSize for HotStuffBlock {
     fn wire_size(&self) -> usize {
-        8 + 8 + 32 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+        *self.cached_wire_size.get_or_init(|| {
+            8 + 8 + 32 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+        })
     }
 }
 

@@ -195,10 +195,24 @@ impl MetricsSink {
     /// Throughput is measured "from the server's side" in the paper; using the maximum
     /// over nodes avoids double counting while still reflecting system progress.
     pub fn max_confirmed_requests(&self, nodes: usize) -> u64 {
-        (0..nodes)
-            .map(|i| self.confirmed_requests_at(NodeId(i as u32)))
-            .max()
-            .unwrap_or(0)
+        self.max_confirmed_requests_since(nodes, SimTime(0))
+    }
+
+    /// The largest number of confirmed requests reported by any single node, counting
+    /// only observations at or after `start` (for warm-up-excluding throughput).
+    pub fn max_confirmed_requests_since(&self, nodes: usize, start: SimTime) -> u64 {
+        let mut per_node = vec![0u64; nodes];
+        for observation in &self.observations {
+            if observation.at < start {
+                continue;
+            }
+            if let ObservationKind::RequestsConfirmed { count, .. } = observation.kind {
+                if let Some(slot) = per_node.get_mut(observation.node.as_index()) {
+                    *slot += count;
+                }
+            }
+        }
+        per_node.into_iter().max().unwrap_or(0)
     }
 
     /// All request latency samples in nanoseconds.
@@ -292,5 +306,10 @@ mod tests {
         assert_eq!(sink.latency_samples(), vec![500]);
         assert_eq!(sink.custom_samples("stage"), vec![3]);
         assert_eq!(sink.custom_samples("missing"), Vec::<u64>::new());
+
+        // Windowed counting: observations before the window start are excluded.
+        assert_eq!(sink.max_confirmed_requests_since(2, SimTime(0)), 12);
+        assert_eq!(sink.max_confirmed_requests_since(2, SimTime(15)), 7);
+        assert_eq!(sink.max_confirmed_requests_since(2, SimTime(21)), 0);
     }
 }

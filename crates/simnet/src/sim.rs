@@ -29,19 +29,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// What a queued event does when it fires.
 enum EventKind<M> {
     /// Call `on_start` on the node.
     Start(NodeId),
-    /// Deliver a message.
+    /// Deliver a message. The envelope is `Arc`-shared so a multicast queues `n − 1`
+    /// pointer clones of one logical message instead of `n − 1` deep clones.
     Deliver {
         /// Sender.
         from: NodeId,
         /// Receiver.
         to: NodeId,
         /// The message.
-        message: M,
+        message: Arc<M>,
     },
     /// Fire a timer.
     Timer {
@@ -76,9 +78,20 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
+/// One outgoing transmission requested during a callback. Keeping unicasts and
+/// multicasts in a single ordered list preserves the exact send order (and therefore
+/// the exact event-queue sequence numbers) of the equivalent unicast-only engine.
+enum Outgoing<M> {
+    /// A single-recipient send.
+    Unicast(NodeId, M),
+    /// A send to every other node; the engine expands it with `wire_size()` and
+    /// `category()` computed once for the whole fan-out.
+    Multicast(M),
+}
+
 /// Actions a protocol requested during one callback, applied by the engine afterwards.
 struct ActionBuffer<M> {
-    sends: Vec<(NodeId, M)>,
+    sends: Vec<Outgoing<M>>,
     timers: Vec<(SimDuration, u64)>,
     observations: Vec<ObservationKind>,
 }
@@ -118,7 +131,13 @@ impl<M: SimMessage> Context for SimContext<'_, M> {
     }
 
     fn send(&mut self, to: NodeId, message: M) {
-        self.actions.sends.push((to, message));
+        self.actions.sends.push(Outgoing::Unicast(to, message));
+    }
+
+    fn multicast(&mut self, message: M) {
+        // Fast path: defer the fan-out to the engine, which charges the paper's
+        // `n − 1`-unicast cost model while computing the wire size only once.
+        self.actions.sends.push(Outgoing::Multicast(message));
     }
 
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
@@ -150,12 +169,36 @@ pub struct SimulationReport {
 impl SimulationReport {
     /// Confirmed requests per second, measured as the maximum per-node confirmation
     /// count divided by the run duration.
+    ///
+    /// # Measurement window
+    ///
+    /// The denominator is the **full virtual run time** `[0, end_time]`, including the
+    /// start-up transient during which pipelines fill and nothing is confirmed yet. This
+    /// matches how the paper reports steady-state runs and is what every `BENCH_*.json`
+    /// entry records, so cross-PR numbers stay comparable. For short runs where the
+    /// warm-up is a significant fraction of the window, use
+    /// [`Self::steady_state_throughput_rps`] to exclude it.
     pub fn throughput_rps(&self) -> f64 {
         let secs = self.end_time.as_secs_f64();
         if secs == 0.0 {
             return 0.0;
         }
         self.metrics.max_confirmed_requests(self.nodes) as f64 / secs
+    }
+
+    /// Confirmed requests per second over the window `[warmup, end_time]` only:
+    /// confirmations observed before `warmup` are discarded and the elapsed time starts
+    /// at `warmup`. Returns 0 if the warm-up covers the whole run.
+    pub fn steady_state_throughput_rps(&self, warmup: SimDuration) -> f64 {
+        let start = SimTime::ZERO + warmup;
+        if start >= self.end_time {
+            return 0.0;
+        }
+        let secs = (self.end_time.as_nanos() - start.as_nanos()) as f64 / 1e9;
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.metrics.max_confirmed_requests_since(self.nodes, start) as f64 / secs
     }
 
     /// Average request latency in seconds over all latency samples, or `None` if no
@@ -344,6 +387,10 @@ impl<P: Protocol> Simulation<P> {
                 if self.faults.is_crashed(to, self.now) {
                     return;
                 }
+                // The final (often only) recipient takes ownership without cloning;
+                // earlier recipients of a multicast clone the shared envelope, which is
+                // shallow for messages that `Arc` their payloads.
+                let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
                 let mut actions = ActionBuffer::default();
                 {
                     let mut ctx = SimContext {
@@ -384,15 +431,39 @@ impl<P: Protocol> Simulation<P> {
         for (delay, token) in actions.timers {
             self.push_event(self.now + delay, EventKind::Timer { node, token });
         }
-        for (to, message) in actions.sends {
-            self.route(node, to, message);
+        for outgoing in actions.sends {
+            match outgoing {
+                Outgoing::Unicast(to, message) => {
+                    let size = message.wire_size();
+                    let category = message.category();
+                    self.route(node, to, Arc::new(message), size, category);
+                }
+                Outgoing::Multicast(message) => {
+                    // Compute the per-message costs once for the whole fan-out, then
+                    // charge each recipient exactly as `n − 1` unicasts would (same
+                    // recipient order, same RNG draws, same event sequence numbers).
+                    let size = message.wire_size();
+                    let category = message.category();
+                    let shared = Arc::new(message);
+                    for index in 0..self.config.nodes {
+                        let peer = NodeId(index as u32);
+                        if peer != node {
+                            self.route(node, peer, Arc::clone(&shared), size, category);
+                        }
+                    }
+                }
+            }
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, message: P::Message) {
-        let size = message.wire_size();
-        let category = message.category();
-
+    fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: Arc<P::Message>,
+        size: usize,
+        category: &'static str,
+    ) {
         if from == to {
             // Local delivery: no bandwidth cost, a negligible scheduling delay.
             self.push_event(self.now, EventKind::Deliver { from, to, message });
@@ -585,6 +656,31 @@ mod tests {
         let mut sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(1000, 8));
         sim.run_until(SimTime(SimDuration::from_secs(100).as_nanos()), 10);
         assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn steady_state_throughput_excludes_warmup() {
+        let mut report = SimulationReport {
+            nodes: 1,
+            end_time: SimTime(SimDuration::from_secs(10).as_nanos()),
+            events: 0,
+            metrics: MetricsSink::new(),
+        };
+        // 100 requests confirmed at t = 6 s: full-window rate is 10 rps, the rate over
+        // the [5 s, 10 s] window is 20 rps, and a warm-up covering the run yields 0.
+        report.metrics.observe(
+            SimTime(SimDuration::from_secs(6).as_nanos()),
+            NodeId(0),
+            ObservationKind::RequestsConfirmed {
+                count: 100,
+                payload_bytes: 0,
+            },
+        );
+        assert!((report.throughput_rps() - 10.0).abs() < 1e-9);
+        let steady = report.steady_state_throughput_rps(SimDuration::from_secs(5));
+        assert!((steady - 20.0).abs() < 1e-9);
+        assert_eq!(report.steady_state_throughput_rps(SimDuration::from_secs(10)), 0.0);
+        assert_eq!(report.steady_state_throughput_rps(SimDuration::from_secs(11)), 0.0);
     }
 
     #[test]

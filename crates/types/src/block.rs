@@ -41,6 +41,9 @@ pub struct Datablock {
     cached_digest: std::sync::OnceLock<Digest>,
     /// Lazily computed total payload size.
     cached_payload_bytes: std::sync::OnceLock<usize>,
+    /// Lazily computed wire size. The simulator charges `wire_size()` per recipient of a
+    /// multicast, so without this cell a datablock fan-out costs `O(n · requests)`.
+    cached_wire_size: std::sync::OnceLock<usize>,
 }
 
 impl PartialEq for Datablock {
@@ -59,6 +62,7 @@ impl Datablock {
             requests,
             cached_digest: std::sync::OnceLock::new(),
             cached_payload_bytes: std::sync::OnceLock::new(),
+            cached_wire_size: std::sync::OnceLock::new(),
         }
     }
 
@@ -94,7 +98,9 @@ impl Datablock {
 impl WireSize for Datablock {
     fn wire_size(&self) -> usize {
         // producer u32 + counter u64 + request count u32 + requests
-        4 + 8 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+        *self.cached_wire_size.get_or_init(|| {
+            4 + 8 + 4 + self.requests.iter().map(WireSize::wire_size).sum::<usize>()
+        })
     }
 }
 

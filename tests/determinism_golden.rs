@@ -1,0 +1,127 @@
+//! Golden determinism tests.
+//!
+//! The PR-2 fast path (Arc-shared multicast envelopes, digest/wire-size memoization,
+//! cached Lagrange combination, bulk GF(2^8) kernels) must be **observationally pure**:
+//! for a fixed seed a simulation run produces exactly the same event count, confirmed
+//! requests, and traffic totals as the unoptimised engine did. The constants below were
+//! captured from the pre-optimisation build (commit `5d37b53`, release profile) and
+//! must never drift as a side effect of a performance change.
+//!
+//! If a future PR changes these numbers **intentionally** (a protocol change, a network
+//! model change), re-capture the constants and say so in the PR description — a diff
+//! here is a semantic change, not a perf regression.
+
+use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+
+struct Golden {
+    events: u64,
+    confirmed: u64,
+    sent_bytes: u64,
+    recv_bytes: u64,
+}
+
+fn assert_matches(label: &str, report: &leopard::harness::scenario::ScenarioReport, golden: &Golden) {
+    assert_eq!(report.sim.events, golden.events, "{label}: events_processed drifted");
+    assert_eq!(
+        report.confirmed_requests, golden.confirmed,
+        "{label}: confirmed requests drifted"
+    );
+    assert_eq!(
+        report.sim.metrics.traffic.total_sent_bytes(),
+        golden.sent_bytes,
+        "{label}: total sent bytes drifted"
+    );
+    assert_eq!(
+        report.sim.metrics.traffic.total_received_bytes(),
+        golden.recv_bytes,
+        "{label}: total received bytes drifted"
+    );
+}
+
+#[test]
+fn leopard_quick_scale_matches_pre_optimisation_golden() {
+    let config = ScenarioConfig::paper(16).with_seed(0xA5A5);
+    let report = run_leopard_scenario(&config);
+    assert_matches(
+        "leopard paper(16) seed 0xA5A5",
+        &report,
+        &Golden {
+            events: 21_710,
+            confirmed: 356_000,
+            sent_bytes: 783_888_045,
+            recv_bytes: 783_888_045,
+        },
+    );
+}
+
+#[test]
+fn hotstuff_quick_scale_matches_pre_optimisation_golden() {
+    let config = ScenarioConfig::paper(16).with_seed(0xA5A5);
+    let report = run_hotstuff_scenario(&config);
+    assert_matches(
+        "hotstuff paper(16) seed 0xA5A5",
+        &report,
+        &Golden {
+            events: 76_674,
+            confirmed: 388_700,
+            sent_bytes: 854_098_620,
+            recv_bytes: 854_098_620,
+        },
+    );
+}
+
+#[test]
+fn leopard_small_scale_matches_pre_optimisation_golden() {
+    let config = ScenarioConfig::small(7).with_seed(0xD00D);
+    let report = run_leopard_scenario(&config);
+    assert_matches(
+        "leopard small(7) seed 0xD00D",
+        &report,
+        &Golden {
+            events: 8_793,
+            confirmed: 3_840,
+            sent_bytes: 3_734_622,
+            recv_bytes: 3_734_622,
+        },
+    );
+}
+
+#[test]
+fn hotstuff_small_scale_matches_pre_optimisation_golden() {
+    let config = ScenarioConfig::small(7).with_seed(0xD00D);
+    let report = run_hotstuff_scenario(&config);
+    assert_matches(
+        "hotstuff small(7) seed 0xD00D",
+        &report,
+        &Golden {
+            events: 28_660,
+            confirmed: 3_980,
+            sent_bytes: 6_520_704,
+            recv_bytes: 6_520_704,
+        },
+    );
+}
+
+/// Two runs with the same seed agree on everything the golden constants pin down, at a
+/// scale the constants do not cover (guards seed-plumbing, not just the four scenarios
+/// above).
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let run = || {
+        let config = ScenarioConfig::small(10).with_seed(42);
+        let report = run_leopard_scenario(&config);
+        (
+            report.sim.events,
+            report.confirmed_requests,
+            report.sim.metrics.traffic.total_sent_bytes(),
+            report
+                .sim
+                .metrics
+                .observations
+                .iter()
+                .map(|o| o.at.as_nanos())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
