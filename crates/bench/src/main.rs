@@ -12,6 +12,11 @@
 //! `--bench-json <path>` additionally writes a machine-readable JSON document with the
 //! wall-clock seconds and result table of every experiment run — the format of the
 //! repo's `BENCH_*.json` performance trajectory (see `EXPERIMENTS.md`).
+//!
+//! `--require-nonzero <substr>` makes the binary exit non-zero if any cell in a column
+//! whose header contains `<substr>` does not start with a positive number — the CI
+//! guard that keeps the "Leopard confirms nothing at paper scale" collapse from
+//! silently regressing (used with the `fig9smoke` experiment).
 
 use leopard_harness::experiments::{run_experiment, EXPERIMENT_IDS};
 use leopard_harness::report::{bench_records_to_json, BenchRecord};
@@ -22,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let mut bench_json: Option<PathBuf> = None;
+    let mut require_nonzero: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -31,6 +37,13 @@ fn main() {
                 Some(path) => bench_json = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--bench-json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--require-nonzero" => match iter.next() {
+                Some(substr) => require_nonzero = Some(substr),
+                None => {
+                    eprintln!("--require-nonzero requires a column-substring argument");
                     std::process::exit(2);
                 }
             },
@@ -53,6 +66,9 @@ fn main() {
             Some(table) => {
                 let wall_clock_secs = start.elapsed().as_secs_f64();
                 println!("{}", table.to_text());
+                if let Some(substr) = &require_nonzero {
+                    failures += check_nonzero_columns(&table, substr);
+                }
                 match table.write_csv(&out_dir, id) {
                     Ok(path) => eprintln!("  wrote {}", path.display()),
                     Err(error) => eprintln!("  could not write CSV: {error}"),
@@ -84,4 +100,31 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Counts cells that are not strictly positive in every column whose header contains
+/// `substr`. Cells may carry a stall annotation (`"0.00 [AwaitingReady]"`); only the
+/// leading number is parsed, so the diagnostics never hide a failure.
+fn check_nonzero_columns(table: &leopard_harness::report::Table, substr: &str) -> usize {
+    let mut failures = 0;
+    for (column, header) in table.headers.iter().enumerate() {
+        // Only numeric columns carry a unit in parentheses; this skips non-numeric
+        // companions like "Leopard diagnostics" when matching on "Leopard".
+        if !header.contains(substr) || !header.contains('(') {
+            continue;
+        }
+        for row in &table.rows {
+            let cell = &row[column];
+            let value: f64 = cell
+                .split_whitespace()
+                .next()
+                .and_then(|prefix| prefix.parse().ok())
+                .unwrap_or(0.0);
+            if value <= 0.0 {
+                eprintln!("  REQUIRE-NONZERO FAILED: column {header:?} has cell {cell:?} (row n={})", row[0]);
+                failures += 1;
+            }
+        }
+    }
+    failures
 }

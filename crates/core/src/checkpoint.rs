@@ -38,6 +38,12 @@ impl CheckpointState {
         self.stable
     }
 
+    /// The high watermark `lw + k`: the largest serial number the window of `k`
+    /// parallel instances admits before the next checkpoint must advance `lw`.
+    pub fn high_watermark(&self, k: usize) -> SeqNum {
+        SeqNum(self.stable.0 + k as u64)
+    }
+
     /// True if `seq` should trigger a checkpoint given the configured interval.
     pub fn is_checkpoint_height(seq: SeqNum, interval: u64) -> bool {
         interval > 0 && seq.0 > 0 && seq.0 % interval == 0

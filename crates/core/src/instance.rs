@@ -46,6 +46,11 @@ impl ShareCollector {
 }
 
 /// The leader's state for one agreement instance.
+///
+/// Leader instances live inside [`crate::pipeline::Pipeline`], which maintains an O(1)
+/// count of unconfirmed instances: set `confirmation` through
+/// [`crate::pipeline::Pipeline::record_confirmation`], not by writing the field
+/// directly, or the counter drifts.
 #[derive(Debug)]
 pub struct LeaderInstance {
     /// The proposed block.

@@ -45,6 +45,7 @@ pub mod config;
 pub mod instance;
 pub mod mempool;
 pub mod messages;
+pub mod pipeline;
 pub mod pool;
 pub mod replica;
 pub mod retrieval;
@@ -52,4 +53,5 @@ pub mod view_change;
 
 pub use config::{LeopardConfig, SharedKeys, WorkloadMode};
 pub use messages::LeopardMessage;
+pub use pipeline::{Pipeline, StallReason};
 pub use replica::LeopardReplica;

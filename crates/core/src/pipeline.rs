@@ -1,0 +1,344 @@
+//! The leader's proposal pipeline as an explicit, queryable state object.
+//!
+//! Historically the leader's progress machinery was timer-polled: a fixed
+//! `TOKEN_PROPOSE` tick rescanned `leader_instances` (O(k)) to count in-flight
+//! instances and silently did nothing when a guard blocked. When one link of the
+//! Ready → propose → Confirm → checkpoint → watermark-advance chain stopped turning,
+//! the leader idled forever and the only symptom was a bare `0.00` in a throughput
+//! table.
+//!
+//! [`Pipeline`] replaces that with event-driven bookkeeping:
+//!
+//! * it owns the per-serial-number [`LeaderInstance`] map and maintains an **O(1)
+//!   in-flight counter** at every mutation point (propose, confirm, re-propose,
+//!   checkpoint GC) instead of rescanning;
+//! * its stall condition is a first-class value, [`StallReason`], computed from the
+//!   same guards `propose()` uses — so a stalled run can *name* the guard that blocks
+//!   it (and a zero cell in `fig9` output comes annotated, never bare).
+
+use crate::instance::LeaderInstance;
+use leopard_crypto::threshold::CombinedSignature;
+use leopard_types::SeqNum;
+use std::collections::BTreeMap;
+
+/// Why the leader's proposal pipeline is (or would be) unable to extend right now.
+///
+/// `None` means no guard blocks: the leader either just proposed everything it could or
+/// could propose immediately. The variants are ordered by diagnostic precedence — the
+/// first blocking guard wins, matching the order `propose()` checks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// Nothing blocks the pipeline.
+    None,
+    /// The replica deliberately stays silent (an injected Byzantine behaviour).
+    Byzantine,
+    /// A view-change is in progress; proposing is suspended until the new view starts.
+    ViewChange,
+    /// All `k` parallel agreement instances are in flight and none has confirmed.
+    InstancesFull,
+    /// The next serial number is beyond `low_watermark + k`: the checkpoint protocol
+    /// has not advanced the watermark (confirmations or checkpoint shares are stuck).
+    WatermarkFull,
+    /// No datablock has reached the `2f+1` ready threshold: the leader has nothing to
+    /// link (datablock generation, dissemination or Ready acks are stuck).
+    AwaitingReady,
+}
+
+impl StallReason {
+    /// The stable string label used in probes, tables and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StallReason::None => "None",
+            StallReason::Byzantine => "Byzantine",
+            StallReason::ViewChange => "ViewChange",
+            StallReason::InstancesFull => "InstancesFull",
+            StallReason::WatermarkFull => "WatermarkFull",
+            StallReason::AwaitingReady => "AwaitingReady",
+        }
+    }
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The leader-side proposal pipeline: the in-flight [`LeaderInstance`]s, the next
+/// serial number, and the parallelism bound `k` — with an O(1) in-flight counter and a
+/// queryable [`StallReason`].
+#[derive(Debug)]
+pub struct Pipeline {
+    /// Per-serial-number leader state, keyed by serial number.
+    instances: BTreeMap<u64, LeaderInstance>,
+    /// Number of instances in `instances` that are not yet confirmed. Maintained at
+    /// every mutation point; [`Self::rescan_in_flight`] is the brute-force ground truth
+    /// the property tests compare against.
+    in_flight: usize,
+    /// The serial number the next proposal will use.
+    next_seq: SeqNum,
+    /// The parallelism bound `k` (`max_parallel_instances`).
+    k: usize,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline with parallelism bound `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            instances: BTreeMap::new(),
+            in_flight: 0,
+            next_seq: SeqNum::first(),
+            k,
+        }
+    }
+
+    /// The serial number the next proposal will use.
+    pub fn next_seq(&self) -> SeqNum {
+        self.next_seq
+    }
+
+    /// Takes the next serial number, advancing the counter.
+    pub fn take_seq(&mut self) -> SeqNum {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.next();
+        seq
+    }
+
+    /// Raises `next_seq` to at least `seq` (used when a new view adopts re-proposed
+    /// blocks above the current counter).
+    pub fn bump_next_seq(&mut self, seq: SeqNum) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Number of unconfirmed instances, in O(1).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Brute-force recount of unconfirmed instances (O(k)); the ground truth
+    /// [`Self::in_flight`] must always equal.
+    pub fn rescan_in_flight(&self) -> usize {
+        self.instances.values().filter(|instance| !instance.is_confirmed()).count()
+    }
+
+    /// Inserts (or replaces) the instance at `seq`, keeping the in-flight counter
+    /// consistent across replacements (a view-change re-proposal overwrites the old
+    /// view's instance at the same serial number).
+    pub fn insert(&mut self, seq: SeqNum, instance: LeaderInstance) {
+        if !instance.is_confirmed() {
+            self.in_flight += 1;
+        }
+        if let Some(old) = self.instances.insert(seq.0, instance) {
+            if !old.is_confirmed() {
+                self.in_flight -= 1;
+            }
+        }
+    }
+
+    /// The instance at `seq`, if any.
+    pub fn get(&self, seq: SeqNum) -> Option<&LeaderInstance> {
+        self.instances.get(&seq.0)
+    }
+
+    /// Mutable access to the instance at `seq` for vote collection.
+    ///
+    /// The returned instance's `confirmation` must not be set through this reference —
+    /// use [`Self::record_confirmation`], which also maintains the in-flight counter.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut LeaderInstance> {
+        self.instances.get_mut(&seq.0)
+    }
+
+    /// Records the confirmation proof for `seq`, freeing its pipeline slot. Returns
+    /// true if the instance existed and was not already confirmed.
+    pub fn record_confirmation(&mut self, seq: SeqNum, proof: CombinedSignature) -> bool {
+        let Some(instance) = self.instances.get_mut(&seq.0) else {
+            return false;
+        };
+        if instance.is_confirmed() {
+            return false;
+        }
+        instance.confirmation = Some(proof);
+        self.in_flight -= 1;
+        true
+    }
+
+    /// Iterates over `(seq, instance)` pairs in serial-number order.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNum, &LeaderInstance)> {
+        self.instances.iter().map(|(&seq, instance)| (SeqNum(seq), instance))
+    }
+
+    /// Drops every instance at or below `watermark` (checkpoint garbage collection).
+    /// Unconfirmed instances below the watermark free their slot: a quorum checkpoint
+    /// proves the chain is durable past them.
+    pub fn prune_through(&mut self, watermark: SeqNum) {
+        // BTreeMap: split off the surviving suffix, count what the prefix held.
+        let keep = self.instances.split_off(&(watermark.0 + 1));
+        let dropped_in_flight =
+            self.instances.values().filter(|instance| !instance.is_confirmed()).count();
+        self.in_flight -= dropped_in_flight;
+        self.instances = keep;
+    }
+
+    /// The first guard that blocks proposing right now, or [`StallReason::None`] if the
+    /// leader could propose. `ready_count` is the number of ready, unlinked datablocks;
+    /// `high_watermark` is the checkpoint window bound `lw + k`
+    /// ([`crate::checkpoint::CheckpointState::high_watermark`]).
+    pub fn stall_reason(
+        &self,
+        silent_byzantine: bool,
+        in_view_change: bool,
+        ready_count: usize,
+        high_watermark: SeqNum,
+    ) -> StallReason {
+        if silent_byzantine {
+            StallReason::Byzantine
+        } else if in_view_change {
+            StallReason::ViewChange
+        } else if self.in_flight >= self.k {
+            StallReason::InstancesFull
+        } else if self.next_seq > high_watermark {
+            StallReason::WatermarkFull
+        } else if ready_count == 0 {
+            StallReason::AwaitingReady
+        } else {
+            StallReason::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::threshold::ThresholdScheme;
+    use leopard_types::{BftBlock, View};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn proof() -> CombinedSignature {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(1, 1, &mut rng);
+        let digest = leopard_crypto::hash_bytes(b"pipeline");
+        let share = scheme.sign_share(&keys[0], &digest);
+        scheme.combine(&[share], &digest).expect("1-of-1 combine")
+    }
+
+    fn instance(seq: SeqNum) -> LeaderInstance {
+        let block = Arc::new(BftBlock::new(View(1), seq, Vec::new()));
+        LeaderInstance::new(block, leopard_simnet::SimTime(0))
+    }
+
+    #[test]
+    fn counter_tracks_insert_confirm_prune() {
+        let mut pipeline = Pipeline::new(4);
+        assert_eq!(pipeline.in_flight(), 0);
+        let s1 = pipeline.take_seq();
+        pipeline.insert(s1, instance(s1));
+        let s2 = pipeline.take_seq();
+        pipeline.insert(s2, instance(s2));
+        assert_eq!(pipeline.in_flight(), 2);
+        assert_eq!(pipeline.in_flight(), pipeline.rescan_in_flight());
+
+        assert!(pipeline.record_confirmation(s1, proof()));
+        assert!(!pipeline.record_confirmation(s1, proof()), "double confirm is a no-op");
+        assert_eq!(pipeline.in_flight(), 1);
+
+        // Replacement (view-change re-proposal) keeps the count stable.
+        pipeline.insert(s2, instance(s2));
+        assert_eq!(pipeline.in_flight(), 1);
+        assert_eq!(pipeline.in_flight(), pipeline.rescan_in_flight());
+
+        // Pruning through s2 drops both the confirmed and the unconfirmed instance.
+        pipeline.prune_through(s2);
+        assert_eq!(pipeline.in_flight(), 0);
+        assert_eq!(pipeline.rescan_in_flight(), 0);
+    }
+
+    #[test]
+    fn stall_reasons_follow_guard_precedence() {
+        let mut pipeline = Pipeline::new(2);
+        // Stable checkpoint at 0 with k = 2: the window admits serial numbers 1..=2.
+        let hw = crate::checkpoint::CheckpointState::new().high_watermark(2);
+        assert_eq!(hw, SeqNum(2));
+        assert_eq!(pipeline.stall_reason(true, true, 5, hw), StallReason::Byzantine);
+        assert_eq!(pipeline.stall_reason(false, true, 5, hw), StallReason::ViewChange);
+        assert_eq!(pipeline.stall_reason(false, false, 5, hw), StallReason::None);
+        assert_eq!(pipeline.stall_reason(false, false, 0, hw), StallReason::AwaitingReady);
+
+        let s1 = pipeline.take_seq();
+        pipeline.insert(s1, instance(s1));
+        let s2 = pipeline.take_seq();
+        pipeline.insert(s2, instance(s2));
+        assert_eq!(pipeline.stall_reason(false, false, 5, hw), StallReason::InstancesFull);
+
+        // Confirm both: instances free but next_seq = 3 > lw + k = 2.
+        pipeline.record_confirmation(s1, proof());
+        pipeline.record_confirmation(s2, proof());
+        assert_eq!(pipeline.stall_reason(false, false, 5, hw), StallReason::WatermarkFull);
+        // The checkpoint advances: proposing is possible again.
+        assert_eq!(pipeline.stall_reason(false, false, 5, SeqNum(4)), StallReason::None);
+    }
+
+    #[test]
+    fn bump_next_seq_is_monotonic() {
+        let mut pipeline = Pipeline::new(4);
+        pipeline.bump_next_seq(SeqNum(7));
+        assert_eq!(pipeline.next_seq(), SeqNum(7));
+        pipeline.bump_next_seq(SeqNum(3));
+        assert_eq!(pipeline.next_seq(), SeqNum(7));
+        assert_eq!(pipeline.take_seq(), SeqNum(7));
+        assert_eq!(pipeline.next_seq(), SeqNum(8));
+    }
+
+    #[test]
+    fn iter_and_get_expose_instances() {
+        let mut pipeline = Pipeline::new(4);
+        let s1 = pipeline.take_seq();
+        pipeline.insert(s1, instance(s1));
+        assert!(pipeline.get(s1).is_some());
+        assert!(pipeline.get(SeqNum(99)).is_none());
+        assert!(pipeline.get_mut(s1).is_some());
+        assert_eq!(pipeline.iter().count(), 1);
+        assert_eq!(pipeline.iter().next().unwrap().0, s1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// The satellite property: under random propose / confirm / re-propose
+        /// (view-change) / checkpoint-prune interleavings, the O(1) counter always
+        /// equals the brute-force `leader_instances` rescan.
+        #[test]
+        fn in_flight_counter_equals_rescan(
+            ops in proptest::collection::vec((0u8..4, 0u64..24), 1..120),
+        ) {
+            let confirmation = proof();
+            let mut pipeline = Pipeline::new(6);
+            for (op, arg) in ops {
+                match op {
+                    // Propose: open the next instance (like `propose()` does).
+                    0 => {
+                        let seq = pipeline.take_seq();
+                        pipeline.insert(seq, instance(seq));
+                    }
+                    // Confirm: a commit-vote quorum formed for some serial number.
+                    1 => {
+                        pipeline.record_confirmation(SeqNum(arg), confirmation);
+                    }
+                    // View-change re-proposal: replace the instance at an arbitrary
+                    // serial number with a fresh (unconfirmed) one.
+                    2 => {
+                        let seq = SeqNum(arg);
+                        pipeline.insert(seq, instance(seq));
+                        pipeline.bump_next_seq(SeqNum(arg + 1));
+                    }
+                    // Checkpoint garbage collection (a timeout-free watermark jump).
+                    _ => {
+                        pipeline.prune_through(SeqNum(arg));
+                    }
+                }
+                prop_assert_eq!(pipeline.in_flight(), pipeline.rescan_in_flight());
+            }
+        }
+    }
+}

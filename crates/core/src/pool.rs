@@ -132,11 +132,18 @@ impl ReadyTracker {
 
     /// Drops bookkeeping for the given digests (after checkpointing).
     pub fn prune(&mut self, digests: impl IntoIterator<Item = Digest>) {
+        let mut dropped = HashSet::new();
         for digest in digests {
             self.acks.remove(&digest);
             self.linked.remove(&digest);
-            self.queued.remove(&digest);
-            self.ready_queue.retain(|d| *d != digest);
+            if self.queued.remove(&digest) {
+                dropped.insert(digest);
+            }
+        }
+        // One queue sweep for the whole batch instead of one per digest (checkpoint GC
+        // hands over every executed link at once).
+        if !dropped.is_empty() {
+            self.ready_queue.retain(|digest| !dropped.contains(digest));
         }
     }
 }

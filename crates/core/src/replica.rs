@@ -18,12 +18,13 @@ use crate::config::{LeopardConfig, SharedKeys, WorkloadMode};
 use crate::instance::{LeaderInstance, ReplicaInstance};
 use crate::mempool::Mempool;
 use crate::messages::{LeopardMessage, NotarizedEntry};
+use crate::pipeline::{Pipeline, StallReason};
 use crate::pool::{DatablockPool, ReadyTracker};
 use crate::retrieval::{ChunkOutcome, RetrievalManager};
 use crate::view_change::{timeout_digest, view_change_wire_size, ViewChangeState};
 use leopard_crypto::threshold::CombinedSignature;
 use leopard_crypto::{hash_parts, Digest};
-use leopard_simnet::{Context, ObservationKind, Protocol, SimDuration, SimTime};
+use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
 use leopard_types::{BftBlock, BlockState, ClientId, Datablock, NodeId, SeqNum, View};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
@@ -58,9 +59,8 @@ pub struct LeopardReplica {
     mempool: Mempool,
     pool: DatablockPool,
     ready: ReadyTracker,
-    leader_instances: BTreeMap<u64, LeaderInstance>,
+    pipeline: Pipeline,
     replica_instances: BTreeMap<u64, ReplicaInstance>,
-    next_seq: SeqNum,
     checkpoints: CheckpointState,
     retrieval: RetrievalManager,
     datablock_counter: u64,
@@ -70,6 +70,11 @@ pub struct LeopardReplica {
     log: BTreeMap<u64, Arc<BftBlock>>,
     last_executed: SeqNum,
     confirmed_requests: u64,
+    last_confirmation_at: Option<SimTime>,
+
+    // --- stall diagnostics (leader side) ---
+    stall_guard: StallReason,
+    stall_guard_since: SimTime,
 
     // --- view-change state ---
     view_changes: ViewChangeState,
@@ -112,9 +117,8 @@ impl LeopardReplica {
             mempool: Mempool::new(ClientId(id.0), payload_size),
             pool: DatablockPool::new(),
             ready: ReadyTracker::new(),
-            leader_instances: BTreeMap::new(),
+            pipeline: Pipeline::new(config.params.max_parallel_instances),
             replica_instances: BTreeMap::new(),
-            next_seq: SeqNum::first(),
             checkpoints: CheckpointState::new(),
             retrieval: RetrievalManager::new(),
             datablock_counter: 1,
@@ -122,6 +126,9 @@ impl LeopardReplica {
             log: BTreeMap::new(),
             last_executed: SeqNum(0),
             confirmed_requests: 0,
+            last_confirmation_at: None,
+            stall_guard: StallReason::None,
+            stall_guard_since: SimTime(0),
             view_changes: ViewChangeState::new(),
             in_view_change: false,
             view_change_started_at: None,
@@ -171,6 +178,30 @@ impl LeopardReplica {
     /// Current low watermark (latest stable checkpoint).
     pub fn low_watermark(&self) -> SeqNum {
         self.checkpoints.low_watermark()
+    }
+
+    /// The leader-side proposal pipeline (in-flight instances, stall condition).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The guard currently blocking this replica's pipeline, as a first-class value.
+    ///
+    /// For the leader this is the first failing `propose()` guard; a non-leader only
+    /// ever reports [`StallReason::ViewChange`] or [`StallReason::None`].
+    pub fn current_stall(&self) -> StallReason {
+        if self.is_leader() {
+            self.pipeline.stall_reason(
+                self.behaviour().silent_as_leader(),
+                self.in_view_change,
+                self.ready.ready_count(),
+                self.checkpoints.high_watermark(self.config.params.max_parallel_instances),
+            )
+        } else if self.in_view_change {
+            StallReason::ViewChange
+        } else {
+            StallReason::None
+        }
     }
 
     fn quorum(&self) -> usize {
@@ -253,34 +284,51 @@ impl LeopardReplica {
     // Leader: proposing BFTblocks (Algorithm 2, pre-prepare)
     // ------------------------------------------------------------------
 
-    fn in_flight_instances(&self) -> usize {
-        self.leader_instances
-            .values()
-            .filter(|instance| !instance.is_confirmed())
-            .count()
-    }
-
-    fn propose(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.is_leader() || self.in_view_change {
+    /// Proposes BFTblocks until a pipeline guard blocks (recording that guard) or the
+    /// batching policy defers.
+    ///
+    /// This is **event-driven**: instead of only running on a fixed timer tick, it is
+    /// invoked from every event that changes one of its guards — a datablock crossing
+    /// the ready threshold ([`Self::handle_ready`]), an instance confirming
+    /// ([`Self::handle_commit_vote`]), the watermark advancing
+    /// ([`Self::handle_checkpoint_proof`]) and a new view starting
+    /// ([`Self::handle_view_change`]).
+    ///
+    /// Batching policy: an event-driven call (`flush = false`) proposes eagerly only
+    /// when a full `τ` batch of ready datablocks is available or the pipeline is idle
+    /// (an empty pipeline must never wait — that is the availability-triggered
+    /// proposing of FnF-BFT/Raptr). While instances are in flight, partial batches
+    /// accumulate so the per-block vote rounds amortise over `τ` links as in the
+    /// paper; the `TOKEN_PROPOSE` tick (`flush = true`) bounds how long a partial
+    /// batch can wait.
+    fn propose(&mut self, ctx: &mut Ctx<'_>, flush: bool) {
+        if !self.is_leader() {
             return;
         }
-        if self.behaviour().silent_as_leader() {
-            return;
-        }
-        let k = self.config.params.max_parallel_instances;
-        let high_watermark = self.checkpoints.low_watermark().0 + k as u64;
-        while self.in_flight_instances() < k
-            && self.ready.ready_count() > 0
-            && self.next_seq.0 <= high_watermark
-        {
-            let links = self.ready.take_ready(self.config.params.bftblock_size);
-            if links.is_empty() {
-                break;
+        loop {
+            let reason = self.pipeline.stall_reason(
+                self.behaviour().silent_as_leader(),
+                self.in_view_change,
+                self.ready.ready_count(),
+                self.checkpoints.high_watermark(self.config.params.max_parallel_instances),
+            );
+            if reason != StallReason::None {
+                self.record_stall(reason, ctx.now());
+                return;
             }
-            let seq = self.next_seq;
-            self.next_seq = self.next_seq.next();
+            if !flush
+                && self.pipeline.in_flight() > 0
+                && self.ready.ready_count() < self.config.params.bftblock_size
+            {
+                // Work is in flight and the batch is partial: let it fill. Not a
+                // stall — the next confirmation or the flush tick picks it up.
+                self.record_stall(StallReason::None, ctx.now());
+                return;
+            }
+            let links = self.ready.take_ready(self.config.params.bftblock_size);
+            let seq = self.pipeline.take_seq();
 
-            if self.behaviour().equivocates() && links.len() >= 1 {
+            if self.behaviour().equivocates() {
                 self.propose_equivocating(seq, links, ctx);
                 continue;
             }
@@ -291,11 +339,16 @@ impl LeopardReplica {
                 .keys
                 .scheme
                 .sign_share(self.keys.keypair(self.id.as_index()), &digest);
-            self.leader_instances
-                .insert(seq.0, LeaderInstance::new(block.clone(), ctx.now()));
-            let message = LeopardMessage::PrePrepare { block, share };
-            ctx.multicast(message.clone());
-            ctx.send(self.id, message);
+            self.pipeline.insert(seq, LeaderInstance::new(block.clone(), ctx.now()));
+            ctx.broadcast(LeopardMessage::PrePrepare { block, share });
+        }
+    }
+
+    /// Tracks when the currently blocking guard last changed (for progress probes).
+    fn record_stall(&mut self, reason: StallReason, now: SimTime) {
+        if self.stall_guard != reason {
+            self.stall_guard = reason;
+            self.stall_guard_since = now;
         }
     }
 
@@ -319,8 +372,8 @@ impl LeopardReplica {
             .keys
             .scheme
             .sign_share(self.keys.keypair(self.id.as_index()), &block_b.digest());
-        self.leader_instances
-            .insert(seq.0, LeaderInstance::new(block_a.clone(), ctx.now()));
+        self.pipeline
+            .insert(seq, LeaderInstance::new(block_a.clone(), ctx.now()));
         let half = self.n() / 2;
         for index in 0..self.n() {
             let peer = NodeId(index as u32);
@@ -371,7 +424,7 @@ impl LeopardReplica {
         }
     }
 
-    fn handle_ready(&mut self, from: NodeId, digest: Digest) {
+    fn handle_ready(&mut self, from: NodeId, digest: Digest, ctx: &mut Ctx<'_>) {
         if !self.is_leader() {
             return;
         }
@@ -380,7 +433,11 @@ impl LeopardReplica {
         if !self.pool.contains(&digest) {
             return;
         }
-        self.ready.record_ack(digest, from, self.quorum());
+        if self.ready.record_ack(digest, from, self.quorum()) {
+            // Event-driven pipeline: a datablock just crossed the `2f+1` threshold, so
+            // the `AwaitingReady` guard may have cleared.
+            self.propose(ctx, false);
+        }
     }
 
     fn handle_pre_prepare(
@@ -516,7 +573,7 @@ impl LeopardReplica {
             return;
         }
         let quorum = self.quorum();
-        let Some(instance) = self.leader_instances.get_mut(&seq.0) else {
+        let Some(instance) = self.pipeline.get_mut(seq) else {
             return;
         };
         if instance.block_digest != block_digest || instance.notarization.is_some() {
@@ -535,13 +592,11 @@ impl LeopardReplica {
         instance.notarization = Some(proof);
         let digest = Self::notarization_digest(seq, &block_digest, &proof);
         instance.notarization_digest = Some(digest);
-        let message = LeopardMessage::NotarizationProof {
+        ctx.broadcast(LeopardMessage::NotarizationProof {
             seq,
             block_digest,
             proof,
-        };
-        ctx.multicast(message.clone());
-        ctx.send(self.id, message);
+        });
     }
 
     fn handle_notarization(
@@ -605,7 +660,7 @@ impl LeopardReplica {
             return;
         }
         let quorum = self.quorum();
-        let Some(instance) = self.leader_instances.get_mut(&seq.0) else {
+        let Some(instance) = self.pipeline.get_mut(seq) else {
             return;
         };
         if instance.notarization_digest != Some(proof_digest) || instance.confirmation.is_some() {
@@ -617,14 +672,15 @@ impl LeopardReplica {
         let Ok(proof) = self.keys.scheme.combine(instance.commits.shares(), &proof_digest) else {
             return;
         };
-        instance.confirmation = Some(proof);
-        let message = LeopardMessage::ConfirmationProof {
+        self.pipeline.record_confirmation(seq, proof);
+        ctx.broadcast(LeopardMessage::ConfirmationProof {
             seq,
             proof_digest,
             proof,
-        };
-        ctx.multicast(message.clone());
-        ctx.send(self.id, message);
+        });
+        // Event-driven pipeline: the confirmation freed an in-flight slot, so the
+        // `InstancesFull` guard may have cleared.
+        self.propose(ctx, false);
     }
 
     fn handle_confirmation(
@@ -733,6 +789,7 @@ impl LeopardReplica {
                 requests: request_count,
             });
             self.last_executed = next;
+            self.last_confirmation_at = Some(ctx.now());
 
             // Checkpoint (Algorithm 4).
             if CheckpointState::is_checkpoint_height(next, self.config.checkpoint_interval)
@@ -776,13 +833,11 @@ impl LeopardReplica {
             .record_share(seq, state_digest, share, self.quorum())
         {
             if let Ok(proof) = self.keys.scheme.combine(&shares, &digest) {
-                let message = LeopardMessage::CheckpointProof {
+                ctx.broadcast(LeopardMessage::CheckpointProof {
                     seq,
                     state_digest,
                     proof,
-                };
-                ctx.multicast(message.clone());
-                ctx.send(self.id, message);
+                });
             }
         }
     }
@@ -792,6 +847,7 @@ impl LeopardReplica {
         seq: SeqNum,
         state_digest: Digest,
         proof: CombinedSignature,
+        ctx: &mut Ctx<'_>,
     ) {
         let digest = checkpoint_digest(seq, &state_digest);
         if !self.keys.scheme.verify_combined(&proof, &digest) {
@@ -811,8 +867,11 @@ impl LeopardReplica {
         }
         self.pool.prune(executed_links.iter().copied());
         self.ready.prune(executed_links);
-        self.leader_instances.retain(|&s, _| s > watermark);
+        self.pipeline.prune_through(SeqNum(watermark));
         self.replica_instances.retain(|&s, _| s > watermark);
+        // Event-driven pipeline: the watermark advance may have cleared the
+        // `WatermarkFull` guard.
+        self.propose(ctx, false);
     }
 
     // ------------------------------------------------------------------
@@ -928,9 +987,7 @@ impl LeopardReplica {
             .keys
             .scheme
             .sign_share(self.keys.keypair(self.id.as_index()), &digest);
-        let message = LeopardMessage::Timeout { view, share };
-        ctx.multicast(message.clone());
-        ctx.send(self.id, message);
+        ctx.broadcast(LeopardMessage::Timeout { view, share });
     }
 
     fn handle_timeout(
@@ -1025,14 +1082,12 @@ impl LeopardReplica {
             // Become the leader of the new view.
             self.enter_view(new_view, ctx);
             let blocks = payload.entries.clone();
-            let message = LeopardMessage::NewView {
+            ctx.broadcast(LeopardMessage::NewView {
                 view: new_view,
                 view_change_count: payload.view_change_count,
                 view_change_bytes: payload.view_change_bytes,
                 blocks: blocks.clone(),
-            };
-            ctx.multicast(message.clone());
-            ctx.send(self.id, message);
+            });
 
             // Re-propose the surviving blocks (and dummies for the gaps) in the new view.
             let mut highest = payload.stable_checkpoint.0;
@@ -1045,7 +1100,10 @@ impl LeopardReplica {
                 let block = Arc::new(BftBlock::dummy(new_view, *gap));
                 self.repropose(block, ctx);
             }
-            self.next_seq = SeqNum(highest + 1).max(self.next_seq);
+            self.pipeline.bump_next_seq(SeqNum(highest + 1));
+            // Event-driven pipeline: the new leader extends with whatever became ready
+            // while the view-change was in flight.
+            self.propose(ctx, true);
         }
     }
 
@@ -1055,11 +1113,9 @@ impl LeopardReplica {
             .keys
             .scheme
             .sign_share(self.keys.keypair(self.id.as_index()), &digest);
-        self.leader_instances
-            .insert(block.id.seq.0, LeaderInstance::new(block.clone(), ctx.now()));
-        let message = LeopardMessage::PrePrepare { block, share };
-        ctx.multicast(message.clone());
-        ctx.send(self.id, message);
+        self.pipeline
+            .insert(block.id.seq, LeaderInstance::new(block.clone(), ctx.now()));
+        ctx.broadcast(LeopardMessage::PrePrepare { block, share });
     }
 
     fn handle_new_view(
@@ -1114,6 +1170,14 @@ impl Protocol for LeopardReplica {
 
     fn on_start(&mut self, ctx: &mut dyn Context<Message = LeopardMessage>) {
         // Stagger the batch timer so system-wide datablock generation is spread evenly.
+        //
+        // The first fire lands at `stagger ∈ [0, interval)`, *not* at
+        // `interval + stagger`: production must start immediately. With the paper's
+        // saturated pacing the per-replica interval grows with `n · datablock_size`
+        // (≈ 2.9 s at n = 128, ≈ 18 s at n = 600) — deferring the first datablock by a
+        // full interval pushed it past the end of a 3 s run, which is exactly the
+        // "Leopard confirms nothing at n ≥ 128" collapse: the leader's Ready queue
+        // stayed empty forever while every downstream stage waited on it.
         let batch_interval = match self.config.workload {
             WorkloadMode::Saturated { pacing } => pacing,
             _ => self.config.batch_timeout,
@@ -1124,7 +1188,7 @@ impl Protocol for LeopardReplica {
             SimDuration::ZERO
         };
         ctx.set_timer(WORKLOAD_TICK, TOKEN_WORKLOAD);
-        ctx.set_timer(batch_interval + stagger, TOKEN_BATCH);
+        ctx.set_timer(stagger, TOKEN_BATCH);
         ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
         ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
         ctx.set_timer(self.config.retrieval_timeout, TOKEN_RETRIEVAL);
@@ -1138,7 +1202,7 @@ impl Protocol for LeopardReplica {
     ) {
         match message {
             LeopardMessage::Datablock(datablock) => self.handle_datablock(from, datablock, ctx),
-            LeopardMessage::Ready { digest } => self.handle_ready(from, digest),
+            LeopardMessage::Ready { digest } => self.handle_ready(from, digest, ctx),
             LeopardMessage::PrePrepare { block, share } => {
                 self.handle_pre_prepare(from, block, share, ctx)
             }
@@ -1180,7 +1244,7 @@ impl Protocol for LeopardReplica {
                 seq,
                 state_digest,
                 proof,
-            } => self.handle_checkpoint_proof(seq, state_digest, proof),
+            } => self.handle_checkpoint_proof(seq, state_digest, proof, ctx),
             LeopardMessage::Timeout { view, share } => self.handle_timeout(from, view, share, ctx),
             LeopardMessage::ViewChange {
                 new_view,
@@ -1210,7 +1274,10 @@ impl Protocol for LeopardReplica {
                 ctx.set_timer(interval, TOKEN_BATCH);
             }
             TOKEN_PROPOSE => {
-                self.propose(ctx);
+                // The batch-flush tick: the pipeline is event-driven (see `propose`);
+                // the periodic tick bounds how long a partial batch waits and guards
+                // against a missed wake-up.
+                self.propose(ctx, true);
                 ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
             }
             TOKEN_PROGRESS => {
@@ -1223,6 +1290,34 @@ impl Protocol for LeopardReplica {
             }
             _ => {}
         }
+    }
+
+    fn progress_probe(&self, now: SimTime) -> Option<ProgressProbe> {
+        let guard = self.current_stall();
+        // A guard snapshot alone is not a stall: between two datablock arrivals the
+        // leader legitimately sits on `AwaitingReady`. Report a stall only when the
+        // guard blocks *and* nothing has confirmed for a full progress-timeout window.
+        let making_progress = self
+            .last_confirmation_at
+            .map(|at| now.saturating_since(at) < self.config.progress_timeout)
+            .unwrap_or(false);
+        let stall = if guard == StallReason::None || making_progress {
+            StallReason::None
+        } else {
+            guard
+        };
+        let stalled_since = if stall == StallReason::None {
+            None
+        } else if self.stall_guard == guard {
+            Some(self.stall_guard_since)
+        } else {
+            Some(now)
+        };
+        Some(ProgressProbe {
+            last_confirmation_at: self.last_confirmation_at,
+            stall: stall.as_str(),
+            stalled_since,
+        })
     }
 }
 

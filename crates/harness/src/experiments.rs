@@ -7,7 +7,7 @@
 
 use crate::analysis;
 use crate::report::Table;
-use crate::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use crate::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig, ScenarioReport};
 use crate::workload::WorkloadConfig;
 use leopard_simnet::SimDuration;
 use leopard_types::{NodeId, ProtocolParams};
@@ -22,6 +22,19 @@ fn fmt_f(value: f64) -> String {
 
 fn fmt_opt_secs(value: Option<f64>) -> String {
     value.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".to_string())
+}
+
+/// Formats a throughput-like cell, annotating a zero with the run's `StallReason` so a
+/// collapse can never appear as a bare `0.00` (the numeric prefix stays parseable).
+fn fmt_annotated(value: f64, report: &ScenarioReport) -> String {
+    let cell = fmt_f(value);
+    if value > 0.0 {
+        return cell;
+    }
+    match report.stall_annotation() {
+        Some(stall) => format!("{cell} [{stall}]"),
+        None => cell,
+    }
 }
 
 /// Fig. 1 — throughput of a prior leader-based BFT (HotStuff) at increasing scale, for
@@ -157,32 +170,72 @@ pub fn tab2_batch_sizes() -> Table {
     table
 }
 
+/// The Fig. 9 column set, shared with the `fig9smoke` CI point: full-window and
+/// steady-state throughput for both protocols, plus the leader's stall diagnostics so
+/// a zero cell always names the guard that blocked the pipeline.
+const FIG9_HEADERS: &[&str] = &[
+    "n",
+    "Leopard (Kreqs/s)",
+    "HotStuff (Kreqs/s)",
+    "ratio",
+    "Leopard steady (Kreqs/s)",
+    "HotStuff steady (Kreqs/s)",
+    "Leopard diagnostics",
+];
+
+fn fig9_row(n: usize) -> Vec<String> {
+    let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
+    let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+    let ratio = if hotstuff.throughput_rps > 0.0 {
+        leopard.throughput_rps / hotstuff.throughput_rps
+    } else {
+        f64::INFINITY
+    };
+    vec![
+        n.to_string(),
+        fmt_annotated(leopard.throughput_kreqs(), &leopard),
+        fmt_annotated(hotstuff.throughput_kreqs(), &hotstuff),
+        fmt_f(ratio),
+        fmt_annotated(leopard.steady_state_kreqs(), &leopard),
+        fmt_annotated(hotstuff.steady_state_kreqs(), &hotstuff),
+        leopard.stall_summary(),
+    ]
+}
+
 /// Fig. 9 — the headline plot: throughput of Leopard and HotStuff at increasing scale.
 pub fn fig9_throughput_scaling(quick: bool) -> Table {
     let mut table = Table::new(
         "Fig. 9 — throughput of Leopard and HotStuff at different scales",
+        FIG9_HEADERS,
+    );
+    for n in scales(quick, &[4, 8, 16], &[32, 64, 128, 256, 300, 400, 600]) {
+        table.push_row(fig9_row(n));
+    }
+    table
+}
+
+/// Fig. 9 smoke point — the single paper-scale cell (n = 128) where the pre-PR-3
+/// timer-polled pipeline silently collapsed to zero. Always runs at full scale
+/// (ignoring `quick`), and runs **Leopard only** — the HotStuff baseline is not under
+/// guard here, and a second paper-scale simulation would double the CI step for
+/// nothing. CI fails the build if any Leopard throughput cell reads zero again.
+pub fn fig9_smoke(_quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 9 smoke — Leopard must confirm at the paper scale n = 128",
         &[
             "n",
             "Leopard (Kreqs/s)",
-            "HotStuff (Kreqs/s)",
-            "ratio",
+            "Leopard steady (Kreqs/s)",
+            "Leopard diagnostics",
         ],
     );
-    for n in scales(quick, &[4, 8, 16], &[32, 64, 128, 256, 300, 400, 600]) {
-        let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
-        let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
-        let ratio = if hotstuff.throughput_rps > 0.0 {
-            leopard.throughput_rps / hotstuff.throughput_rps
-        } else {
-            f64::INFINITY
-        };
-        table.push_row(vec![
-            n.to_string(),
-            fmt_f(leopard.throughput_kreqs()),
-            fmt_f(hotstuff.throughput_kreqs()),
-            fmt_f(ratio),
-        ]);
-    }
+    let leopard = run_leopard_scenario(&ScenarioConfig::paper(128));
+    table.push_row(vec![
+        "128".to_string(),
+        fmt_annotated(leopard.throughput_kreqs(), &leopard),
+        fmt_annotated(leopard.steady_state_kreqs(), &leopard),
+        leopard.stall_summary(),
+    ]);
     table
 }
 
@@ -223,9 +276,9 @@ pub fn fig10_scaling_up(quick: bool) -> Table {
             table.push_row(vec![
                 mbps.to_string(),
                 n.to_string(),
-                fmt_f(leopard.throughput_mbps()),
+                fmt_annotated(leopard.throughput_mbps(), &leopard),
                 fmt_opt_secs(leopard.average_latency_secs),
-                fmt_f(hotstuff.throughput_mbps()),
+                fmt_annotated(hotstuff.throughput_mbps(), &hotstuff),
                 fmt_opt_secs(hotstuff.average_latency_secs),
             ]);
         }
@@ -409,8 +462,8 @@ pub fn fig13_view_change(quick: bool) -> Table {
 
 /// Every experiment id understood by [`run_experiment`].
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig10", "tab3", "tab4",
-    "fig11", "fig12", "fig13",
+    "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig10", "tab3",
+    "tab4", "fig11", "fig12", "fig13",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for an unknown id.
@@ -424,6 +477,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "fig8" => fig8_datablock_size(quick),
         "tab2" => tab2_batch_sizes(),
         "fig9" => fig9_throughput_scaling(quick),
+        "fig9smoke" => fig9_smoke(quick),
         "fig10" => fig10_scaling_up(quick),
         "tab3" => tab3_bandwidth_breakdown(quick),
         "tab4" => tab4_latency_breakdown(quick),

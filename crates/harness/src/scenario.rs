@@ -5,7 +5,8 @@ use crate::workload::WorkloadConfig;
 use leopard_core::{config::WorkloadMode, LeopardConfig, LeopardReplica};
 use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
 use leopard_simnet::{
-    FaultPlan, NetworkConfig, ObservationKind, SimDuration, SimTime, Simulation, SimulationReport,
+    FaultPlan, NetworkConfig, ObservationKind, ProgressProbe, SimDuration, SimTime, Simulation,
+    SimulationReport,
 };
 use leopard_types::{NodeId, ProtocolParams};
 
@@ -20,6 +21,13 @@ pub struct ScenarioConfig {
     pub bandwidth_mbps: Option<u64>,
     /// Virtual duration of the run.
     pub duration: SimDuration,
+    /// Warm-up window excluded from the steady-state throughput figures, or `None`
+    /// for the default of one third of the duration (see
+    /// [`Self::effective_warmup`]). The full-window figures still cover
+    /// `[0, duration]` so cross-PR numbers stay comparable; the steady-state split
+    /// exists so a short run's pipeline-fill transient cannot masquerade as a
+    /// throughput loss.
+    pub warmup: Option<SimDuration>,
     /// Requests per datablock (Leopard).
     pub datablock_size: usize,
     /// Datablock links per BFTblock (Leopard).
@@ -47,6 +55,7 @@ impl ScenarioConfig {
             workload: WorkloadConfig::paper_default(),
             bandwidth_mbps: None,
             duration: SimDuration::from_secs(3),
+            warmup: None,
             datablock_size,
             bftblock_size,
             hotstuff_batch: 800,
@@ -64,6 +73,7 @@ impl ScenarioConfig {
             workload: WorkloadConfig::small(),
             bandwidth_mbps: None,
             duration: SimDuration::from_secs(2),
+            warmup: None,
             datablock_size: 16,
             bftblock_size: 8,
             hotstuff_batch: 16,
@@ -86,10 +96,26 @@ impl ScenarioConfig {
         self
     }
 
-    /// Overrides the virtual duration.
+    /// Overrides the virtual duration. An explicit [`Self::with_warmup`] override is
+    /// preserved regardless of call order; otherwise the warm-up stays at its default
+    /// of one third of the (new) duration.
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
         self.duration = duration;
         self
+    }
+
+    /// Overrides the warm-up window excluded from steady-state figures (the default
+    /// is one third of the duration).
+    pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = Some(warmup);
+        self
+    }
+
+    /// The warm-up window in effect: the explicit override, or one third of the
+    /// duration.
+    pub fn effective_warmup(&self) -> SimDuration {
+        self.warmup
+            .unwrap_or_else(|| SimDuration::from_nanos(self.duration.as_nanos() / 3))
     }
 
     /// Overrides the Leopard batch sizes.
@@ -193,8 +219,14 @@ pub struct ScenarioReport {
     pub duration_secs: f64,
     /// Requests confirmed (max over replicas).
     pub confirmed_requests: u64,
-    /// Confirmed requests per second.
+    /// Confirmed requests per second over the full `[0, duration]` window (warm-up
+    /// transient included — the historical, cross-PR-comparable figure).
     pub throughput_rps: f64,
+    /// Confirmed requests per second over the steady-state window
+    /// `[warmup, duration]` only.
+    pub steady_state_throughput_rps: f64,
+    /// The warm-up window excluded from the steady-state figures, in seconds.
+    pub warmup_secs: f64,
     /// Confirmed payload bits per second.
     pub throughput_bps: f64,
     /// Average client latency in seconds (None if nothing completed).
@@ -215,6 +247,9 @@ pub struct ScenarioReport {
     pub average_retrieval_recv_bytes: Option<f64>,
     /// Average bytes sent per responding replica during retrievals.
     pub average_responder_bytes: Option<f64>,
+    /// The initial leader's progress probe at the end of the run ("last confirmation
+    /// at t, stalled on X since t′"), if the protocol is instrumented.
+    pub leader_probe: Option<ProgressProbe>,
     /// The raw simulation report (traffic matrix, observations) for detailed breakdowns.
     pub sim: SimulationReport,
 }
@@ -224,6 +259,13 @@ impl ScenarioReport {
         let duration_secs = sim.end_time.as_secs_f64();
         let confirmed = sim.metrics.max_confirmed_requests(config.n);
         let throughput_rps = sim.throughput_rps();
+        let warmup = config.effective_warmup();
+        let steady_state_throughput_rps = sim.steady_state_throughput_rps(warmup);
+        let leader_probe = sim
+            .probes
+            .get(config.initial_leader().as_index())
+            .cloned()
+            .flatten();
         let payload_bits = confirmed as f64 * config.workload.payload_size as f64 * 8.0;
         let throughput_bps = if duration_secs > 0.0 {
             payload_bits / duration_secs
@@ -296,6 +338,8 @@ impl ScenarioReport {
             duration_secs,
             confirmed_requests: confirmed,
             throughput_rps,
+            steady_state_throughput_rps,
+            warmup_secs: warmup.as_secs_f64(),
             throughput_bps,
             average_latency_secs,
             leader_bandwidth_bps,
@@ -306,6 +350,7 @@ impl ScenarioReport {
             average_retrieval_secs: average(&retrieval_times),
             average_retrieval_recv_bytes: average(&retrieval_bytes),
             average_responder_bytes,
+            leader_probe,
             sim,
         }
     }
@@ -313,6 +358,29 @@ impl ScenarioReport {
     /// Throughput in the paper's Kreqs/sec unit.
     pub fn throughput_kreqs(&self) -> f64 {
         self.throughput_rps / 1_000.0
+    }
+
+    /// Steady-state throughput (warm-up excluded) in Kreqs/sec.
+    pub fn steady_state_kreqs(&self) -> f64 {
+        self.steady_state_throughput_rps / 1_000.0
+    }
+
+    /// The leader's stall label when the run ended stalled (e.g. `"AwaitingReady"`),
+    /// `None` when the leader was healthy or the protocol is not instrumented.
+    pub fn stall_annotation(&self) -> Option<&'static str> {
+        self.leader_probe
+            .as_ref()
+            .filter(|probe| !probe.is_healthy())
+            .map(|probe| probe.stall)
+    }
+
+    /// Human-readable leader diagnostics for table output: `"-"` when healthy,
+    /// otherwise e.g. `"AwaitingReady since 0.020s; never confirmed"`.
+    pub fn stall_summary(&self) -> String {
+        match &self.leader_probe {
+            Some(probe) if !probe.is_healthy() => probe.summary(),
+            _ => "-".to_string(),
+        }
     }
 
     /// Throughput in Mbps of confirmed payload (the unit of Fig. 10).

@@ -5,7 +5,7 @@ use crate::config::{HotStuffConfig, HotStuffKeys};
 use crate::messages::HotStuffMessage;
 use leopard_crypto::threshold::SignatureShare;
 use leopard_crypto::Digest;
-use leopard_simnet::{Context, ObservationKind, Protocol, SimDuration, SimTime};
+use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
 use leopard_types::{ClientId, NodeId, Request, RequestId, View};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -48,6 +48,8 @@ pub struct HotStuffReplica {
     votes: HashMap<Digest, VoteSet>,
     /// Leader: digest of the proposal still waiting for its QC.
     awaiting_qc: Option<Digest>,
+    /// When `awaiting_qc` was last set (progress-probe bookkeeping).
+    awaiting_qc_since: Option<SimTime>,
     /// The highest height this replica voted for.
     last_voted_height: u64,
     /// Height of the latest committed block.
@@ -57,6 +59,8 @@ pub struct HotStuffReplica {
     /// Total requests confirmed by this replica.
     confirmed_requests: u64,
     confirmed_at_last_check: u64,
+    /// When this replica last executed a block (progress-probe bookkeeping).
+    last_confirmation_at: Option<SimTime>,
 }
 
 impl std::fmt::Debug for HotStuffReplica {
@@ -92,11 +96,13 @@ impl HotStuffReplica {
             high_qc: QuorumCertificate::genesis(),
             votes: HashMap::new(),
             awaiting_qc: None,
+            awaiting_qc_since: None,
             last_voted_height: 0,
             committed_height: 0,
             executed: HashSet::new(),
             confirmed_requests: 0,
             confirmed_at_last_check: 0,
+            last_confirmation_at: None,
             config,
             keys,
         }
@@ -204,16 +210,17 @@ impl HotStuffReplica {
         let digest = block.digest();
         self.blocks.insert(digest, block.clone());
         self.awaiting_qc = Some(digest);
+        self.awaiting_qc_since = Some(ctx.now());
         let share = self.keys.scheme.sign_share(self.keypair(), &digest);
         // The leader's own vote.
         self.votes.entry(digest).or_default();
-        let message = HotStuffMessage::Proposal {
+        // Broadcast includes the local self-delivery without cloning the envelope
+        // (same audit as the Leopard proposer's double-envelope fix).
+        ctx.broadcast(HotStuffMessage::Proposal {
             block,
             justify: self.high_qc,
             share,
-        };
-        ctx.multicast(message.clone());
-        ctx.send(self.id, message);
+        });
     }
 
     fn handle_proposal(
@@ -361,6 +368,7 @@ impl HotStuffReplica {
         let count = block.len() as u64;
         let bytes = block.payload_bytes() as u64;
         self.confirmed_requests += count;
+        self.last_confirmation_at = Some(ctx.now());
         if count > 0 {
             ctx.observe(ObservationKind::RequestsConfirmed {
                 count,
@@ -478,6 +486,33 @@ impl Protocol for HotStuffReplica {
             }
             _ => {}
         }
+    }
+
+    fn progress_probe(&self, now: SimTime) -> Option<ProgressProbe> {
+        let making_progress = self
+            .last_confirmation_at
+            .map(|at| now.saturating_since(at) < self.config.progress_timeout)
+            .unwrap_or(false);
+        let stall = if making_progress {
+            "None"
+        } else if self.is_leader() && self.awaiting_qc.is_some() {
+            "AwaitingVotes"
+        } else {
+            "AwaitingProposal"
+        };
+        let stalled_since = match stall {
+            "None" => None,
+            // The vote wait began when the open proposal was made.
+            "AwaitingVotes" => self.awaiting_qc_since,
+            // Otherwise progress stopped with the last confirmation (start of run if
+            // nothing ever confirmed).
+            _ => Some(self.last_confirmation_at.unwrap_or(SimTime(0))),
+        };
+        Some(ProgressProbe {
+            last_confirmation_at: self.last_confirmation_at,
+            stall,
+            stalled_since,
+        })
     }
 }
 

@@ -37,6 +37,6 @@ pub mod time;
 pub use fault::{FaultPlan, MessageFate};
 pub use metrics::{MetricsSink, Observation, ObservationKind, TrafficMatrix};
 pub use network::{LinkConfig, NetworkConfig};
-pub use protocol::{Context, Protocol, SimMessage};
+pub use protocol::{Context, ProgressProbe, Protocol, SimMessage};
 pub use sim::{Simulation, SimulationReport};
 pub use time::{SimDuration, SimTime};

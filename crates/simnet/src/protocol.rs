@@ -53,6 +53,19 @@ pub trait Context {
         }
     }
 
+    /// Sends a message to every node **including oneself**; the self-delivery is local
+    /// (no bandwidth charged), the other `node_count() - 1` deliveries are charged as
+    /// unicasts.
+    ///
+    /// Protocols that process their own proposals/proofs through the regular message
+    /// path should prefer this over `multicast(m.clone()); send(self, m)`: the
+    /// simulation engine shares one envelope across the whole fan-out, so no extra
+    /// clone of the message is made for the self-delivery.
+    fn broadcast(&mut self, message: Self::Message) {
+        self.multicast(message.clone());
+        self.send(self.node_id(), message);
+    }
+
     /// Schedules `on_timer(token)` to fire after `delay`.
     fn set_timer(&mut self, delay: SimDuration, token: u64);
 
@@ -62,6 +75,44 @@ pub trait Context {
 
     /// A deterministic per-node random number generator.
     fn rng(&mut self) -> &mut dyn RngCore;
+}
+
+/// A point-in-time liveness self-report from a protocol instance.
+///
+/// The probe turns a silent stall into a diagnosable one: instead of a bare zero in a
+/// throughput table, a run can report "last confirmation at `t`, stalled on `X` since
+/// `t'`". The `stall` label is protocol-defined (Leopard reports its `StallReason`
+/// taxonomy); `"None"` by convention means the node is making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressProbe {
+    /// When this node last confirmed (executed) anything, if ever.
+    pub last_confirmation_at: Option<SimTime>,
+    /// The protocol-defined stall label; `"None"` when the node is healthy.
+    pub stall: &'static str,
+    /// Since when the current stall has persisted (`None` when not stalled).
+    pub stalled_since: Option<SimTime>,
+}
+
+impl ProgressProbe {
+    /// True if the probe reports no stall.
+    pub fn is_healthy(&self) -> bool {
+        self.stall == "None"
+    }
+
+    /// A compact human-readable rendering, e.g.
+    /// `"AwaitingReady since 2.100s; last confirmation at 1.950s"`.
+    pub fn summary(&self) -> String {
+        let confirm = match self.last_confirmation_at {
+            Some(at) => format!("last confirmation at {:.3}s", at.as_secs_f64()),
+            None => "never confirmed".to_string(),
+        };
+        match self.stalled_since {
+            Some(since) if !self.is_healthy() => {
+                format!("{} since {:.3}s; {confirm}", self.stall, since.as_secs_f64())
+            }
+            _ => confirm,
+        }
+    }
 }
 
 /// A sans-IO protocol state machine.
@@ -82,6 +133,14 @@ pub trait Protocol {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut dyn Context<Message = Self::Message>);
+
+    /// Reports this node's liveness state at time `now`, if the protocol is
+    /// instrumented for it. The default is `None` (not instrumented); the simulation
+    /// snapshots every node's probe into [`crate::SimulationReport::probes`] when a run
+    /// ends.
+    fn progress_probe(&self, _now: SimTime) -> Option<ProgressProbe> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,13 @@
 //!    `departure = max(t, uplink_free[a]) + s·8 / uplink_bps`.
 //! 2. It propagates for `base_latency + U(0, jitter)` (plus `U(0, pre_gst_extra_delay)`
 //!    before GST).
-//! 3. It queues at `b`'s downlink: it is delivered at
-//!    `max(arrival, downlink_free[b]) + s·8 / downlink_bps`.
+//! 3. It queues at `b`'s downlink **on arrival**: it is delivered at
+//!    `max(arrival, downlink_free[b]) + s·8 / downlink_bps`, where the reservation is
+//!    made when the bytes arrive (the `Arrive` event), so the downlink FIFO is ordered
+//!    by arrival time — not by the order in which messages happened to be routed.
+//!    (Route-time reservation let one fan-out's far-future tail copy block control
+//!    messages routed later but arriving earlier, an artificial head-of-line blocking
+//!    that starved votes and collapsed Leopard's throughput at n ≥ 128.)
 //!
 //! In half-duplex mode (the paper's cost model, where `C` is the total bits a replica
 //! can move per second) the uplink and downlink of a node share one queue.
@@ -35,6 +40,23 @@ use std::sync::Arc;
 enum EventKind<M> {
     /// Call `on_start` on the node.
     Start(NodeId),
+    /// A message finishes propagating and reaches the receiver's downlink queue. The
+    /// downlink serialisation slot is reserved **when this fires** — i.e. in arrival
+    /// order — not when the message was routed. Reserving at route time would let a
+    /// large fan-out's tail copy (whose arrival lies far in the future behind the
+    /// sender's uplink backlog) block small control messages routed later but arriving
+    /// earlier; that artificial head-of-line blocking compounds through the half-duplex
+    /// coupling and starves votes at large `n`.
+    Arrive {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The message.
+        message: Arc<M>,
+        /// Wire size, for the downlink serialisation delay.
+        size: usize,
+    },
     /// Deliver a message. The envelope is `Arc`-shared so a multicast queues `n − 1`
     /// pointer clones of one logical message instead of `n − 1` deep clones.
     Deliver {
@@ -87,6 +109,9 @@ enum Outgoing<M> {
     /// A send to every other node; the engine expands it with `wire_size()` and
     /// `category()` computed once for the whole fan-out.
     Multicast(M),
+    /// A send to every node including the sender; the self-delivery shares the same
+    /// `Arc` envelope as the fan-out, so no extra clone of the message is made.
+    Broadcast(M),
 }
 
 /// Actions a protocol requested during one callback, applied by the engine afterwards.
@@ -140,6 +165,13 @@ impl<M: SimMessage> Context for SimContext<'_, M> {
         self.actions.sends.push(Outgoing::Multicast(message));
     }
 
+    fn broadcast(&mut self, message: M) {
+        // Fast path: one envelope for the whole fan-out *and* the self-delivery — the
+        // default `multicast(m.clone()) + send(self, m)` implementation would clone the
+        // message once more just to hand it back to the sender.
+        self.actions.sends.push(Outgoing::Broadcast(message));
+    }
+
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.actions.timers.push((delay, token));
     }
@@ -164,6 +196,9 @@ pub struct SimulationReport {
     pub events: u64,
     /// Collected metrics.
     pub metrics: MetricsSink,
+    /// Per-node progress probes snapshotted at `end_time` (empty for protocols that do
+    /// not implement [`Protocol::progress_probe`]). Indexed by node.
+    pub probes: Vec<Option<crate::ProgressProbe>>,
 }
 
 impl SimulationReport {
@@ -297,6 +332,16 @@ impl<P: Protocol> Simulation<P> {
         &mut self.faults
     }
 
+    /// The `(uplink_free, downlink_free)` serialisation horizons of `node` — how far
+    /// into the (virtual) future the node's FIFO link queues are already committed.
+    /// A horizon far beyond [`Self::now`] means the link is backlogged.
+    pub fn link_horizons(&self, node: NodeId) -> (SimTime, SimTime) {
+        (
+            self.uplink_free[node.as_index()],
+            self.downlink_free[node.as_index()],
+        )
+    }
+
     fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent {
@@ -348,13 +393,20 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
+    /// Snapshots every node's [`Protocol::progress_probe`] at the current time.
+    pub fn probes(&self) -> Vec<Option<crate::ProgressProbe>> {
+        self.nodes.iter().map(|node| node.progress_probe(self.now)).collect()
+    }
+
     /// Consumes the simulation and produces the final report.
     pub fn into_report(self) -> SimulationReport {
+        let probes = self.probes();
         SimulationReport {
             nodes: self.config.nodes,
             end_time: self.now,
             events: self.events,
             metrics: self.metrics,
+            probes,
         }
     }
 
@@ -382,6 +434,25 @@ impl<P: Protocol> Simulation<P> {
                     self.nodes[node.as_index()].on_start(&mut ctx);
                 }
                 self.apply_actions(node, actions);
+            }
+            EventKind::Arrive {
+                from,
+                to,
+                message,
+                size,
+            } => {
+                if self.faults.is_crashed(to, self.now) {
+                    return;
+                }
+                let to_link = self.config.link(to.as_index());
+                let start = self.now.max(self.downlink_free[to.as_index()]);
+                let delivery = start + SimDuration::transmission(size, to_link.downlink_bps);
+                self.downlink_free[to.as_index()] = delivery;
+                if self.config.half_duplex {
+                    self.uplink_free[to.as_index()] =
+                        self.uplink_free[to.as_index()].max(delivery);
+                }
+                self.push_event(delivery, EventKind::Deliver { from, to, message });
             }
             EventKind::Deliver { from, to, message } => {
                 if self.faults.is_crashed(to, self.now) {
@@ -452,6 +523,21 @@ impl<P: Protocol> Simulation<P> {
                         }
                     }
                 }
+                Outgoing::Broadcast(message) => {
+                    // Like Multicast, plus a local self-delivery that shares the same
+                    // envelope (ordered last, exactly where the old explicit
+                    // `multicast + send(self)` pair put it).
+                    let size = message.wire_size();
+                    let category = message.category();
+                    let shared = Arc::new(message);
+                    for index in 0..self.config.nodes {
+                        let peer = NodeId(index as u32);
+                        if peer != node {
+                            self.route(node, peer, Arc::clone(&shared), size, category);
+                        }
+                    }
+                    self.route(node, node, shared, size, category);
+                }
             }
         }
     }
@@ -504,25 +590,26 @@ impl<P: Protocol> Simulation<P> {
                 );
         }
         let arrival = departure + latency;
-
-        // Downlink serialisation at the receiver.
-        let to_link = self.config.link(to.as_index());
-        let downlink_start = arrival.max(self.downlink_free[to.as_index()]);
-        let delivery = downlink_start + SimDuration::transmission(size, to_link.downlink_bps);
-        self.downlink_free[to.as_index()] = delivery;
-        if self.config.half_duplex {
-            self.uplink_free[to.as_index()] = self.uplink_free[to.as_index()].max(delivery);
-        }
         self.metrics.traffic.record_received(to, category, size as u64);
 
-        self.push_event(delivery, EventKind::Deliver { from, to, message });
+        // Downlink serialisation is reserved when the bytes actually arrive (the
+        // `Arrive` event), so the receiver's FIFO queue is ordered by arrival time.
+        self.push_event(
+            arrival,
+            EventKind::Arrive {
+                from,
+                to,
+                message,
+                size,
+            },
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::test_support::PingPong;
+    use crate::protocol::test_support::{PingMessage, PingPong};
     use crate::LinkConfig;
 
     fn two_node_config(bps: u64) -> NetworkConfig {
@@ -665,6 +752,7 @@ mod tests {
             end_time: SimTime(SimDuration::from_secs(10).as_nanos()),
             events: 0,
             metrics: MetricsSink::new(),
+            probes: Vec::new(),
         };
         // 100 requests confirmed at t = 6 s: full-window rate is 10 rps, the rate over
         // the [5 s, 10 s] window is 20 rps, and a warm-up covering the run yields 0.
@@ -692,6 +780,85 @@ mod tests {
         assert_eq!(sim.now(), deadline);
     }
 
+    /// Regression test for the arrival-order downlink reservation: a small message
+    /// routed *after* two bulk transfers, but arriving long *before* their tail, must
+    /// not queue behind them. Under route-time reservation (the pre-PR-3 model) the
+    /// small ping below was delivered after ~300 ms instead of ~1 ms — the artificial
+    /// head-of-line blocking that starved votes at paper scale.
+    #[test]
+    fn later_routed_small_message_is_not_blocked_by_earlier_bulk_reservation() {
+        #[derive(Debug)]
+        struct BulkThenPing {
+            small_delivered: bool,
+        }
+        impl Protocol for BulkThenPing {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                match ctx.node_id() {
+                    // Two back-to-back bulk transfers: 125 kB at 10 Mbps is 100 ms of
+                    // uplink each, so the second copy arrives at ~200 ms.
+                    NodeId(0) => {
+                        ctx.send(NodeId(2), PingMessage::Ping { hops: 0, payload: 125_000 });
+                        ctx.send(NodeId(2), PingMessage::Ping { hops: 0, payload: 125_000 });
+                    }
+                    // A tiny ping routed 1 ms later (well after the bulk transfers were
+                    // routed) that physically arrives at ~1.1 ms.
+                    NodeId(1) => ctx.set_timer(SimDuration::from_millis(1), 7),
+                    _ => {}
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                if let PingMessage::Ping { payload, .. } = message {
+                    if payload < 1_000 && !self.small_delivered {
+                        self.small_delivered = true;
+                        ctx.observe(ObservationKind::Custom {
+                            label: "small_delivered_at",
+                            value: ctx.now().as_nanos(),
+                        });
+                    }
+                }
+            }
+
+            fn on_timer(&mut self, _token: u64, ctx: &mut dyn Context<Message = PingMessage>) {
+                ctx.send(NodeId(2), PingMessage::Ping { hops: 1, payload: 8 });
+            }
+        }
+
+        let mut config = NetworkConfig::datacenter(3);
+        config.links = vec![LinkConfig::symmetric(10_000_000)];
+        config.jitter = SimDuration::ZERO;
+        config.base_latency = SimDuration::from_micros(100);
+        config.half_duplex = false;
+        let mut sim = Simulation::new(config, FaultPlan::none(), |_| BulkThenPing {
+            small_delivered: false,
+        });
+        sim.run_until(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        let delivered_at = sim
+            .metrics()
+            .custom_samples("small_delivered_at")
+            .first()
+            .copied()
+            .expect("small ping was delivered");
+        assert!(
+            delivered_at < SimDuration::from_millis(10).as_nanos(),
+            "small ping delivered at {delivered_at} ns — queued behind the bulk reservations"
+        );
+        // The bulk transfers still occupy the receiver's downlink until ~300 ms: the
+        // horizon reflects real serialisation work, just reserved in arrival order.
+        let (_, downlink) = sim.link_horizons(NodeId(2));
+        assert!(
+            downlink.as_nanos() >= SimDuration::from_millis(250).as_nanos(),
+            "bulk transfers should keep the downlink horizon high, got {downlink:?}"
+        );
+    }
+
     #[test]
     fn half_duplex_couples_the_two_directions() {
         // With half-duplex links, a node that is busy sending delays its receives too.
@@ -716,3 +883,4 @@ mod tests {
         assert!(done(&report) >= done(&report_full));
     }
 }
+
