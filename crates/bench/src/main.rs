@@ -17,6 +17,12 @@
 //! whose header contains `<substr>` does not start with a positive number — the CI
 //! guard that keeps the "Leopard confirms nothing at paper scale" collapse from
 //! silently regressing (used with the `fig9smoke` experiment).
+//!
+//! `--max-wall-clock <secs>` makes the binary exit non-zero if the *total* wall clock
+//! of the selected experiments exceeds the budget — the CI guard that keeps the quick
+//! experiment suite inside its stated time budget (see `EXPERIMENTS.md`), so a
+//! performance regression in the simulator or a protocol hot path fails the build
+//! instead of quietly making every future benchmark run slower.
 
 use leopard_harness::experiments::{run_experiment, EXPERIMENT_IDS};
 use leopard_harness::report::{bench_records_to_json, BenchRecord};
@@ -28,6 +34,7 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let mut bench_json: Option<PathBuf> = None;
     let mut require_nonzero: Option<String> = None;
+    let mut max_wall_clock: Option<f64> = None;
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -44,6 +51,13 @@ fn main() {
                 Some(substr) => require_nonzero = Some(substr),
                 None => {
                     eprintln!("--require-nonzero requires a column-substring argument");
+                    std::process::exit(2);
+                }
+            },
+            "--max-wall-clock" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) => max_wall_clock = Some(secs),
+                None => {
+                    eprintln!("--max-wall-clock requires a seconds argument");
                     std::process::exit(2);
                 }
             },
@@ -84,6 +98,17 @@ fn main() {
                 eprintln!("  unknown experiment id: {id}");
                 failures += 1;
             }
+        }
+    }
+    let total_wall_clock: f64 = records.iter().map(|r| r.wall_clock_secs).sum();
+    if let Some(budget) = max_wall_clock {
+        if total_wall_clock > budget {
+            eprintln!(
+                "MAX-WALL-CLOCK FAILED: experiments took {total_wall_clock:.3}s, budget is {budget:.3}s"
+            );
+            failures += 1;
+        } else {
+            eprintln!("wall-clock budget ok: {total_wall_clock:.3}s <= {budget:.3}s");
         }
     }
     if let Some(path) = bench_json {

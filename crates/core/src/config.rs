@@ -2,9 +2,10 @@
 //! and the shared key material.
 
 use crate::byzantine::ByzantineBehavior;
+use leopard_crypto::provider::{CryptoMode, CryptoProvider};
 use leopard_crypto::threshold::{ThresholdKeyPair, ThresholdScheme};
 use leopard_simnet::SimDuration;
-use leopard_types::ProtocolParams;
+use leopard_types::{CostModelKind, ProtocolParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -57,6 +58,11 @@ pub struct LeopardConfig {
     pub checkpoint_interval: u64,
     /// Byzantine behaviour injected into this replica (honest by default).
     pub byzantine: ByzantineBehavior,
+    /// Whether crypto executes its field/erasure work for real or skips it while
+    /// charging identical modeled time (see `leopard_crypto::provider`).
+    pub crypto_mode: CryptoMode,
+    /// Which per-operation compute-cost calibration the replicas charge.
+    pub cost_model: CostModelKind,
 }
 
 impl LeopardConfig {
@@ -73,6 +79,8 @@ impl LeopardConfig {
             retrieval_timeout: SimDuration::from_millis(100),
             progress_timeout: SimDuration::from_secs(2),
             byzantine: ByzantineBehavior::Honest,
+            crypto_mode: CryptoMode::Real,
+            cost_model: CostModelKind::Calibrated,
         }
     }
 
@@ -91,6 +99,8 @@ impl LeopardConfig {
             progress_timeout: SimDuration::from_millis(500),
             checkpoint_interval: 8,
             byzantine: ByzantineBehavior::Honest,
+            crypto_mode: CryptoMode::Real,
+            cost_model: CostModelKind::Calibrated,
         }
     }
 
@@ -106,13 +116,27 @@ impl LeopardConfig {
         self
     }
 
-    /// Generates the shared key material (threshold scheme + per-replica key pairs) for
-    /// a system with this configuration.
+    /// Overrides the crypto mode (real vs metered execution).
+    pub fn with_crypto_mode(mut self, mode: CryptoMode) -> Self {
+        self.crypto_mode = mode;
+        self
+    }
+
+    /// Overrides the compute-cost calibration.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = kind;
+        self
+    }
+
+    /// Generates the shared key material (crypto provider + per-replica key pairs) for
+    /// a system with this configuration, honouring its crypto mode and cost model.
     pub fn shared_keys(config: &LeopardConfig, seed: u64) -> Arc<SharedKeys> {
-        Arc::new(SharedKeys::generate(
+        Arc::new(SharedKeys::generate_with(
             config.params.quorum(),
             config.params.n,
             seed,
+            config.crypto_mode,
+            config.cost_model,
         ))
     }
 
@@ -133,25 +157,45 @@ impl LeopardConfig {
     }
 }
 
-/// The key material shared by all replicas of one deployment: the threshold scheme's
-/// public values plus every replica's key pair.
+/// The key material shared by all replicas of one deployment: the crypto provider
+/// (threshold scheme + mode + cost model) plus every replica's key pair.
 ///
 /// In a real deployment each replica would hold only its own key pair; bundling them is
 /// a simulation convenience (replicas only ever read their own entry).
 #[derive(Debug)]
 pub struct SharedKeys {
-    /// The threshold scheme (public verification values).
-    pub scheme: ThresholdScheme,
+    /// The crypto provider every operation goes through.
+    pub provider: CryptoProvider,
     /// Per-replica key pairs, indexed by replica index.
     pub keypairs: Vec<ThresholdKeyPair>,
 }
 
 impl SharedKeys {
-    /// Runs the trusted setup for an `(threshold, n)` deployment.
+    /// Runs the trusted setup for an `(threshold, n)` deployment with real crypto and
+    /// the calibrated cost model.
     pub fn generate(threshold: usize, n: usize, seed: u64) -> Self {
+        Self::generate_with(threshold, n, seed, CryptoMode::Real, CostModelKind::Calibrated)
+    }
+
+    /// Runs the trusted setup with an explicit crypto mode and cost calibration.
+    pub fn generate_with(
+        threshold: usize,
+        n: usize,
+        seed: u64,
+        mode: CryptoMode,
+        cost_model: CostModelKind,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let (scheme, keypairs) = ThresholdScheme::trusted_setup(threshold, n, &mut rng);
-        Self { scheme, keypairs }
+        Self {
+            provider: CryptoProvider::new(scheme, mode, cost_model.model()),
+            keypairs,
+        }
+    }
+
+    /// The underlying threshold scheme (public verification values).
+    pub fn scheme(&self) -> &ThresholdScheme {
+        self.provider.scheme()
     }
 
     /// The key pair of replica `index`.
@@ -192,7 +236,7 @@ mod tests {
         let config = LeopardConfig::small_test(7);
         let keys = LeopardConfig::shared_keys(&config, 1);
         assert_eq!(keys.keypairs.len(), 7);
-        assert_eq!(keys.scheme.threshold(), 5);
+        assert_eq!(keys.scheme().threshold(), 5);
         assert_eq!(keys.keypair(3).index, 4); // 1-based signer index
     }
 

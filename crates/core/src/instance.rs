@@ -43,6 +43,15 @@ impl ShareCollector {
     pub fn shares(&self) -> &[SignatureShare] {
         &self.shares
     }
+
+    /// Drops the shares of the given signers after a failed batch verification located
+    /// them as forged. The signers stay *marked* as having contributed: an honest
+    /// signer sends at most one share, so a replacement can only be the same forgery
+    /// again — keeping the mark stops a replayed forgery from re-triggering a batch
+    /// check on every arrival. The quorum re-forms from the remaining honest voters.
+    pub fn remove_signers(&mut self, signers: &[usize]) {
+        self.shares.retain(|share| !signers.contains(&share.signer));
+    }
 }
 
 /// The leader's state for one agreement instance.

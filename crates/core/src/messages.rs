@@ -15,6 +15,50 @@ pub const VOTE_WIRE_BYTES: usize = 48;
 /// Size in bytes of a digest on the wire (`β`).
 pub const DIGEST_WIRE_BYTES: usize = 32;
 
+/// The payload of one retrieval response (Algorithm 3).
+///
+/// The real variant carries an erasure-coded chunk plus its Merkle inclusion proof.
+/// The metered variant (see `leopard_crypto::provider::CryptoMode::Metered`) skips the
+/// erasure encoding and Merkle hashing entirely: it transports the datablock by
+/// `Arc`-reference while *declaring* exactly the wire bytes the real chunk and proof
+/// would occupy, so bandwidth accounting, event schedules and retrieval-cost figures
+/// are identical between the two modes. Metered responses are honest by construction —
+/// Byzantine chunk-forgery experiments must run with real crypto.
+#[derive(Debug, Clone)]
+pub enum RetrievalPayload {
+    /// A real erasure-coded chunk with its Merkle proof.
+    Real {
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+        /// Merkle inclusion proof of the chunk.
+        proof: MerkleProof,
+    },
+    /// The metered stand-in: declared sizes plus the datablock itself by reference.
+    Metered {
+        /// Wire bytes the real chunk would occupy.
+        chunk_len: u32,
+        /// Wire bytes the real Merkle proof would occupy.
+        proof_len: u32,
+        /// The datablock being recovered (local reference, never deep-copied).
+        datablock: Arc<Datablock>,
+    },
+}
+
+impl RetrievalPayload {
+    /// Bytes this payload occupies on the wire (identical between the two variants for
+    /// the same datablock, code parameters and responder).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            RetrievalPayload::Real { chunk, proof } => chunk.len() + proof.wire_size(),
+            RetrievalPayload::Metered {
+                chunk_len,
+                proof_len,
+                ..
+            } => *chunk_len as usize + *proof_len as usize,
+        }
+    }
+}
+
 /// A notarized BFTblock carried by view-change and new-view messages: the block plus its
 /// notarization proof.
 #[derive(Debug, Clone)]
@@ -91,7 +135,8 @@ pub enum LeopardMessage {
         /// Digests of the missing datablocks.
         digests: Vec<Digest>,
     },
-    /// Algorithm 3: one erasure-coded chunk of a queried datablock plus its Merkle proof.
+    /// Algorithm 3: one erasure-coded chunk of a queried datablock plus its Merkle proof
+    /// (or the metered stand-in occupying identical wire bytes).
     QueryResponse {
         /// Digest of the datablock being recovered.
         digest: Digest,
@@ -99,10 +144,8 @@ pub enum LeopardMessage {
         root: Digest,
         /// Index of this chunk (the responder's replica index).
         shard_index: u32,
-        /// The chunk bytes.
-        chunk: Vec<u8>,
-        /// Merkle inclusion proof of the chunk under `root`.
-        proof: MerkleProof,
+        /// The chunk itself (real or metered).
+        payload: RetrievalPayload,
         /// Length of the encoded datablock, needed to strip the padding after decoding.
         payload_len: u64,
     },
@@ -166,8 +209,8 @@ impl WireSize for LeopardMessage {
             LeopardMessage::CommitVote { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
             LeopardMessage::ConfirmationProof { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
             LeopardMessage::Query { digests } => 4 + DIGEST_WIRE_BYTES * digests.len(),
-            LeopardMessage::QueryResponse { chunk, proof, .. } => {
-                2 * DIGEST_WIRE_BYTES + 4 + 8 + chunk.len() + proof.wire_size()
+            LeopardMessage::QueryResponse { payload, .. } => {
+                2 * DIGEST_WIRE_BYTES + 4 + 8 + payload.wire_len()
             }
             LeopardMessage::Checkpoint { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,
             LeopardMessage::CheckpointProof { .. } => 8 + DIGEST_WIRE_BYTES + VOTE_WIRE_BYTES,

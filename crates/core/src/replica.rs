@@ -17,15 +17,16 @@ use crate::checkpoint::{checkpoint_digest, CheckpointState};
 use crate::config::{LeopardConfig, SharedKeys, WorkloadMode};
 use crate::instance::{LeaderInstance, ReplicaInstance};
 use crate::mempool::Mempool;
-use crate::messages::{LeopardMessage, NotarizedEntry};
+use crate::messages::{LeopardMessage, NotarizedEntry, RetrievalPayload};
 use crate::pipeline::{Pipeline, StallReason};
 use crate::pool::{DatablockPool, ReadyTracker};
 use crate::retrieval::{ChunkOutcome, RetrievalManager};
 use crate::view_change::{timeout_digest, view_change_wire_size, ViewChangeState};
-use leopard_crypto::threshold::CombinedSignature;
+use leopard_crypto::provider::{BatchOutcome, ComputeCost};
+use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
 use leopard_crypto::{hash_parts, Digest};
 use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
-use leopard_types::{BftBlock, BlockState, ClientId, Datablock, NodeId, SeqNum, View};
+use leopard_types::{BftBlock, BlockState, ClientId, Datablock, NodeId, SeqNum, View, WireSize};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -100,6 +101,36 @@ impl std::fmt::Debug for LeopardReplica {
 }
 
 type Ctx<'a> = dyn Context<Message = LeopardMessage> + 'a;
+
+/// Charges a modeled crypto cost to the replica's compute queue (free function so it
+/// can be called while instance state is mutably borrowed).
+fn charge(ctx: &mut Ctx<'_>, cost: ComputeCost) {
+    if !cost.is_zero() {
+        ctx.charge_compute(SimDuration::from_nanos(cost.as_nanos()));
+    }
+}
+
+/// The leader's quorum settlement, shared by both vote rounds: batch-verifies the
+/// collected shares (randomized linear combination — one batch check instead of `2f`
+/// scheme verifications), purges located forgeries so the quorum can re-form from
+/// honest votes (returning `None`), and combines the pre-verified quorum. Modeled
+/// costs are charged for both steps.
+fn batch_combine(
+    keys: &SharedKeys,
+    collector: &mut crate::instance::ShareCollector,
+    digest: &Digest,
+    ctx: &mut Ctx<'_>,
+) -> Option<CombinedSignature> {
+    let (outcome, cost) = keys.provider.verify_shares_batch(collector.shares(), digest);
+    charge(ctx, cost);
+    if let BatchOutcome::Invalid(bad) = outcome {
+        collector.remove_signers(&bad);
+        return None;
+    }
+    let (combined, cost) = keys.provider.combine_preverified(collector.shares(), digest);
+    charge(ctx, cost);
+    combined.ok()
+}
 
 impl LeopardReplica {
     /// Creates a replica with the given configuration and shared key material.
@@ -220,6 +251,35 @@ impl LeopardReplica {
         self.config.byzantine
     }
 
+    /// Signs `digest` with this replica's key share, charging the modeled cost.
+    fn sign(&self, digest: &Digest, ctx: &mut Ctx<'_>) -> SignatureShare {
+        let (share, cost) = self
+            .keys
+            .provider
+            .sign_share(self.keys.keypair(self.id.as_index()), digest);
+        charge(ctx, cost);
+        share
+    }
+
+    /// Verifies a single signature share, charging the modeled cost.
+    fn verify_share(&self, share: &SignatureShare, digest: &Digest, ctx: &mut Ctx<'_>) -> bool {
+        let (ok, cost) = self.keys.provider.verify_share(share, digest);
+        charge(ctx, cost);
+        ok
+    }
+
+    /// Verifies a combined signature, charging the modeled cost.
+    fn verify_combined(
+        &self,
+        proof: &CombinedSignature,
+        digest: &Digest,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        let (ok, cost) = self.keys.provider.verify_combined(proof, digest);
+        charge(ctx, cost);
+        ok
+    }
+
     // ------------------------------------------------------------------
     // Client stub & datablock generation (Algorithm 1)
     // ------------------------------------------------------------------
@@ -260,6 +320,8 @@ impl LeopardReplica {
             let datablock = Arc::new(Datablock::new(self.id, self.datablock_counter, requests));
             self.datablock_counter += 1;
             let digest = datablock.digest();
+            // Producing the datablock hashes its encoded bytes once.
+            charge(ctx, self.keys.provider.model().hash(datablock.wire_size()));
             self.own_datablocks.insert(
                 digest,
                 DatablockTiming {
@@ -335,10 +397,8 @@ impl LeopardReplica {
 
             let block = Arc::new(BftBlock::new(self.view, seq, links));
             let digest = block.digest();
-            let share = self
-                .keys
-                .scheme
-                .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+            charge(ctx, self.keys.provider.model().hash(block.wire_size()));
+            let share = self.sign(&digest, ctx);
             self.pipeline.insert(seq, LeaderInstance::new(block.clone(), ctx.now()));
             ctx.broadcast(LeopardMessage::PrePrepare { block, share });
         }
@@ -364,14 +424,8 @@ impl LeopardReplica {
         } else {
             Arc::new(BftBlock::new(self.view, seq, reversed))
         };
-        let share_a = self
-            .keys
-            .scheme
-            .sign_share(self.keys.keypair(self.id.as_index()), &block_a.digest());
-        let share_b = self
-            .keys
-            .scheme
-            .sign_share(self.keys.keypair(self.id.as_index()), &block_b.digest());
+        let share_a = self.sign(&block_a.digest(), ctx);
+        let share_b = self.sign(&block_b.digest(), ctx);
         self.pipeline
             .insert(seq, LeaderInstance::new(block_a.clone(), ctx.now()));
         let half = self.n() / 2;
@@ -411,6 +465,10 @@ impl LeopardReplica {
             // A replica may only disseminate its own datablocks.
             return;
         }
+        // Receiving a datablock re-hashes it to validate the digest it will be linked
+        // and acknowledged under (the real hash is memoized on the shared envelope, but
+        // every replica pays the modeled cost — in a deployment each would hash).
+        charge(ctx, self.keys.provider.model().hash(datablock.wire_size()));
         let Some(digest) = self.pool.insert(datablock) else {
             return; // duplicate counter
         };
@@ -455,8 +513,8 @@ impl LeopardReplica {
             return;
         }
         let digest = block.digest();
-        if share.signer != self.leader().signer_index()
-            || !self.keys.scheme.verify_share(&share, &digest)
+        charge(ctx, self.keys.provider.model().hash(block.wire_size()));
+        if share.signer != self.leader().signer_index() || !self.verify_share(&share, &digest, ctx)
         {
             return;
         }
@@ -522,10 +580,11 @@ impl LeopardReplica {
             return;
         };
         instance.prepare_voted = true;
-        let share = self
+        let (share, cost) = self
             .keys
-            .scheme
+            .provider
             .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        charge(ctx, cost);
         ctx.send(
             leader,
             LeopardMessage::PrepareVote {
@@ -568,8 +627,11 @@ impl LeopardReplica {
         if !self.is_leader() {
             return;
         }
-        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &block_digest)
-        {
+        // Only the signer-identity check happens per vote; the share values are
+        // verified in one batch when the quorum completes (randomized linear
+        // combination — the amortisation that keeps the leader's sequential CPU work
+        // per round at one batch check instead of `2f` scheme verifications).
+        if share.signer != from.signer_index() {
             return;
         }
         let quorum = self.quorum();
@@ -582,10 +644,7 @@ impl LeopardReplica {
         if instance.prepares.add(share) < quorum {
             return;
         }
-        let Ok(proof) = self
-            .keys
-            .scheme
-            .combine(instance.prepares.shares(), &block_digest)
+        let Some(proof) = batch_combine(&self.keys, &mut instance.prepares, &block_digest, ctx)
         else {
             return;
         };
@@ -606,7 +665,7 @@ impl LeopardReplica {
         proof: CombinedSignature,
         ctx: &mut Ctx<'_>,
     ) {
-        if !self.keys.scheme.verify_combined(&proof, &block_digest) {
+        if !self.verify_combined(&proof, &block_digest, ctx) {
             return;
         }
         let lw = self.checkpoints.low_watermark().0;
@@ -630,10 +689,11 @@ impl LeopardReplica {
             return;
         }
         instance.commit_voted = true;
-        let share = self
+        let (share, cost) = self
             .keys
-            .scheme
+            .provider
             .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
+        charge(ctx, cost);
         ctx.send(
             self.leader(),
             LeopardMessage::CommitVote {
@@ -655,8 +715,7 @@ impl LeopardReplica {
         if !self.is_leader() {
             return;
         }
-        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &proof_digest)
-        {
+        if share.signer != from.signer_index() {
             return;
         }
         let quorum = self.quorum();
@@ -669,7 +728,8 @@ impl LeopardReplica {
         if instance.commits.add(share) < quorum {
             return;
         }
-        let Ok(proof) = self.keys.scheme.combine(instance.commits.shares(), &proof_digest) else {
+        let Some(proof) = batch_combine(&self.keys, &mut instance.commits, &proof_digest, ctx)
+        else {
             return;
         };
         self.pipeline.record_confirmation(seq, proof);
@@ -690,7 +750,7 @@ impl LeopardReplica {
         proof: CombinedSignature,
         ctx: &mut Ctx<'_>,
     ) {
-        if !self.keys.scheme.verify_combined(&proof, &proof_digest) {
+        if !self.verify_combined(&proof, &proof_digest, ctx) {
             return;
         }
         let lw = self.checkpoints.low_watermark().0;
@@ -797,10 +857,7 @@ impl LeopardReplica {
             {
                 let state_digest = hash_parts([b"state".as_slice(), &next.0.to_le_bytes()]);
                 let digest = checkpoint_digest(next, &state_digest);
-                let share = self
-                    .keys
-                    .scheme
-                    .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+                let share = self.sign(&digest, ctx);
                 ctx.send(
                     self.leader(),
                     LeopardMessage::Checkpoint {
@@ -825,14 +882,18 @@ impl LeopardReplica {
             return;
         }
         let digest = checkpoint_digest(seq, &state_digest);
-        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &digest) {
+        // Checkpoints are rare (one per k/2 blocks), so shares are verified on arrival
+        // rather than batched; the combine still skips re-verification.
+        if share.signer != from.signer_index() || !self.verify_share(&share, &digest, ctx) {
             return;
         }
         if let Some(shares) = self
             .checkpoints
             .record_share(seq, state_digest, share, self.quorum())
         {
-            if let Ok(proof) = self.keys.scheme.combine(&shares, &digest) {
+            let (combined, cost) = self.keys.provider.combine_preverified(&shares, &digest);
+            charge(ctx, cost);
+            if let Ok(proof) = combined {
                 ctx.broadcast(LeopardMessage::CheckpointProof {
                     seq,
                     state_digest,
@@ -850,7 +911,7 @@ impl LeopardReplica {
         ctx: &mut Ctx<'_>,
     ) {
         let digest = checkpoint_digest(seq, &state_digest);
-        if !self.keys.scheme.verify_combined(&proof, &digest) {
+        if !self.verify_combined(&proof, &digest, ctx) {
             return;
         }
         if !self.checkpoints.advance(seq) {
@@ -866,6 +927,7 @@ impl LeopardReplica {
             }
         }
         self.pool.prune(executed_links.iter().copied());
+        self.retrieval.prune(executed_links.iter().copied());
         self.ready.prune(executed_links);
         self.pipeline.prune_through(SeqNum(watermark));
         self.replica_instances.retain(|&s, _| s > watermark);
@@ -890,15 +952,18 @@ impl LeopardReplica {
             let Some(datablock) = self.pool.get(&digest).cloned() else {
                 continue;
             };
-            if let Some(response) = self.retrieval.encode_response(&datablock, self.id, f, n) {
+            if let Some(response) =
+                self.retrieval
+                    .encode_response(&datablock, self.id, f, n, &self.keys.provider)
+            {
+                charge(ctx, response.cost);
                 ctx.send(
                     from,
                     LeopardMessage::QueryResponse {
                         digest,
                         root: response.root,
                         shard_index: response.shard_index,
-                        chunk: response.chunk,
-                        proof: response.proof,
+                        payload: response.payload,
                         payload_len: response.payload_len,
                     },
                 );
@@ -906,28 +971,28 @@ impl LeopardReplica {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn handle_query_response(
         &mut self,
         digest: Digest,
         root: Digest,
         shard_index: u32,
-        chunk: Vec<u8>,
-        proof: leopard_crypto::MerkleProof,
+        payload: RetrievalPayload,
         payload_len: u64,
         ctx: &mut Ctx<'_>,
     ) {
-        let outcome = self.retrieval.add_chunk(
+        let (f, n) = (self.f(), self.n());
+        let (outcome, cost) = self.retrieval.add_chunk(
             digest,
             root,
             shard_index,
-            chunk,
-            &proof,
+            payload,
             payload_len,
-            self.f(),
-            self.n(),
+            f,
+            n,
             ctx.now(),
+            &self.keys.provider,
         );
+        charge(ctx, cost);
         if let ChunkOutcome::Recovered {
             datablock,
             waiting,
@@ -983,10 +1048,7 @@ impl LeopardReplica {
             return;
         }
         let digest = timeout_digest(view);
-        let share = self
-            .keys
-            .scheme
-            .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        let share = self.sign(&digest, ctx);
         ctx.broadcast(LeopardMessage::Timeout { view, share });
     }
 
@@ -1001,7 +1063,7 @@ impl LeopardReplica {
             return;
         }
         if share.signer != from.signer_index()
-            || !self.keys.scheme.verify_share(&share, &timeout_digest(view))
+            || !self.verify_share(&share, &timeout_digest(view), ctx)
         {
             return;
         }
@@ -1069,11 +1131,7 @@ impl LeopardReplica {
         // Verify the notarization proofs before accepting the entries.
         let valid: Vec<NotarizedEntry> = notarized
             .into_iter()
-            .filter(|entry| {
-                self.keys
-                    .scheme
-                    .verify_combined(&entry.proof, &entry.block.digest())
-            })
+            .filter(|entry| self.verify_combined(&entry.proof, &entry.block.digest(), ctx))
             .collect();
         let bytes = view_change_wire_size(&valid);
         self.view_changes
@@ -1109,10 +1167,7 @@ impl LeopardReplica {
 
     fn repropose(&mut self, block: Arc<BftBlock>, ctx: &mut Ctx<'_>) {
         let digest = block.digest();
-        let share = self
-            .keys
-            .scheme
-            .sign_share(self.keys.keypair(self.id.as_index()), &digest);
+        let share = self.sign(&digest, ctx);
         self.pipeline
             .insert(block.id.seq, LeaderInstance::new(block.clone(), ctx.now()));
         ctx.broadcast(LeopardMessage::PrePrepare { block, share });
@@ -1231,10 +1286,9 @@ impl Protocol for LeopardReplica {
                 digest,
                 root,
                 shard_index,
-                chunk,
-                proof,
+                payload,
                 payload_len,
-            } => self.handle_query_response(digest, root, shard_index, chunk, proof, payload_len, ctx),
+            } => self.handle_query_response(digest, root, shard_index, payload, payload_len, ctx),
             LeopardMessage::Checkpoint {
                 seq,
                 state_digest,

@@ -8,6 +8,8 @@
 //! under the same root are available, then checks that the decoded datablock really
 //! hashes to the queried digest.
 
+use crate::messages::RetrievalPayload;
+use leopard_crypto::provider::{ComputeCost, CryptoProvider};
 use leopard_crypto::{Digest, MerkleProof, MerkleTree};
 use leopard_erasure::ReedSolomon;
 use leopard_simnet::SimTime;
@@ -28,6 +30,24 @@ pub struct ResponseChunk {
     pub proof: MerkleProof,
     /// Length of the encoded datablock (needed to strip padding when decoding).
     pub payload_len: u64,
+}
+
+/// A retrieval response produced by [`RetrievalManager::encode_response`]: ready to be
+/// put on the wire, together with the modeled compute cost the responder incurred
+/// (full encode + Merkle tree on the first response for a datablock, nothing on a
+/// cache hit — the charge mirrors the cache in both crypto modes).
+#[derive(Debug)]
+pub struct RetrievalResponse {
+    /// Merkle root over the erasure-coded chunks (the datablock digest in metered mode).
+    pub root: Digest,
+    /// Index of the served chunk (the responder's replica index).
+    pub shard_index: u32,
+    /// The chunk itself (real or metered).
+    pub payload: RetrievalPayload,
+    /// Length of the encoded datablock.
+    pub payload_len: u64,
+    /// Modeled compute the responder spent producing this response.
+    pub cost: ComputeCost,
 }
 
 /// Erasure-codes `datablock` and returns the chunk owned by `responder`, with proof.
@@ -95,6 +115,8 @@ struct PendingRetrieval {
     chunks: HashMap<Digest, BTreeMap<u32, Vec<u8>>>,
     /// Declared encoded length per root.
     payload_len: HashMap<Digest, u64>,
+    /// The datablock itself, carried by reference in metered responses.
+    metered_datablock: Option<Arc<Datablock>>,
     /// When the datablock was first discovered missing.
     started_at: SimTime,
     /// Whether the query has been multicast already.
@@ -113,17 +135,32 @@ pub struct RetrievalManager {
     /// per run, so the Vandermonde construction happens once per replica, not once per
     /// response or decode.
     codes: HashMap<(usize, usize), ReedSolomon>,
-    /// Responder-side chunks by datablock digest, so serving `k` queriers encodes and
-    /// Merkle-hashes the datablock once instead of `k` times. Only the chunk actually
-    /// served is retained (a replica always responds with its own shard), not the full
-    /// shard set; the cached `(responder, data_shards, total_shards)` guards against a
-    /// mismatched lookup.
-    chunks_served: HashMap<Digest, ((NodeId, usize, usize), ResponseChunk)>,
+    /// Responder-side responses by datablock digest, so serving `k` queriers encodes
+    /// and Merkle-hashes the datablock once instead of `k` times (in metered mode, so
+    /// the *charged* encoding cost is paid once, mirroring the real cache). Only the
+    /// chunk actually served is retained (a replica always responds with its own
+    /// shard), not the full shard set; the cached `(responder, data_shards,
+    /// total_shards)` guards against a mismatched lookup.
+    chunks_served: HashMap<Digest, ((NodeId, usize, usize), CachedServe)>,
 }
 
-/// Entry cap for the responder-side chunk cache (memory backstop; digests repeat
-/// within one retrieval storm).
-const ENCODING_CACHE_CAP: usize = 64;
+/// A cached, ready-to-send retrieval response (real or metered).
+#[derive(Debug, Clone)]
+struct CachedServe {
+    root: Digest,
+    shard_index: u32,
+    payload: RetrievalPayload,
+    payload_len: u64,
+}
+
+/// Entry cap for the responder-side chunk cache. PR 4's profiling of the full fig9
+/// sweep found the old cap of 64 thrashing at n = 256 — more than 64 datablocks were
+/// being queried concurrently, so nearly every one of the ~270k responses re-ran the
+/// (f+1, n) encoder over a ~550 KB datablock, which was 74% of the sweep's wall-clock.
+/// The cap is a backstop only: the cache is pruned alongside the datablock pool at
+/// every checkpoint ([`RetrievalManager::prune`]), which also keeps a metered entry's
+/// `Arc<Datablock>` from outliving the pool's copy.
+const ENCODING_CACHE_CAP: usize = 512;
 
 /// Outcome of feeding a response chunk into the manager.
 #[derive(Debug, PartialEq, Eq)]
@@ -175,6 +212,7 @@ impl RetrievalManager {
                         waiting,
                         chunks: HashMap::new(),
                         payload_len: HashMap::new(),
+                        metered_datablock: None,
                         started_at: now,
                         queried: false,
                         received_bytes: 0,
@@ -224,6 +262,18 @@ impl RetrievalManager {
         self.served.insert((digest, querier))
     }
 
+    /// Drops responder-side state for datablocks garbage-collected at a checkpoint:
+    /// the cached responses (whose metered variant pins an `Arc<Datablock>` that must
+    /// not outlive the pool's copy) and the served-querier marks.
+    pub fn prune(&mut self, executed: impl IntoIterator<Item = Digest>) {
+        let executed: HashSet<Digest> = executed.into_iter().collect();
+        if executed.is_empty() {
+            return;
+        }
+        self.chunks_served.retain(|digest, _| !executed.contains(digest));
+        self.served.retain(|(digest, _)| !executed.contains(digest));
+    }
+
     /// The `(data_shards, total_shards)` code, constructed on first use.
     fn code_for(
         codes: &mut HashMap<(usize, usize), ReedSolomon>,
@@ -239,110 +289,216 @@ impl RetrievalManager {
         }
     }
 
-    /// Responder-side: erasure-codes `datablock` (or reuses this responder's cached
-    /// chunk) and returns the responder's chunk with its Merkle proof. Produces exactly
-    /// the same chunk as the stateless [`encode_response`].
+    /// Responder-side: produces this responder's retrieval response for `datablock`,
+    /// through the crypto provider.
+    ///
+    /// With real crypto the datablock is erasure-coded and Merkle-hashed (or the cached
+    /// chunk reused), exactly as the stateless [`encode_response`] would. In metered
+    /// mode the expensive work is skipped: the response declares the byte sizes the
+    /// real chunk and proof would occupy and carries the datablock by reference. Both
+    /// modes charge the same modeled [`ComputeCost`]: the full encode on the first
+    /// response for a datablock, nothing on cache hits.
     pub fn encode_response(
         &mut self,
-        datablock: &Datablock,
+        datablock: &Arc<Datablock>,
         responder: NodeId,
         f: usize,
         n: usize,
-    ) -> Option<ResponseChunk> {
+        provider: &CryptoProvider,
+    ) -> Option<RetrievalResponse> {
         let digest = datablock.digest();
         let cache_key = (responder, f + 1, n);
-        if let Some((cached_key, chunk)) = self.chunks_served.get(&digest) {
+        if let Some((cached_key, cached)) = self.chunks_served.get(&digest) {
             if *cached_key == cache_key {
-                return Some(chunk.clone());
+                return Some(RetrievalResponse {
+                    root: cached.root,
+                    shard_index: cached.shard_index,
+                    payload: cached.payload.clone(),
+                    payload_len: cached.payload_len,
+                    cost: ComputeCost::ZERO,
+                });
             }
         }
-        let rs = Self::code_for(&mut self.codes, f + 1, n)?;
-        let chunk = CachedEncoding::build(rs, datablock).chunk_for(responder)?;
+        if responder.as_index() >= n {
+            return None;
+        }
+        // Chunks derive from the *encoded* datablock bytes (synthetic payloads charge
+        // their declared size on the wire but encode compactly — see
+        // `Datablock::encoded_len`), matching the real encoder byte for byte.
+        let encoded_len = datablock.encoded_len();
+        let shard_len = encoded_len.div_ceil(f + 1).max(1);
+        let cost = provider.model().erasure_encode(encoded_len, f + 1, n)
+            + provider.model().merkle_tree(shard_len, n);
+        let serve = if provider.is_metered() {
+            CachedServe {
+                root: digest,
+                shard_index: responder.as_index() as u32,
+                payload: RetrievalPayload::Metered {
+                    chunk_len: shard_len as u32,
+                    proof_len: MerkleProof::wire_size_for(n, responder.as_index())? as u32,
+                    datablock: Arc::clone(datablock),
+                },
+                payload_len: encoded_len as u64,
+            }
+        } else {
+            let rs = Self::code_for(&mut self.codes, f + 1, n)?;
+            let chunk = CachedEncoding::build(rs, datablock).chunk_for(responder)?;
+            CachedServe {
+                root: chunk.root,
+                shard_index: chunk.shard_index,
+                payload: RetrievalPayload::Real {
+                    chunk: chunk.chunk,
+                    proof: chunk.proof,
+                },
+                payload_len: chunk.payload_len,
+            }
+        };
         if self.chunks_served.len() >= ENCODING_CACHE_CAP {
             self.chunks_served.clear();
         }
-        self.chunks_served.insert(digest, (cache_key, chunk.clone()));
-        Some(chunk)
+        let response = RetrievalResponse {
+            root: serve.root,
+            shard_index: serve.shard_index,
+            payload: serve.payload.clone(),
+            payload_len: serve.payload_len,
+            cost,
+        };
+        self.chunks_served.insert(digest, (cache_key, serve));
+        Some(response)
     }
 
-    /// Feeds a received chunk into the matching retrieval.
+    /// Feeds a received chunk into the matching retrieval, returning the outcome plus
+    /// the modeled compute the querier spent on it (proof verification per chunk, and
+    /// the decode plus digest check when a quorum of chunks completes).
     ///
-    /// Verifies the Merkle proof, groups chunks by root, and attempts to decode once
-    /// `f + 1` chunks under one root are available. The decoded datablock must hash to
-    /// the queried digest; otherwise the chunks under that root are discarded (the root
-    /// was forged).
+    /// With real crypto the Merkle proof is verified, chunks are grouped by root, and a
+    /// decode is attempted once `f + 1` chunks under one root are available; the
+    /// decoded datablock must hash to the queried digest, otherwise the chunks under
+    /// that root are discarded (the root was forged). A metered chunk skips the real
+    /// verification and decode — responses are honest by construction in that mode —
+    /// but follows the same counting and charges the same modeled time.
     #[allow(clippy::too_many_arguments)]
     pub fn add_chunk(
         &mut self,
         digest: Digest,
         root: Digest,
         shard_index: u32,
-        chunk: Vec<u8>,
-        proof: &MerkleProof,
+        payload: RetrievalPayload,
         payload_len: u64,
         f: usize,
         n: usize,
         now: SimTime,
-    ) -> ChunkOutcome {
+        provider: &CryptoProvider,
+    ) -> (ChunkOutcome, ComputeCost) {
+        let model = provider.model();
         let Some(pending) = self.pending.get_mut(&digest) else {
-            return ChunkOutcome::Ignored;
+            return (ChunkOutcome::Ignored, ComputeCost::ZERO);
         };
-        if proof.leaf_index() != shard_index as usize || !proof.verify(root, &chunk) {
-            return ChunkOutcome::Ignored;
-        }
-        pending.received_bytes += chunk.len() as u64 + 64 + proof.wire_size() as u64;
+        let declared_len = payload.wire_len();
+        let shard_len = payload_len.div_ceil(f as u64 + 1).max(1) as usize;
+        let mut cost = model.merkle_verify(shard_len, n);
+        let chunk_bytes = match payload {
+            RetrievalPayload::Real { chunk, proof } => {
+                if proof.leaf_index() != shard_index as usize || !proof.verify(root, &chunk) {
+                    return (ChunkOutcome::Ignored, cost);
+                }
+                chunk
+            }
+            RetrievalPayload::Metered { datablock, .. } => {
+                if shard_index as usize >= n {
+                    return (ChunkOutcome::Ignored, cost);
+                }
+                pending.metered_datablock = Some(datablock);
+                Vec::new()
+            }
+        };
+        pending.received_bytes += declared_len as u64 + 64;
         pending.payload_len.insert(root, payload_len);
         let chunks = pending.chunks.entry(root).or_default();
-        chunks.insert(shard_index, chunk);
+        chunks.insert(shard_index, chunk_bytes);
 
         if chunks.len() < f + 1 {
-            return ChunkOutcome::Stored;
+            return (ChunkOutcome::Stored, cost);
         }
 
-        // Try to decode from the first f+1 chunks under this root.
-        let Some(rs) = Self::code_for(&mut self.codes, f + 1, n) else {
-            return ChunkOutcome::Ignored;
-        };
-        let shards: Vec<(usize, Vec<u8>)> = chunks
-            .iter()
-            .take(f + 1)
-            .map(|(&i, c)| (i as usize, c.clone()))
-            .collect();
+        // A quorum of chunks under one root: decode and check the digest.
         let encoded_len = pending.payload_len.get(&root).copied().unwrap_or(0) as usize;
-        let decoded = match rs.decode_payload(&shards, encoded_len) {
-            Ok(bytes) => bytes,
-            Err(_) => {
+        cost += model.erasure_decode(encoded_len, f + 1) + model.hash(encoded_len);
+        let datablock = if let Some(datablock) = pending.metered_datablock.clone() {
+            if datablock.digest() != digest {
                 pending.chunks.remove(&root);
-                return ChunkOutcome::Ignored;
+                pending.metered_datablock = None;
+                return (ChunkOutcome::Ignored, cost);
             }
-        };
-        let datablock = match Datablock::decode_from_slice(&decoded) {
-            Ok(db) => db,
-            Err(_) => {
+            datablock
+        } else {
+            let Some(rs) = Self::code_for(&mut self.codes, f + 1, n) else {
+                return (ChunkOutcome::Ignored, cost);
+            };
+            let pending = self.pending.get_mut(&digest).expect("checked above");
+            let chunks = pending.chunks.get(&root).expect("just inserted");
+            let shards: Vec<(usize, Vec<u8>)> = chunks
+                .iter()
+                .take(f + 1)
+                .map(|(&i, c)| (i as usize, c.clone()))
+                .collect();
+            let decoded = match rs.decode_payload(&shards, encoded_len) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    pending.chunks.remove(&root);
+                    return (ChunkOutcome::Ignored, cost);
+                }
+            };
+            let datablock = match Datablock::decode_from_slice(&decoded) {
+                Ok(db) => db,
+                Err(_) => {
+                    pending.chunks.remove(&root);
+                    return (ChunkOutcome::Ignored, cost);
+                }
+            };
+            if datablock.digest() != digest {
+                // The responders under this root colluded on a different datablock.
                 pending.chunks.remove(&root);
-                return ChunkOutcome::Ignored;
+                return (ChunkOutcome::Ignored, cost);
             }
+            Arc::new(datablock)
         };
-        if datablock.digest() != digest {
-            // The responders under this root colluded on a different datablock.
-            pending.chunks.remove(&root);
-            return ChunkOutcome::Ignored;
-        }
 
         let pending = self.pending.remove(&digest).expect("checked above");
-        ChunkOutcome::Recovered {
-            datablock: Arc::new(datablock),
-            waiting: pending.waiting.into_iter().collect(),
-            elapsed_nanos: now.saturating_since(pending.started_at).as_nanos(),
-            received_bytes: pending.received_bytes,
-        }
+        (
+            ChunkOutcome::Recovered {
+                datablock,
+                waiting: pending.waiting.into_iter().collect(),
+                elapsed_nanos: now.saturating_since(pending.started_at).as_nanos(),
+                received_bytes: pending.received_bytes,
+            },
+            cost,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use leopard_crypto::provider::{CryptoCostModel, CryptoMode};
+    use leopard_crypto::threshold::ThresholdScheme;
     use leopard_types::{ClientId, Request};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn provider(mode: CryptoMode) -> CryptoProvider {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (scheme, _) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        CryptoProvider::new(scheme, mode, CryptoCostModel::free())
+    }
+
+    /// Adapts a stateless [`ResponseChunk`] into the payload `add_chunk` consumes.
+    fn real_payload(r: &ResponseChunk) -> RetrievalPayload {
+        RetrievalPayload::Real {
+            chunk: r.chunk.clone(),
+            proof: r.proof.clone(),
+        }
+    }
 
     fn sample_datablock(requests: usize) -> Datablock {
         Datablock::new(
@@ -368,26 +524,113 @@ mod tests {
 
     #[test]
     fn cached_manager_responses_match_stateless_encoding() {
-        let db = sample_datablock(50);
-        let other = sample_datablock(33);
+        let db = Arc::new(sample_datablock(50));
+        let other = Arc::new(sample_datablock(33));
         let (f, n) = (1, 4);
+        let provider = provider(CryptoMode::Real);
         let mut manager = RetrievalManager::new();
         // Serve several queriers and a second datablock: every cached chunk must be
         // byte-identical to the stateless reference path.
         for datablock in [&db, &other] {
             for responder in 0..n as u32 {
                 let cached = manager
-                    .encode_response(datablock, NodeId(responder), f, n)
+                    .encode_response(datablock, NodeId(responder), f, n, &provider)
                     .unwrap();
                 let fresh = encode_response(datablock, NodeId(responder), f, n).unwrap();
                 assert_eq!(cached.root, fresh.root);
                 assert_eq!(cached.shard_index, fresh.shard_index);
-                assert_eq!(cached.chunk, fresh.chunk);
                 assert_eq!(cached.payload_len, fresh.payload_len);
-                assert!(cached.proof.verify(cached.root, &cached.chunk));
+                match &cached.payload {
+                    RetrievalPayload::Real { chunk, proof } => {
+                        assert_eq!(*chunk, fresh.chunk);
+                        assert!(proof.verify(cached.root, chunk));
+                    }
+                    other => panic!("real provider produced {other:?}"),
+                }
             }
         }
-        assert!(manager.encode_response(&db, NodeId(99), f, n).is_none());
+        assert!(manager.encode_response(&db, NodeId(99), f, n, &provider).is_none());
+    }
+
+    /// A metered response declares exactly the wire bytes the real response occupies,
+    /// and carries the datablock by reference.
+    #[test]
+    fn metered_response_sizes_match_real_responses() {
+        for (requests, f, n) in [(50usize, 1usize, 4usize), (200, 10, 31), (64, 5, 16)] {
+            let db = Arc::new(sample_datablock(requests));
+            let metered = provider(CryptoMode::Metered);
+            let mut manager = RetrievalManager::new();
+            for responder in 0..n as u32 {
+                let m = manager
+                    .encode_response(&db, NodeId(responder), f, n, &metered)
+                    .unwrap();
+                let real = encode_response(&db, NodeId(responder), f, n).unwrap();
+                assert_eq!(
+                    m.payload.wire_len(),
+                    real.chunk.len() + real.proof.wire_size(),
+                    "requests={requests} f={f} n={n} responder={responder}"
+                );
+                assert_eq!(m.payload_len, real.payload_len);
+                match m.payload {
+                    RetrievalPayload::Metered { datablock, .. } => {
+                        assert_eq!(datablock.digest(), db.digest());
+                    }
+                    other => panic!("metered provider produced {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// A full metered retrieval recovers the datablock after exactly `f + 1` chunks,
+    /// with the same per-chunk byte accounting as the real path.
+    #[test]
+    fn metered_retrieval_roundtrip_matches_real_accounting() {
+        let db = Arc::new(sample_datablock(40));
+        let digest = db.digest();
+        let (f, n) = (1, 4);
+        let metered = provider(CryptoMode::Metered);
+
+        let run = |use_metered: bool| -> (ChunkOutcome, u64) {
+            let mut manager = RetrievalManager::new();
+            manager.note_missing(digest, SeqNum(3), SimTime(1_000));
+            let mut outcome = ChunkOutcome::Stored;
+            for responder in [NodeId(1), NodeId(3)] {
+                let (root, shard_index, payload, payload_len) = if use_metered {
+                    let mut side = RetrievalManager::new();
+                    let r = side
+                        .encode_response(&db, responder, f, n, &metered)
+                        .unwrap();
+                    (r.root, r.shard_index, r.payload, r.payload_len)
+                } else {
+                    let r = encode_response(&db, responder, f, n).unwrap();
+                    (r.root, r.shard_index, real_payload(&r), r.payload_len)
+                };
+                let (o, _) = manager.add_chunk(
+                    digest,
+                    root,
+                    shard_index,
+                    payload,
+                    payload_len,
+                    f,
+                    n,
+                    SimTime(5_000_000),
+                    &metered,
+                );
+                outcome = o;
+            }
+            let bytes = match &outcome {
+                ChunkOutcome::Recovered { received_bytes, .. } => *received_bytes,
+                other => panic!("expected recovery, got {other:?}"),
+            };
+            (outcome, bytes)
+        };
+
+        let (metered_outcome, metered_bytes) = run(true);
+        let (_, real_bytes) = run(false);
+        assert_eq!(metered_bytes, real_bytes);
+        if let ChunkOutcome::Recovered { datablock, .. } = metered_outcome {
+            assert_eq!(datablock.digest(), digest);
+        }
     }
 
     #[test]
@@ -403,20 +646,22 @@ mod tests {
         // Second call does not re-query.
         assert!(manager.digests_to_query().is_empty());
 
+        let provider = provider(CryptoMode::Real);
         let mut outcome = ChunkOutcome::Stored;
         for responder in [NodeId(1), NodeId(3)] {
             let r = encode_response(&db, responder, f, n).unwrap();
-            outcome = manager.add_chunk(
+            let (o, _) = manager.add_chunk(
                 digest,
                 r.root,
                 r.shard_index,
-                r.chunk,
-                &r.proof,
+                real_payload(&r),
                 r.payload_len,
                 f,
                 n,
                 SimTime(5_000_000),
+                &provider,
             );
+            outcome = o;
         }
         match outcome {
             ChunkOutcome::Recovered {
@@ -444,23 +689,34 @@ mod tests {
         let mut manager = RetrievalManager::new();
         manager.note_missing(digest, SeqNum(1), SimTime(0));
 
+        let provider = provider(CryptoMode::Real);
         let r = encode_response(&db, NodeId(1), f, n).unwrap();
         // Tampered chunk fails the Merkle proof.
         let mut tampered = r.chunk.clone();
         tampered[0] ^= 0xff;
+        let tampered_payload = RetrievalPayload::Real {
+            chunk: tampered,
+            proof: r.proof.clone(),
+        };
         assert_eq!(
-            manager.add_chunk(digest, r.root, r.shard_index, tampered, &r.proof, r.payload_len, f, n, SimTime(1)),
+            manager
+                .add_chunk(digest, r.root, r.shard_index, tampered_payload, r.payload_len, f, n, SimTime(1), &provider)
+                .0,
             ChunkOutcome::Ignored
         );
         // Chunk for an unknown digest is ignored.
         let other_digest = sample_datablock(11).digest();
         assert_eq!(
-            manager.add_chunk(other_digest, r.root, r.shard_index, r.chunk.clone(), &r.proof, r.payload_len, f, n, SimTime(1)),
+            manager
+                .add_chunk(other_digest, r.root, r.shard_index, real_payload(&r), r.payload_len, f, n, SimTime(1), &provider)
+                .0,
             ChunkOutcome::Ignored
         );
         // The original chunk still works.
         assert_eq!(
-            manager.add_chunk(digest, r.root, r.shard_index, r.chunk, &r.proof, r.payload_len, f, n, SimTime(1)),
+            manager
+                .add_chunk(digest, r.root, r.shard_index, real_payload(&r), r.payload_len, f, n, SimTime(1), &provider)
+                .0,
             ChunkOutcome::Stored
         );
     }
@@ -476,20 +732,23 @@ mod tests {
         let mut manager = RetrievalManager::new();
         manager.note_missing(digest, SeqNum(1), SimTime(0));
 
+        let provider = provider(CryptoMode::Real);
         let mut last = ChunkOutcome::Stored;
         for responder in [NodeId(0), NodeId(2)] {
             let r = encode_response(&fake, responder, f, n).unwrap();
-            last = manager.add_chunk(
-                digest,
-                r.root,
-                r.shard_index,
-                r.chunk,
-                &r.proof,
-                r.payload_len,
-                f,
-                n,
-                SimTime(1),
-            );
+            last = manager
+                .add_chunk(
+                    digest,
+                    r.root,
+                    r.shard_index,
+                    real_payload(&r),
+                    r.payload_len,
+                    f,
+                    n,
+                    SimTime(1),
+                    &provider,
+                )
+                .0;
         }
         assert_eq!(last, ChunkOutcome::Ignored);
         // The retrieval is still pending: honest chunks can still recover it.
@@ -497,17 +756,19 @@ mod tests {
         let mut outcome = ChunkOutcome::Stored;
         for responder in [NodeId(1), NodeId(3)] {
             let r = encode_response(&real, responder, f, n).unwrap();
-            outcome = manager.add_chunk(
-                digest,
-                r.root,
-                r.shard_index,
-                r.chunk,
-                &r.proof,
-                r.payload_len,
-                f,
-                n,
-                SimTime(2),
-            );
+            outcome = manager
+                .add_chunk(
+                    digest,
+                    r.root,
+                    r.shard_index,
+                    real_payload(&r),
+                    r.payload_len,
+                    f,
+                    n,
+                    SimTime(2),
+                    &provider,
+                )
+                .0;
         }
         assert!(matches!(outcome, ChunkOutcome::Recovered { .. }));
     }
@@ -547,23 +808,26 @@ mod tests {
         let mut manager = RetrievalManager::new();
         manager.note_missing(digest, SeqNum(1), SimTime(0));
 
+        let provider = provider(CryptoMode::Real);
         let encoded_len = db.encode_to_vec().len();
         let mut outcome = ChunkOutcome::Stored;
         let mut per_responder_bytes = 0usize;
         for responder in 0..=f as u32 {
             let r = encode_response(&db, NodeId(responder), f, n).unwrap();
             per_responder_bytes = r.chunk.len();
-            outcome = manager.add_chunk(
-                digest,
-                r.root,
-                r.shard_index,
-                r.chunk,
-                &r.proof,
-                r.payload_len,
-                f,
-                n,
-                SimTime(1),
-            );
+            outcome = manager
+                .add_chunk(
+                    digest,
+                    r.root,
+                    r.shard_index,
+                    real_payload(&r),
+                    r.payload_len,
+                    f,
+                    n,
+                    SimTime(1),
+                    &provider,
+                )
+                .0;
         }
         assert!(matches!(outcome, ChunkOutcome::Recovered { .. }));
         // Each responder ships ~1/(f+1) of the datablock.

@@ -148,6 +148,31 @@ impl MerkleProof {
             .sum::<usize>()
     }
 
+    /// The wire size a proof for leaf `index` of a `leaf_count`-leaf tree *would* have,
+    /// computed without building the tree. Walks the level sizes arithmetically:
+    /// a level of `len` nodes has a present sibling for `position` iff `position ^ 1`
+    /// is still inside the level (the last node of an odd level is promoted without a
+    /// sibling and contributes only the 1-byte `None` marker).
+    ///
+    /// The metered retrieval path uses this so a fabricated response is charged exactly
+    /// the bytes a real erasure-coded response would occupy. Returns `None` if `index`
+    /// is out of range.
+    pub fn wire_size_for(leaf_count: usize, index: usize) -> Option<usize> {
+        if index >= leaf_count {
+            return None;
+        }
+        let mut size = 8;
+        let mut len = leaf_count;
+        let mut position = index;
+        while len > 1 {
+            let sibling = position ^ 1;
+            size += if sibling < len { 33 } else { 1 };
+            position /= 2;
+            len = len.div_ceil(2);
+        }
+        Some(size)
+    }
+
     /// Verifies that `leaf_data` is the leaf at [`Self::leaf_index`] of the tree with the
     /// given `root`.
     pub fn verify(&self, root: Digest, leaf_data: &[u8]) -> bool {
@@ -244,6 +269,23 @@ mod tests {
         };
         let one = MerkleTree::from_leaves([forged.as_slice()]);
         assert_ne!(two.root(), one.root());
+    }
+
+    #[test]
+    fn wire_size_for_matches_real_proofs() {
+        for n in 1..=66usize {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaves(data.iter().map(|l| l.as_slice()));
+            for index in 0..n {
+                let real = tree.prove(index).unwrap().wire_size();
+                assert_eq!(
+                    MerkleProof::wire_size_for(n, index),
+                    Some(real),
+                    "n={n} index={index}"
+                );
+            }
+            assert_eq!(MerkleProof::wire_size_for(n, n), None);
+        }
     }
 
     #[test]

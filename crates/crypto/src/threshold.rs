@@ -209,6 +209,80 @@ impl ThresholdScheme {
         }
     }
 
+    /// The field point a message maps to (exposed for the provider's batched
+    /// verification, which needs `h(m)` once per batch instead of once per share).
+    pub(crate) fn message_point_of(message: &Digest) -> Fp {
+        Self::message_point(message)
+    }
+
+    /// Replica `signer`'s public verification value (1-based index; must be in range).
+    pub(crate) fn verification_value(&self, signer: usize) -> Fp {
+        self.verification[signer - 1]
+    }
+
+    /// The combined signature the scheme is algebraically forced to produce on
+    /// `message`: `s · h(m)`. Interpolating any valid quorum yields exactly this value,
+    /// so the metered provider can return it without performing the Lagrange sum.
+    pub(crate) fn master_signature(&self, message: &Digest) -> CombinedSignature {
+        CombinedSignature {
+            value: self.master * Self::message_point(message),
+        }
+    }
+
+    /// The structural half of [`Self::combine`]: threshold count, signer range and
+    /// duplicate checks over the first `threshold` shares, without verifying share
+    /// values.
+    pub(crate) fn check_combine_structure(
+        &self,
+        shares: &[SignatureShare],
+    ) -> Result<(), ThresholdError> {
+        if shares.len() < self.threshold {
+            return Err(ThresholdError::NotEnoughShares {
+                got: shares.len(),
+                need: self.threshold,
+            });
+        }
+        let mut seen = vec![false; self.n + 1];
+        for share in &shares[..self.threshold] {
+            if share.signer == 0 || share.signer > self.n {
+                return Err(ThresholdError::SignerOutOfRange {
+                    signer: share.signer,
+                    n: self.n,
+                });
+            }
+            if seen[share.signer] {
+                return Err(ThresholdError::DuplicateSigner(share.signer));
+            }
+            seen[share.signer] = true;
+        }
+        Ok(())
+    }
+
+    /// `TSR` over shares the caller has already verified: performs the structural
+    /// checks and the Lagrange combination, but not the per-share verification that
+    /// [`Self::combine`] repeats. Votes are verified when they arrive (individually or
+    /// in a batch), so re-verifying the whole quorum inside the combine doubled the
+    /// leader's share-verification work for nothing.
+    ///
+    /// # Errors
+    ///
+    /// The structural [`ThresholdError`]s only ([`ThresholdError::InvalidShare`] cannot
+    /// be returned — validity is the caller's contract).
+    pub fn combine_preverified(
+        &self,
+        shares: &[SignatureShare],
+        _message: &Digest,
+    ) -> Result<CombinedSignature, ThresholdError> {
+        self.check_combine_structure(shares)?;
+        let selected = &shares[..self.threshold];
+        let lambdas = self.lambdas_for(selected);
+        let mut value = Fp::zero();
+        for (lambda, share) in lambdas.iter().zip(selected) {
+            value = value + *lambda * share.value;
+        }
+        Ok(CombinedSignature { value })
+    }
+
     /// `TSig`: produces replica `keypair.index`'s signature share on `message`.
     pub fn sign_share(&self, keypair: &ThresholdKeyPair, message: &Digest) -> SignatureShare {
         SignatureShare {
@@ -238,36 +312,14 @@ impl ThresholdScheme {
         shares: &[SignatureShare],
         message: &Digest,
     ) -> Result<CombinedSignature, ThresholdError> {
-        if shares.len() < self.threshold {
-            return Err(ThresholdError::NotEnoughShares {
-                got: shares.len(),
-                need: self.threshold,
-            });
-        }
+        self.check_combine_structure(shares)?;
         let selected = &shares[..self.threshold];
-        let mut seen = vec![false; self.n + 1];
         for share in selected {
-            if share.signer == 0 || share.signer > self.n {
-                return Err(ThresholdError::SignerOutOfRange {
-                    signer: share.signer,
-                    n: self.n,
-                });
-            }
-            if seen[share.signer] {
-                return Err(ThresholdError::DuplicateSigner(share.signer));
-            }
-            seen[share.signer] = true;
             if !self.verify_share(share, message) {
                 return Err(ThresholdError::InvalidShare(share.signer));
             }
         }
-
-        let lambdas = self.lambdas_for(selected);
-        let mut value = Fp::zero();
-        for (lambda, share) in lambdas.iter().zip(selected) {
-            value = value + *lambda * share.value;
-        }
-        Ok(CombinedSignature { value })
+        self.combine_preverified(shares, message)
     }
 
     /// The Lagrange coefficients at zero for the given (already validated, distinct)

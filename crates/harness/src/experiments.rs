@@ -239,6 +239,56 @@ pub fn fig9_smoke(_quick: bool) -> Table {
     table
 }
 
+/// Fig. 9 (CPU-bound variant) — throughput at increasing scale when replica *compute*
+/// is the contended resource instead of link bandwidth.
+///
+/// Charges the BLS-paper cost model (≈ 1.2 ms per pairing-based verification, ≈ 0.3 ms
+/// per signing — the crypto stack the paper's prototype actually runs) to every
+/// replica's sequential compute queue, under metered execution so the wall-clock stays
+/// modest. Each scale runs twice: with uniform CPUs and with the top quarter of the
+/// replica ids running at 0.25× speed (heterogeneous stragglers, the Raptr concern).
+/// The per-replica compute-utilization columns show *why* a protocol's curve bends:
+/// the HotStuff leader batches, verifies and re-ships every request itself, so its
+/// compute queue saturates with `n`, while Leopard's leader only handles index blocks
+/// and batched vote rounds.
+pub fn fig9cpu_compute_bound(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 9 (CPU-bound) — throughput under BLS-grade compute costs, uniform and heterogeneous CPUs",
+        &[
+            "n",
+            "CPUs",
+            "Leopard (Kreqs/s)",
+            "HotStuff (Kreqs/s)",
+            "Leopard leader cpu",
+            "Leopard max cpu",
+            "Leopard mean cpu",
+            "HotStuff leader cpu",
+        ],
+    );
+    let fmt_cpu = |utilization: f64| format!("{:.1}%", utilization * 100.0);
+    for n in scales(quick, &[8, 16], &[16, 32, 64, 128, 256]) {
+        for (label, slow) in [("uniform", 0usize), ("25% at 0.25x", n / 4)] {
+            let config = ScenarioConfig::paper(n)
+                .with_crypto_mode(leopard_crypto::provider::CryptoMode::Metered)
+                .with_cost_model(leopard_types::CostModelKind::BlsPaper)
+                .with_slow_replicas(slow, 0.25);
+            let leopard = run_leopard_scenario(&config);
+            let hotstuff = run_hotstuff_scenario(&config);
+            table.push_row(vec![
+                n.to_string(),
+                label.to_string(),
+                fmt_annotated(leopard.throughput_kreqs(), &leopard),
+                fmt_annotated(hotstuff.throughput_kreqs(), &hotstuff),
+                fmt_cpu(leopard.leader_compute_utilization),
+                fmt_cpu(leopard.max_compute_utilization),
+                fmt_cpu(leopard.mean_compute_utilization),
+                fmt_cpu(hotstuff.leader_compute_utilization),
+            ]);
+        }
+    }
+    table
+}
+
 /// Fig. 10 — effectiveness of scaling up: throughput and latency under 20–200 Mbps
 /// per-replica bandwidth.
 pub fn fig10_scaling_up(quick: bool) -> Table {
@@ -462,8 +512,8 @@ pub fn fig13_view_change(quick: bool) -> Table {
 
 /// Every experiment id understood by [`run_experiment`].
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig10", "tab3",
-    "tab4", "fig11", "fig12", "fig13",
+    "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig9cpu",
+    "fig10", "tab3", "tab4", "fig11", "fig12", "fig13",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for an unknown id.
@@ -478,6 +528,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "tab2" => tab2_batch_sizes(),
         "fig9" => fig9_throughput_scaling(quick),
         "fig9smoke" => fig9_smoke(quick),
+        "fig9cpu" => fig9cpu_compute_bound(quick),
         "fig10" => fig10_scaling_up(quick),
         "tab3" => tab3_bandwidth_breakdown(quick),
         "tab4" => tab4_latency_breakdown(quick),

@@ -3,12 +3,13 @@
 
 use crate::workload::WorkloadConfig;
 use leopard_core::{config::WorkloadMode, LeopardConfig, LeopardReplica};
+use leopard_crypto::provider::CryptoMode;
 use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
 use leopard_simnet::{
     FaultPlan, NetworkConfig, ObservationKind, ProgressProbe, SimDuration, SimTime, Simulation,
     SimulationReport,
 };
-use leopard_types::{NodeId, ProtocolParams};
+use leopard_types::{CostModelKind, NodeId, ProtocolParams};
 
 /// Description of one experiment run.
 #[derive(Debug, Clone)]
@@ -43,6 +44,17 @@ pub struct ScenarioConfig {
     pub selective_attackers: usize,
     /// Event budget (safety valve for runaway configurations).
     pub max_events: u64,
+    /// Whether crypto executes for real or is metered (identical modeled time, far
+    /// less wall-clock). [`Self::paper`] picks metered above the validated n = 64
+    /// equivalence scale; `tests/metered_equivalence.rs` guards that choice.
+    pub crypto_mode: CryptoMode,
+    /// Which per-operation compute-cost calibration the replicas charge.
+    pub cost_model: CostModelKind,
+    /// Number of replicas (counted from the highest id downwards, skipping the initial
+    /// leader) whose CPU runs at [`Self::slow_cpu_factor`] speed.
+    pub slow_replicas: usize,
+    /// CPU speed factor of the slow replicas (`1.0` = no slowdown).
+    pub slow_cpu_factor: f64,
 }
 
 impl ScenarioConfig {
@@ -63,6 +75,13 @@ impl ScenarioConfig {
             leader_crash_at: None,
             selective_attackers: 0,
             max_events: 50_000_000,
+            // Metered crypto above the equivalence-validated scale: identical modeled
+            // schedule, a fraction of the wall-clock (the full fig9 sweep's acceptance
+            // criterion).
+            crypto_mode: if n > 64 { CryptoMode::Metered } else { CryptoMode::Real },
+            cost_model: CostModelKind::Calibrated,
+            slow_replicas: 0,
+            slow_cpu_factor: 1.0,
         }
     }
 
@@ -81,6 +100,10 @@ impl ScenarioConfig {
             leader_crash_at: None,
             selective_attackers: 0,
             max_events: 5_000_000,
+            crypto_mode: CryptoMode::Real,
+            cost_model: CostModelKind::Calibrated,
+            slow_replicas: 0,
+            slow_cpu_factor: 1.0,
         }
     }
 
@@ -150,16 +173,47 @@ impl ScenarioConfig {
         self
     }
 
+    /// Overrides the crypto mode (real vs metered execution).
+    pub fn with_crypto_mode(mut self, mode: CryptoMode) -> Self {
+        self.crypto_mode = mode;
+        self
+    }
+
+    /// Overrides the compute-cost calibration.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = kind;
+        self
+    }
+
+    /// Makes the `count` highest-id replicas (skipping the initial leader) run their
+    /// CPUs at `factor` speed — the heterogeneous-CPU experiments.
+    pub fn with_slow_replicas(mut self, count: usize, factor: f64) -> Self {
+        self.slow_replicas = count;
+        self.slow_cpu_factor = factor;
+        self
+    }
+
     /// The identifier of the initial leader (the leader of view 1).
     pub fn initial_leader(&self) -> NodeId {
         leopard_types::View::initial().leader(self.n)
     }
 
     fn network(&self) -> NetworkConfig {
-        let config = match self.bandwidth_mbps {
+        let mut config = match self.bandwidth_mbps {
             Some(mbps) => NetworkConfig::throttled(self.n, mbps),
             None => NetworkConfig::datacenter(self.n),
         };
+        if self.slow_replicas > 0 && self.slow_cpu_factor != 1.0 {
+            let leader = self.initial_leader();
+            let slowed: Vec<usize> = (0..self.n)
+                .rev()
+                .filter(|&i| NodeId(i as u32) != leader)
+                .take(self.slow_replicas)
+                .collect();
+            for node in slowed {
+                config = config.with_node_cpu_speed(node, self.slow_cpu_factor);
+            }
+        }
         config.with_seed(self.seed)
     }
 
@@ -197,6 +251,27 @@ impl ScenarioConfig {
         config.workload = WorkloadMode::Saturated {
             pacing: SimDuration::from_secs_f64(pacing_secs),
         };
+        config.crypto_mode = self.crypto_mode;
+        config.cost_model = self.cost_model;
+        // Scale-aware retrieval timeout: disseminating one datablock to `n − 1` peers
+        // serialises `(n−1)·α` bytes through the producer's uplink, which at paper
+        // scale exceeds the 100 ms default (≈ 114 ms at n = 256, ≈ 250 ms at n = 600).
+        // A timeout below that made every replica query for datablocks that were still
+        // in honest flight — at n = 256 the resulting ~270k spurious responses were
+        // 74% of the full fig9 sweep's wall-clock and a storm of pointless modeled
+        // erasure work. Three dissemination times of headroom keeps the timer a
+        // genuine loss detector (fig12's retrieval runs use small datablocks, where
+        // the 100 ms floor still applies).
+        let uplink_bps = self.network().link(0).uplink_bps;
+        let datablock_bytes = (self.datablock_size * self.workload.payload_size) as f64;
+        let dissemination_secs = if uplink_bps == 0 {
+            0.0 // unlimited link: dissemination is instant, the floor applies
+        } else {
+            (self.n - 1) as f64 * datablock_bytes * 8.0 / uplink_bps as f64
+        };
+        config.retrieval_timeout = config
+            .retrieval_timeout
+            .max(SimDuration::from_secs_f64(3.0 * dissemination_secs));
         config
     }
 
@@ -204,6 +279,8 @@ impl ScenarioConfig {
         let mut config = HotStuffConfig::paper(self.n, self.workload.aggregate_rps);
         config.payload_size = self.workload.payload_size;
         config.batch_size = self.hotstuff_batch;
+        config.crypto_mode = self.crypto_mode;
+        config.cost_model = self.cost_model;
         config
     }
 }
@@ -250,6 +327,13 @@ pub struct ScenarioReport {
     /// The initial leader's progress probe at the end of the run ("last confirmation
     /// at t, stalled on X since t′"), if the protocol is instrumented.
     pub leader_probe: Option<ProgressProbe>,
+    /// Fraction of the run the initial leader's compute queue was busy with modeled
+    /// crypto work (can exceed 1.0 when the queue ends the run backlogged).
+    pub leader_compute_utilization: f64,
+    /// The highest per-replica compute utilization of the run.
+    pub max_compute_utilization: f64,
+    /// The mean per-replica compute utilization of the run.
+    pub mean_compute_utilization: f64,
     /// The raw simulation report (traffic matrix, observations) for detailed breakdowns.
     pub sim: SimulationReport,
 }
@@ -275,6 +359,9 @@ impl ScenarioReport {
         let leader = config.initial_leader();
         let leader_bandwidth_bps = sim.node_bandwidth_bps(leader);
         let average_latency_secs = sim.average_latency_secs();
+        let leader_compute_utilization = sim.compute_utilization(leader);
+        let max_compute_utilization = sim.max_compute_utilization();
+        let mean_compute_utilization = sim.mean_compute_utilization();
 
         let view_changes = sim
             .metrics
@@ -351,6 +438,9 @@ impl ScenarioReport {
             average_retrieval_recv_bytes: average(&retrieval_bytes),
             average_responder_bytes,
             leader_probe,
+            leader_compute_utilization,
+            max_compute_utilization,
+            mean_compute_utilization,
             sim,
         }
     }

@@ -1,7 +1,9 @@
 //! HotStuff baseline configuration.
 
+use leopard_crypto::provider::{CryptoMode, CryptoProvider};
 use leopard_crypto::threshold::{ThresholdKeyPair, ThresholdScheme};
 use leopard_simnet::SimDuration;
+use leopard_types::CostModelKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -23,6 +25,11 @@ pub struct HotStuffConfig {
     /// Pacemaker timeout: the view is abandoned if no block commits for this long while
     /// requests are outstanding.
     pub progress_timeout: SimDuration,
+    /// Whether crypto executes its field work for real or skips it while charging
+    /// identical modeled time.
+    pub crypto_mode: CryptoMode,
+    /// Which per-operation compute-cost calibration the replicas charge.
+    pub cost_model: CostModelKind,
 }
 
 impl HotStuffConfig {
@@ -36,6 +43,8 @@ impl HotStuffConfig {
             aggregate_rps,
             propose_interval: SimDuration::from_millis(10),
             progress_timeout: SimDuration::from_secs(2),
+            crypto_mode: CryptoMode::Real,
+            cost_model: CostModelKind::Calibrated,
         }
     }
 
@@ -48,6 +57,8 @@ impl HotStuffConfig {
             aggregate_rps: 2_000,
             propose_interval: SimDuration::from_millis(10),
             progress_timeout: SimDuration::from_millis(500),
+            crypto_mode: CryptoMode::Real,
+            cost_model: CostModelKind::Calibrated,
         }
     }
 
@@ -63,6 +74,18 @@ impl HotStuffConfig {
         self
     }
 
+    /// Overrides the crypto mode (real vs metered execution).
+    pub fn with_crypto_mode(mut self, mode: CryptoMode) -> Self {
+        self.crypto_mode = mode;
+        self
+    }
+
+    /// Overrides the compute-cost calibration.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = kind;
+        self
+    }
+
     /// Number of tolerated faults `f`.
     pub fn f(&self) -> usize {
         (self.n - 1) / 3
@@ -73,9 +96,16 @@ impl HotStuffConfig {
         2 * self.f() + 1
     }
 
-    /// Generates the shared threshold-signature key material for this configuration.
+    /// Generates the shared threshold-signature key material for this configuration,
+    /// honouring its crypto mode and cost model.
     pub fn shared_keys(&self, seed: u64) -> Arc<HotStuffKeys> {
-        Arc::new(HotStuffKeys::generate(self.quorum(), self.n, seed))
+        Arc::new(HotStuffKeys::generate_with(
+            self.quorum(),
+            self.n,
+            seed,
+            self.crypto_mode,
+            self.cost_model,
+        ))
     }
 
     /// Validates the configuration.
@@ -98,18 +128,37 @@ impl HotStuffConfig {
 /// Shared key material for a HotStuff deployment.
 #[derive(Debug)]
 pub struct HotStuffKeys {
-    /// The threshold scheme.
-    pub scheme: ThresholdScheme,
+    /// The crypto provider every operation goes through.
+    pub provider: CryptoProvider,
     /// Per-replica key pairs.
     pub keypairs: Vec<ThresholdKeyPair>,
 }
 
 impl HotStuffKeys {
-    /// Runs the trusted setup.
+    /// Runs the trusted setup with real crypto and the calibrated cost model.
     pub fn generate(threshold: usize, n: usize, seed: u64) -> Self {
+        Self::generate_with(threshold, n, seed, CryptoMode::Real, CostModelKind::Calibrated)
+    }
+
+    /// Runs the trusted setup with an explicit crypto mode and cost calibration.
+    pub fn generate_with(
+        threshold: usize,
+        n: usize,
+        seed: u64,
+        mode: CryptoMode,
+        cost_model: CostModelKind,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let (scheme, keypairs) = ThresholdScheme::trusted_setup(threshold, n, &mut rng);
-        Self { scheme, keypairs }
+        Self {
+            provider: CryptoProvider::new(scheme, mode, cost_model.model()),
+            keypairs,
+        }
+    }
+
+    /// The underlying threshold scheme (public verification values).
+    pub fn scheme(&self) -> &ThresholdScheme {
+        self.provider.scheme()
     }
 }
 
@@ -144,6 +193,6 @@ mod tests {
         let config = HotStuffConfig::small_test(7);
         let keys = config.shared_keys(3);
         assert_eq!(keys.keypairs.len(), 7);
-        assert_eq!(keys.scheme.threshold(), 5);
+        assert_eq!(keys.scheme().threshold(), 5);
     }
 }

@@ -3,10 +3,11 @@
 use crate::block::{HotStuffBlock, QuorumCertificate};
 use crate::config::{HotStuffConfig, HotStuffKeys};
 use crate::messages::HotStuffMessage;
+use leopard_crypto::provider::{BatchOutcome, ComputeCost};
 use leopard_crypto::threshold::SignatureShare;
 use leopard_crypto::Digest;
 use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
-use leopard_types::{ClientId, NodeId, Request, RequestId, View};
+use leopard_types::{ClientId, NodeId, Request, RequestId, View, WireSize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -17,6 +18,13 @@ const TOKEN_PROGRESS: u64 = 3;
 const WORKLOAD_TICK: SimDuration = SimDuration(10_000_000); // 10 ms
 
 type Ctx<'a> = dyn Context<Message = HotStuffMessage> + 'a;
+
+/// Charges a modeled crypto cost to the replica's compute queue.
+fn charge(ctx: &mut Ctx<'_>, cost: ComputeCost) {
+    if !cost.is_zero() {
+        ctx.charge_compute(SimDuration::from_nanos(cost.as_nanos()));
+    }
+}
 
 /// Vote collection state for one proposed block (leader side).
 #[derive(Debug, Default)]
@@ -142,6 +150,13 @@ impl HotStuffReplica {
         &self.keys.keypairs[self.id.as_index()]
     }
 
+    /// Signs `digest` with this replica's key share, charging the modeled cost.
+    fn sign(&self, digest: &Digest, ctx: &mut Ctx<'_>) -> SignatureShare {
+        let (share, cost) = self.keys.provider.sign_share(self.keypair(), digest);
+        charge(ctx, cost);
+        share
+    }
+
     // ------------------------------------------------------------------
     // Client stub (clients submit to the leader)
     // ------------------------------------------------------------------
@@ -208,10 +223,12 @@ impl HotStuffReplica {
             batch,
         ));
         let digest = block.digest();
+        // The proposal hashes the full request batch (HotStuff blocks carry payload).
+        charge(ctx, self.keys.provider.model().hash(block.wire_size()));
         self.blocks.insert(digest, block.clone());
         self.awaiting_qc = Some(digest);
         self.awaiting_qc_since = Some(ctx.now());
-        let share = self.keys.scheme.sign_share(self.keypair(), &digest);
+        let share = self.sign(&digest, ctx);
         // The leader's own vote.
         self.votes.entry(digest).or_default();
         // Broadcast includes the local self-delivery without cloning the envelope
@@ -235,13 +252,18 @@ impl HotStuffReplica {
             return;
         }
         let digest = block.digest();
-        if share.signer != from.signer_index() || !self.keys.scheme.verify_share(&share, &digest) {
+        charge(ctx, self.keys.provider.model().hash(block.wire_size()));
+        let (share_ok, cost) = self.keys.provider.verify_share(&share, &digest);
+        charge(ctx, cost);
+        if share.signer != from.signer_index() || !share_ok {
             return;
         }
         // Verify and adopt the carried QC (this is what makes the protocol pipelined).
         if !justify.is_genesis() {
             let Some(proof) = justify.proof else { return };
-            if !self.keys.scheme.verify_combined(&proof, &justify.block_digest) {
+            let (qc_ok, cost) = self.keys.provider.verify_combined(&proof, &justify.block_digest);
+            charge(ctx, cost);
+            if !qc_ok {
                 return;
             }
             self.certificates.insert(justify.block_digest, justify);
@@ -257,7 +279,7 @@ impl HotStuffReplica {
             return;
         }
         self.last_voted_height = block.height;
-        let vote_share = self.keys.scheme.sign_share(self.keypair(), &digest);
+        let vote_share = self.sign(&digest, ctx);
         ctx.send(
             self.leader(),
             HotStuffMessage::Vote {
@@ -279,9 +301,9 @@ impl HotStuffReplica {
         if !self.is_leader() {
             return;
         }
-        if share.signer != from.signer_index()
-            || !self.keys.scheme.verify_share(&share, &block_digest)
-        {
+        // Signer identity per vote; share values verified in one batch at quorum
+        // (randomized linear combination — same amortisation as the Leopard leader).
+        if share.signer != from.signer_index() {
             return;
         }
         if self.certificates.contains_key(&block_digest) {
@@ -296,7 +318,21 @@ impl HotStuffReplica {
         if votes.shares.len() < quorum {
             return;
         }
-        let Ok(proof) = self.keys.scheme.combine(&votes.shares, &block_digest) else {
+        let (outcome, cost) = self
+            .keys
+            .provider
+            .verify_shares_batch(&votes.shares, &block_digest);
+        charge(ctx, cost);
+        if let BatchOutcome::Invalid(bad) = outcome {
+            votes.shares.retain(|s| !bad.contains(&s.signer));
+            return;
+        }
+        let (combined, cost) = self
+            .keys
+            .provider
+            .combine_preverified(&votes.shares, &block_digest);
+        charge(ctx, cost);
+        let Ok(proof) = combined else {
             return;
         };
         let qc = QuorumCertificate {
@@ -411,10 +447,7 @@ impl HotStuffReplica {
         self.view = self.view.next();
         self.awaiting_qc = None;
         ctx.observe(ObservationKind::ViewChange { view: self.view.0 });
-        let share = self
-            .keys
-            .scheme
-            .sign_share(self.keypair(), &self.high_qc.block_digest);
+        let share = self.sign(&self.high_qc.block_digest, ctx);
         ctx.send(
             self.leader(),
             HotStuffMessage::NewView {
@@ -425,12 +458,14 @@ impl HotStuffReplica {
         );
     }
 
-    fn handle_new_view(&mut self, high_qc: QuorumCertificate) {
+    fn handle_new_view(&mut self, high_qc: QuorumCertificate, ctx: &mut Ctx<'_>) {
         if high_qc.is_genesis() {
             return;
         }
         let Some(proof) = high_qc.proof else { return };
-        if !self.keys.scheme.verify_combined(&proof, &high_qc.block_digest) {
+        let (ok, cost) = self.keys.provider.verify_combined(&proof, &high_qc.block_digest);
+        charge(ctx, cost);
+        if !ok {
             return;
         }
         self.certificates.insert(high_qc.block_digest, high_qc);
@@ -466,7 +501,7 @@ impl Protocol for HotStuffReplica {
                 block_digest,
                 share,
             } => self.handle_vote(from, height, block_digest, share, ctx),
-            HotStuffMessage::NewView { high_qc, .. } => self.handle_new_view(high_qc),
+            HotStuffMessage::NewView { high_qc, .. } => self.handle_new_view(high_qc, ctx),
         }
     }
 

@@ -72,6 +72,13 @@ pub struct NetworkConfig {
     /// paper's cost model, where `C` is "the number of bits that can be transmitted per
     /// second at each replica" and the predicted scaling-up gain of Leopard is `C/2`.
     pub half_duplex: bool,
+    /// Per-node CPU speed factors for the compute-resource model: modeled compute
+    /// charged via [`crate::Context::charge_compute`] occupies `cost / speed` of the
+    /// node's sequential compute queue. Either empty (every node at speed `1.0`), one
+    /// entry shared by every node, or one entry per node — the same convention as
+    /// [`Self::links`]. A factor below `1.0` models a slower core (the heterogeneous-
+    /// CPU experiments), above `1.0` a faster one.
+    pub cpu_speeds: Vec<f64>,
 }
 
 impl NetworkConfig {
@@ -87,6 +94,7 @@ impl NetworkConfig {
             pre_gst_extra_delay: SimDuration::ZERO,
             seed: 0xC0FFEE,
             half_duplex: true,
+            cpu_speeds: Vec::new(),
         }
     }
 
@@ -121,6 +129,31 @@ impl NetworkConfig {
         self
     }
 
+    /// Sets one shared CPU speed factor for every node.
+    pub fn with_cpu_speed(mut self, speed: f64) -> Self {
+        self.cpu_speeds = vec![speed];
+        self
+    }
+
+    /// Overrides the CPU speed factor of a single node (e.g. to model a straggler).
+    pub fn with_node_cpu_speed(mut self, node: usize, speed: f64) -> Self {
+        if self.cpu_speeds.len() != self.nodes {
+            let shared = self.cpu_speeds.first().copied().unwrap_or(1.0);
+            self.cpu_speeds = vec![shared; self.nodes];
+        }
+        self.cpu_speeds[node] = speed;
+        self
+    }
+
+    /// The CPU speed factor of `node` (`1.0` when no factors are configured).
+    pub fn cpu_speed(&self, node: usize) -> f64 {
+        if self.cpu_speeds.len() == self.nodes {
+            self.cpu_speeds[node]
+        } else {
+            self.cpu_speeds.first().copied().unwrap_or(1.0)
+        }
+    }
+
     /// The link configuration of `node`.
     pub fn link(&self, node: usize) -> LinkConfig {
         if self.links.len() == self.nodes {
@@ -146,6 +179,19 @@ impl NetworkConfig {
                 self.nodes,
                 self.links.len()
             ));
+        }
+        if !self.cpu_speeds.is_empty()
+            && self.cpu_speeds.len() != 1
+            && self.cpu_speeds.len() != self.nodes
+        {
+            return Err(format!(
+                "cpu_speeds must have 0, 1 or {} entries, got {}",
+                self.nodes,
+                self.cpu_speeds.len()
+            ));
+        }
+        if self.cpu_speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err("cpu_speeds must be positive and finite".to_string());
         }
         Ok(())
     }
@@ -182,6 +228,28 @@ mod tests {
         assert_eq!(config.link(2).uplink_bps, 10_000_000);
         assert_eq!(config.link(0), LinkConfig::paper_default());
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn cpu_speed_overrides() {
+        let config = NetworkConfig::datacenter(4);
+        assert_eq!(config.cpu_speed(2), 1.0);
+        let config = NetworkConfig::datacenter(4).with_cpu_speed(0.5);
+        assert_eq!(config.cpu_speed(0), 0.5);
+        assert_eq!(config.cpu_speed(3), 0.5);
+        let config = NetworkConfig::datacenter(4)
+            .with_cpu_speed(1.0)
+            .with_node_cpu_speed(2, 0.25);
+        assert_eq!(config.cpu_speed(1), 1.0);
+        assert_eq!(config.cpu_speed(2), 0.25);
+        assert!(config.validate().is_ok());
+
+        let mut bad = NetworkConfig::datacenter(4);
+        bad.cpu_speeds = vec![1.0, 1.0];
+        assert!(bad.validate().is_err());
+        let mut bad = NetworkConfig::datacenter(4);
+        bad.cpu_speeds = vec![0.0];
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -119,6 +119,8 @@ struct ActionBuffer<M> {
     sends: Vec<Outgoing<M>>,
     timers: Vec<(SimDuration, u64)>,
     observations: Vec<ObservationKind>,
+    /// Modeled CPU charged via [`Context::charge_compute`] during the callback.
+    compute: SimDuration,
 }
 
 impl<M> Default for ActionBuffer<M> {
@@ -127,6 +129,7 @@ impl<M> Default for ActionBuffer<M> {
             sends: Vec::new(),
             timers: Vec::new(),
             observations: Vec::new(),
+            compute: SimDuration::ZERO,
         }
     }
 }
@@ -176,6 +179,10 @@ impl<M: SimMessage> Context for SimContext<'_, M> {
         self.actions.timers.push((delay, token));
     }
 
+    fn charge_compute(&mut self, cost: SimDuration) {
+        self.actions.compute = self.actions.compute + cost;
+    }
+
     fn observe(&mut self, observation: ObservationKind) {
         self.actions.observations.push(observation);
     }
@@ -199,6 +206,9 @@ pub struct SimulationReport {
     /// Per-node progress probes snapshotted at `end_time` (empty for protocols that do
     /// not implement [`Protocol::progress_probe`]). Indexed by node.
     pub probes: Vec<Option<crate::ProgressProbe>>,
+    /// Modeled CPU nanoseconds each node's compute queue was busy (indexed by node).
+    /// All zeros unless the protocol charges compute via [`Context::charge_compute`].
+    pub compute_busy_nanos: Vec<u64>,
 }
 
 impl SimulationReport {
@@ -255,6 +265,40 @@ impl SimulationReport {
         let bytes = self.metrics.traffic.sent_bytes(node) + self.metrics.traffic.received_bytes(node);
         bytes as f64 * 8.0 / secs
     }
+
+    /// Fraction of the run `node`'s compute queue was busy with modeled work, in
+    /// `[0, 1]` under steady state (a backlogged queue can report more than `1.0`,
+    /// which is itself a diagnosis: the replica was handed more work than its CPU
+    /// could retire in the run).
+    pub fn compute_utilization(&self, node: NodeId) -> f64 {
+        let total = self.end_time.as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        self.compute_busy_nanos
+            .get(node.as_index())
+            .copied()
+            .unwrap_or(0) as f64
+            / total as f64
+    }
+
+    /// The highest per-node compute utilization of the run.
+    pub fn max_compute_utilization(&self) -> f64 {
+        (0..self.nodes)
+            .map(|i| self.compute_utilization(NodeId(i as u32)))
+            .fold(0.0, f64::max)
+    }
+
+    /// The mean per-node compute utilization of the run.
+    pub fn mean_compute_utilization(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        (0..self.nodes)
+            .map(|i| self.compute_utilization(NodeId(i as u32)))
+            .sum::<f64>()
+            / self.nodes as f64
+    }
 }
 
 /// A deterministic discrete-event simulation of `n` nodes running a [`Protocol`].
@@ -271,6 +315,10 @@ pub struct Simulation<P: Protocol> {
     started: bool,
     uplink_free: Vec<SimTime>,
     downlink_free: Vec<SimTime>,
+    /// How far into the virtual future each node's sequential compute queue is
+    /// committed (the CPU analogue of the link horizons).
+    cpu_free: Vec<SimTime>,
+    cpu_busy_nanos: Vec<u64>,
     metrics: MetricsSink,
 }
 
@@ -302,6 +350,8 @@ impl<P: Protocol> Simulation<P> {
             started: false,
             uplink_free: vec![SimTime::ZERO; n],
             downlink_free: vec![SimTime::ZERO; n],
+            cpu_free: vec![SimTime::ZERO; n],
+            cpu_busy_nanos: vec![0; n],
             metrics: MetricsSink::new(),
             config,
         }
@@ -340,6 +390,12 @@ impl<P: Protocol> Simulation<P> {
             self.uplink_free[node.as_index()],
             self.downlink_free[node.as_index()],
         )
+    }
+
+    /// How far into the (virtual) future `node`'s sequential compute queue is already
+    /// committed — the CPU analogue of [`Self::link_horizons`].
+    pub fn compute_horizon(&self, node: NodeId) -> SimTime {
+        self.cpu_free[node.as_index()]
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
@@ -407,6 +463,7 @@ impl<P: Protocol> Simulation<P> {
             events: self.events,
             metrics: self.metrics,
             probes,
+            compute_busy_nanos: self.cpu_busy_nanos,
         }
     }
 
@@ -433,7 +490,7 @@ impl<P: Protocol> Simulation<P> {
                     };
                     self.nodes[node.as_index()].on_start(&mut ctx);
                 }
-                self.apply_actions(node, actions);
+                self.finish_callback(node, actions);
             }
             EventKind::Arrive {
                 from,
@@ -473,7 +530,7 @@ impl<P: Protocol> Simulation<P> {
                     };
                     self.nodes[to.as_index()].on_message(from, message, &mut ctx);
                 }
-                self.apply_actions(to, actions);
+                self.finish_callback(to, actions);
             }
             EventKind::Timer { node, token } => {
                 if self.faults.is_crashed(node, self.now) {
@@ -490,24 +547,45 @@ impl<P: Protocol> Simulation<P> {
                     };
                     self.nodes[node.as_index()].on_timer(token, &mut ctx);
                 }
-                self.apply_actions(node, actions);
+                self.finish_callback(node, actions);
             }
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: ActionBuffer<P::Message>) {
+    /// Settles a finished callback against the node's compute queue: the charged
+    /// modeled work occupies `[max(now, cpu_free), +cost/speed]` of the node's
+    /// sequential CPU, and every output of the callback (sends, timers, observations)
+    /// takes effect at the completion instant. With nothing charged the completion
+    /// instant is `now` and the engine behaves exactly as it did before the
+    /// compute-resource model existed.
+    fn finish_callback(&mut self, node: NodeId, actions: ActionBuffer<P::Message>) {
+        let done = if actions.compute.as_nanos() == 0 {
+            self.now
+        } else {
+            let speed = self.config.cpu_speed(node.as_index());
+            let scaled = (actions.compute.as_nanos() as f64 / speed).round() as u64;
+            let start = self.now.max(self.cpu_free[node.as_index()]);
+            let done = start + SimDuration::from_nanos(scaled);
+            self.cpu_free[node.as_index()] = done;
+            self.cpu_busy_nanos[node.as_index()] += scaled;
+            done
+        };
+        self.apply_actions(node, actions, done);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: ActionBuffer<P::Message>, at: SimTime) {
         for observation in actions.observations {
-            self.metrics.observe(self.now, node, observation);
+            self.metrics.observe(at, node, observation);
         }
         for (delay, token) in actions.timers {
-            self.push_event(self.now + delay, EventKind::Timer { node, token });
+            self.push_event(at + delay, EventKind::Timer { node, token });
         }
         for outgoing in actions.sends {
             match outgoing {
                 Outgoing::Unicast(to, message) => {
                     let size = message.wire_size();
                     let category = message.category();
-                    self.route(node, to, Arc::new(message), size, category);
+                    self.route(node, to, Arc::new(message), size, category, at);
                 }
                 Outgoing::Multicast(message) => {
                     // Compute the per-message costs once for the whole fan-out, then
@@ -519,7 +597,7 @@ impl<P: Protocol> Simulation<P> {
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category);
+                            self.route(node, peer, Arc::clone(&shared), size, category, at);
                         }
                     }
                 }
@@ -533,10 +611,10 @@ impl<P: Protocol> Simulation<P> {
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category);
+                            self.route(node, peer, Arc::clone(&shared), size, category, at);
                         }
                     }
-                    self.route(node, node, shared, size, category);
+                    self.route(node, node, shared, size, category, at);
                 }
             }
         }
@@ -549,21 +627,22 @@ impl<P: Protocol> Simulation<P> {
         message: Arc<P::Message>,
         size: usize,
         category: &'static str,
+        at: SimTime,
     ) {
         if from == to {
             // Local delivery: no bandwidth cost, a negligible scheduling delay.
-            self.push_event(self.now, EventKind::Deliver { from, to, message });
+            self.push_event(at, EventKind::Deliver { from, to, message });
             return;
         }
 
-        let fate = self.faults.judge(self.now, from, to, category, size);
-        if self.faults.is_crashed(from, self.now) {
+        let fate = self.faults.judge(at, from, to, category, size);
+        if self.faults.is_crashed(from, at) {
             return;
         }
 
         // Uplink serialisation at the sender.
         let from_link = self.config.link(from.as_index());
-        let uplink_start = self.now.max(self.uplink_free[from.as_index()]);
+        let uplink_start = at.max(self.uplink_free[from.as_index()]);
         let departure = uplink_start + SimDuration::transmission(size, from_link.uplink_bps);
         self.uplink_free[from.as_index()] = departure;
         if self.config.half_duplex {
@@ -583,7 +662,7 @@ impl<P: Protocol> Simulation<P> {
             self.net_rng.gen_range(0..=self.config.jitter.as_nanos())
         };
         let mut latency = self.config.base_latency + SimDuration::from_nanos(jitter_nanos);
-        if self.now < self.config.gst && self.config.pre_gst_extra_delay.as_nanos() > 0 {
+        if at < self.config.gst && self.config.pre_gst_extra_delay.as_nanos() > 0 {
             latency = latency
                 + SimDuration::from_nanos(
                     self.net_rng.gen_range(0..=self.config.pre_gst_extra_delay.as_nanos()),
@@ -753,6 +832,7 @@ mod tests {
             events: 0,
             metrics: MetricsSink::new(),
             probes: Vec::new(),
+            compute_busy_nanos: Vec::new(),
         };
         // 100 requests confirmed at t = 6 s: full-window rate is 10 rps, the rate over
         // the [5 s, 10 s] window is 20 rps, and a warm-up covering the run yields 0.
@@ -857,6 +937,94 @@ mod tests {
             downlink.as_nanos() >= SimDuration::from_millis(250).as_nanos(),
             "bulk transfers should keep the downlink horizon high, got {downlink:?}"
         );
+    }
+
+    /// The compute queue is a scheduled resource: charged work serialises FIFO per
+    /// node, defers the callback's outputs, scales with the node's CPU speed, and is
+    /// reported as utilization.
+    #[test]
+    fn charged_compute_defers_outputs_and_reports_utilization() {
+        #[derive(Debug)]
+        struct ChargingEcho;
+        impl Protocol for ChargingEcho {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                if ctx.node_id() == NodeId(0) {
+                    // Two back-to-back requests to the worker node.
+                    ctx.send(NodeId(1), PingMessage::Ping { hops: 0, payload: 8 });
+                    ctx.send(NodeId(1), PingMessage::Ping { hops: 1, payload: 8 });
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                from: NodeId,
+                message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                match (ctx.node_id(), message) {
+                    // The worker charges 10 ms of modeled work per request, then acks.
+                    (NodeId(1), PingMessage::Ping { hops, .. }) => {
+                        ctx.charge_compute(SimDuration::from_millis(10));
+                        ctx.send(from, PingMessage::Ping { hops: 100 + hops, payload: 8 });
+                    }
+                    (NodeId(0), PingMessage::Ping { hops, .. }) => {
+                        ctx.observe(ObservationKind::Custom {
+                            label: "ack_at",
+                            value: ctx.now().as_nanos() * 1000 + u64::from(hops),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+
+            fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Context<Message = PingMessage>) {}
+        }
+
+        let run = |speed: f64| {
+            let mut config = two_node_config(0);
+            config = config.with_node_cpu_speed(1, speed);
+            let sim = Simulation::new(config, FaultPlan::none(), |_| ChargingEcho);
+            sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000)
+        };
+
+        let report = run(1.0);
+        let acks = report.metrics.custom_samples("ack_at");
+        assert_eq!(acks.len(), 2);
+        // First ack: ~100 µs latency + 10 ms compute + ~100 µs back. Second ack must
+        // queue behind the first charge: ≥ 20 ms of compute before it leaves.
+        let first_ms = acks[0] / 1000 / 1_000_000;
+        let second_ms = acks[1] / 1000 / 1_000_000;
+        assert!((10..12).contains(&first_ms), "first ack at {first_ms} ms");
+        assert!((20..22).contains(&second_ms), "second ack at {second_ms} ms");
+        // FIFO order is preserved (hops 100 before hops 101).
+        assert_eq!(acks[0] % 1000, 100);
+        assert_eq!(acks[1] % 1000, 101);
+        // 20 ms of busy time over a 1 s run.
+        assert_eq!(report.compute_busy_nanos[1], 20_000_000);
+        assert!((report.compute_utilization(NodeId(1)) - 0.02).abs() < 1e-9);
+        assert_eq!(report.compute_busy_nanos[0], 0);
+        assert!((report.max_compute_utilization() - 0.02).abs() < 1e-9);
+        assert!(report.mean_compute_utilization() > 0.0);
+
+        // A half-speed CPU doubles the busy time and pushes the acks out.
+        let slow = run(0.5);
+        assert_eq!(slow.compute_busy_nanos[1], 40_000_000);
+        let slow_acks = slow.metrics.custom_samples("ack_at");
+        assert!(slow_acks[1] / 1000 > acks[1] / 1000);
+    }
+
+    #[test]
+    fn zero_charge_keeps_the_engine_schedule_unchanged() {
+        // A protocol that never charges compute must see `compute_busy_nanos == 0` and
+        // the exact same behaviour as before the compute model existed.
+        let config = two_node_config(0);
+        let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(4, 100));
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        assert!(report.compute_busy_nanos.iter().all(|&b| b == 0));
+        assert_eq!(report.max_compute_utilization(), 0.0);
+        assert_eq!(report.metrics.custom_samples("pingpong_done"), vec![4]);
     }
 
     #[test]

@@ -93,6 +93,14 @@ impl Datablock {
             .cached_payload_bytes
             .get_or_init(|| self.requests.iter().map(|r| r.payload.len()).sum())
     }
+
+    /// Length in bytes of [`Encode::encode`]'s output for this datablock, computed
+    /// without encoding (differs from [`WireSize::wire_size`] for synthetic payloads —
+    /// see [`Request::encoded_len`]). The retrieval mechanism erasure-codes the encoded
+    /// representation, so chunk sizes derive from this length.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.requests.iter().map(Request::encoded_len).sum::<usize>()
+    }
 }
 
 impl WireSize for Datablock {
@@ -283,6 +291,25 @@ mod tests {
         assert_eq!(db.len(), 5);
         assert!(!db.is_empty());
         assert_eq!(db.payload_bytes(), 5 * 16);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        // Inline payloads: encoded length equals the wire size.
+        let inline = Datablock::new(NodeId(1), 1, sample_requests(5));
+        assert_eq!(inline.encoded_len(), inline.encode_to_vec().len());
+        assert_eq!(inline.encoded_len(), inline.wire_size());
+        // Synthetic payloads: the codec writes 17 bytes per request while the wire
+        // charges the declared payload size.
+        let synthetic = Datablock::new(
+            NodeId(2),
+            3,
+            (0..4)
+                .map(|i| Request::new_synthetic(ClientId(1), i, 128))
+                .collect(),
+        );
+        assert_eq!(synthetic.encoded_len(), synthetic.encode_to_vec().len());
+        assert!(synthetic.wire_size() > synthetic.encoded_len());
     }
 
     #[test]

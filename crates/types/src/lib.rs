@@ -25,6 +25,6 @@ pub mod wire;
 
 pub use block::{BftBlock, BftBlockId, BlockState, Datablock, DatablockId};
 pub use ids::{ClientId, NodeId, RequestId, SeqNum, View};
-pub use params::ProtocolParams;
+pub use params::{bls_paper_crypto_costs, calibrated_crypto_costs, CostModelKind, ProtocolParams};
 pub use request::{Request, RequestPayload};
 pub use wire::{Decode, Encode, WireReader, WireSize, WireWriter};

@@ -88,6 +88,19 @@ impl Request {
     }
 }
 
+impl Request {
+    /// Length in bytes of [`Encode::encode`]'s output for this request, computed
+    /// without encoding. Differs from [`WireSize::wire_size`] for synthetic payloads:
+    /// the declared payload bytes are charged on the wire but not materialised by the
+    /// codec (see [`RequestPayload::Synthetic`]).
+    pub fn encoded_len(&self) -> usize {
+        match &self.payload {
+            RequestPayload::Inline(bytes) => 4 + 8 + 1 + 4 + bytes.len(),
+            RequestPayload::Synthetic { .. } => 4 + 8 + 1 + 4,
+        }
+    }
+}
+
 impl WireSize for Request {
     fn wire_size(&self) -> usize {
         // id (client u32 + seq u64) + payload tag + length + payload bytes

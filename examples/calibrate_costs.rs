@@ -1,0 +1,96 @@
+//! Measures the wall-clock cost of the primitive operations the compute-resource model
+//! charges, so the constants in `leopard_types::params` can be re-calibrated on new
+//! hardware.
+//!
+//! ```text
+//! cargo run --release --example calibrate_costs
+//! ```
+//!
+//! Prints one line per primitive in the unit the cost model uses. The baked-in
+//! constants in `params::calibrated_crypto_costs` were captured from a run of this
+//! probe (see `DESIGN.md` §7).
+
+use leopard::crypto::field::{lagrange_coefficients, Fp};
+use leopard::crypto::threshold::ThresholdScheme;
+use leopard::crypto::{hash_bytes, MerkleTree};
+use leopard::erasure::gf256;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A tiny deterministic generator (xorshift64*), so the probe does not need an RNG
+/// dependency.
+struct Xor(u64);
+impl Xor {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn time_per<T>(iters: u64, mut op: impl FnMut() -> T) -> f64 {
+    // Warm-up.
+    for _ in 0..iters / 10 + 1 {
+        black_box(op());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mut rng = Xor(42);
+
+    // SHA-256 throughput: hash a 64 KiB buffer, report picoseconds per byte, and a
+    // small buffer for the per-call base cost.
+    let big: Vec<u8> = (0..65536).map(|_| rng.next() as u8).collect();
+    let per_call = time_per(2_000, || hash_bytes(&big));
+    println!(
+        "sha256: {:.1} ps/byte ({:.1} ns per 64KiB call)",
+        per_call * 1000.0 / big.len() as f64,
+        per_call
+    );
+    let small = [0u8; 8];
+    println!("sha256 base: {:.1} ns per small call", time_per(2_000_000, || hash_bytes(&small)));
+
+    // GF(2^8) fused multiply-add over a slice: the erasure-coding kernel. Work per
+    // encoded datablock is shard_len * data_shards * parity_shards of these byte ops.
+    let src: Vec<u8> = (0..65536).map(|_| rng.next() as u8).collect();
+    let mut dst = vec![0u8; 65536];
+    let per_call = time_per(5_000, || gf256::mul_add_slice(&mut dst, &src, 0xA7));
+    println!("gf256 mul_add_slice: {:.1} ps/byte", per_call * 1000.0 / src.len() as f64);
+
+    // Field multiplication (sign/verify-share kernel).
+    let a = Fp::new(rng.next() % leopard::crypto::field::MODULUS);
+    let b = Fp::new(rng.next() % leopard::crypto::field::MODULUS);
+    println!("Fp mul: {:.2} ns", time_per(50_000_000, || black_box(a) * black_box(b)));
+
+    // Lagrange coefficients for a fresh 401-signer quorum (n = 600 scale).
+    let xs: Vec<Fp> = (1..=401u64).map(Fp::new).collect();
+    let per_call = time_per(2_000, || lagrange_coefficients(&xs, Fp::zero()).unwrap());
+    println!(
+        "lagrange_coefficients(401): {:.1} ns total, {:.1} ns/share",
+        per_call,
+        per_call / 401.0
+    );
+
+    // End-to-end threshold ops at the n = 600 scale.
+    use rand::SeedableRng;
+    let mut srng = rand::rngs::StdRng::seed_from_u64(42);
+    let (scheme, keys) = ThresholdScheme::trusted_setup(401, 600, &mut srng);
+    let msg = hash_bytes(b"calibration");
+    let shares: Vec<_> = keys.iter().map(|k| scheme.sign_share(k, &msg)).collect();
+    println!("sign_share: {:.1} ns", time_per(2_000_000, || scheme.sign_share(&keys[0], &msg)));
+    println!("verify_share: {:.1} ns", time_per(2_000_000, || scheme.verify_share(&shares[7], &msg)));
+    let quorum = &shares[..401];
+    let per_call = time_per(2_000, || scheme.combine(quorum, &msg).unwrap());
+    println!("combine(401) warm cache: {:.1} ns total, {:.1} ns/share", per_call, per_call / 401.0);
+
+    // Merkle tree over 600 shards of ~1 KiB (retrieval responder side).
+    let shards: Vec<Vec<u8>> = (0..600).map(|i| vec![i as u8; 1024]).collect();
+    let per_call = time_per(200, || MerkleTree::from_leaves(shards.iter().map(|s| s.as_slice())));
+    println!("merkle 600x1KiB: {:.1} ns total ({:.1} ns/leaf)", per_call, per_call / 600.0);
+}

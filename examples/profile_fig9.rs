@@ -1,0 +1,45 @@
+//! Per-cell wall-clock probe for the full fig9 sweep (used to target perf work).
+//!
+//! ```text
+//! cargo run --release --example profile_fig9 [n...]
+//! ```
+
+use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let ns: Vec<usize> = if args.is_empty() {
+        vec![32, 64, 128, 256, 300, 400, 600]
+    } else {
+        args
+    };
+    for &n in &ns {
+        let start = Instant::now();
+        let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
+        let leopard_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
+        let hotstuff_secs = start.elapsed().as_secs_f64();
+        let queries = leopard
+            .sim
+            .metrics
+            .traffic
+            .iter_sent()
+            .filter(|(_, category, _, _)| *category == "retrieval")
+            .map(|(_, _, _, count)| count)
+            .sum::<u64>();
+        println!(
+            "n={n:4}  leopard {leopard_secs:7.3}s ({} events, {:.1} Kreq/s, {} retrievals, {} retrieval msgs)   hotstuff {hotstuff_secs:7.3}s ({} events, {:.1} Kreq/s)",
+            leopard.sim.events,
+            leopard.throughput_kreqs(),
+            leopard.retrievals,
+            queries,
+            hotstuff.sim.events,
+            hotstuff.throughput_kreqs(),
+        );
+    }
+}

@@ -2,12 +2,12 @@
 //!
 //! Any engine or protocol **performance** change must be observationally pure: for a
 //! fixed seed a simulation run produces exactly the same event count, confirmed
-//! requests, and traffic totals. The constants below were captured from the PR-3 build
-//! (release profile) after its **intentional semantic changes** — the event-driven
-//! proposal pipeline with τ-batching, the broadcast self-delivery path, the batch
-//! timer's first fire at `stagger` instead of `interval + stagger`, and the simulator's
-//! arrival-order downlink reservation (which adds one `Arrive` event per remote
-//! message). They must not drift as a side effect of a pure performance change.
+//! requests, and traffic totals. The constants below were captured from the PR-4 build
+//! (release profile) after its **intentional semantic changes** — the compute-resource
+//! model (crypto and erasure ops now charge modeled CPU time to a per-replica
+//! sequential compute queue, shifting every downstream timestamp), quorum-batched vote
+//! verification on the leaders, and the scale-aware retrieval timeout. They must not
+//! drift as a side effect of a pure performance change.
 //!
 //! If a future PR changes these numbers **intentionally** (a protocol change, a network
 //! model change), re-capture the constants and say so in the PR description — a diff
@@ -48,10 +48,10 @@ fn leopard_quick_scale_matches_recaptured_golden() {
         "leopard paper(16) seed 0xA5A5",
         &report,
         &Golden {
-            events: 50_226,
-            confirmed: 390_000,
-            sent_bytes: 849_746_745,
-            recv_bytes: 849_746_745,
+            events: 49_883,
+            confirmed: 386_000,
+            sent_bytes: 845_385_150,
+            recv_bytes: 845_385_150,
         },
     );
 }
@@ -64,10 +64,10 @@ fn hotstuff_quick_scale_matches_recaptured_golden() {
         "hotstuff paper(16) seed 0xA5A5",
         &report,
         &Golden {
-            events: 155_332,
+            events: 125_449,
             confirmed: 388_700,
-            sent_bytes: 855_154_320,
-            recv_bytes: 855_154_320,
+            sent_bytes: 853_158_840,
+            recv_bytes: 853_158_840,
         },
     );
 }
@@ -80,7 +80,7 @@ fn leopard_small_scale_matches_recaptured_golden() {
         "leopard small(7) seed 0xD00D",
         &report,
         &Golden {
-            events: 25_059,
+            events: 25_058,
             confirmed: 3_984,
             sent_bytes: 4_230_750,
             recv_bytes: 4_230_750,
@@ -96,10 +96,10 @@ fn hotstuff_small_scale_matches_recaptured_golden() {
         "hotstuff small(7) seed 0xD00D",
         &report,
         &Golden {
-            events: 51_774,
+            events: 51_577,
             confirmed: 3_980,
-            sent_bytes: 6_581_976,
-            recv_bytes: 6_581_976,
+            sent_bytes: 6_569_256,
+            recv_bytes: 6_569_256,
         },
     );
 }
