@@ -1,7 +1,9 @@
 //! The closed-form cost model of the paper: amortized communication complexity, scaling
-//! factor and voting rounds (Table I), and the scaling-factor formulas of §V-B.
+//! factor and voting rounds (Table I), the scaling-factor formulas of §V-B, and the
+//! per-region breakdown of geo-distributed runs.
 
 use crate::report::Table;
+use crate::scenario::ScenarioReport;
 use leopard_types::ProtocolParams;
 
 /// The protocols compared in Table I.
@@ -123,6 +125,48 @@ pub fn table1(n: usize) -> Table {
     table
 }
 
+/// Per-region throughput and latency of a geo-distributed run: one row per region of
+/// the scenario's topology, plus a whole-system row. Empty-bodied (headers only) when
+/// the report has no per-region stats (flat scenarios).
+pub fn region_breakdown(report: &ScenarioReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Per-region breakdown — {} at n = {}",
+            report.protocol, report.n
+        ),
+        &[
+            "region",
+            "replicas",
+            "throughput (Kreqs/s)",
+            "avg latency (ms)",
+            "latency samples",
+        ],
+    );
+    let fmt_latency = |secs: Option<f64>| {
+        secs.map(|s| format!("{:.1}", s * 1000.0))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    for region in &report.regions {
+        table.push_row(vec![
+            region.name.clone(),
+            region.nodes.to_string(),
+            format!("{:.2}", region.throughput_kreqs()),
+            fmt_latency(region.average_latency_secs),
+            region.latency_samples.to_string(),
+        ]);
+    }
+    if !report.regions.is_empty() {
+        table.push_row(vec![
+            "(system)".to_string(),
+            report.n.to_string(),
+            format!("{:.2}", report.throughput_kreqs()),
+            fmt_latency(report.average_latency_secs),
+            report.sim.metrics.latency_histogram.total().to_string(),
+        ]);
+    }
+    table
+}
+
 /// Leader communication cost in bytes for confirming `requests` requests, following the
 /// closed form (2) of §V-B.
 pub fn leopard_leader_cost_bytes(params: &ProtocolParams, requests: u64) -> f64 {
@@ -232,5 +276,24 @@ mod tests {
     fn gamma_approaches_one_half() {
         let gamma = scaling_up_gamma(&ProtocolParams::paper_defaults(600));
         assert!(gamma > 0.4 && gamma <= 0.55, "gamma = {gamma}");
+    }
+
+    #[test]
+    fn region_breakdown_renders_one_row_per_region_plus_system() {
+        use crate::scenario::{run_leopard_scenario, ScenarioConfig};
+        use leopard_simnet::SimDuration;
+
+        let config = ScenarioConfig::small(4)
+            .with_wan_regions(&["us-east", "eu-west"])
+            .with_duration(SimDuration::from_secs(3));
+        let report = run_leopard_scenario(&config);
+        let table = region_breakdown(&report);
+        assert_eq!(table.rows.len(), 3); // us-east, eu-west, (system)
+        assert_eq!(table.rows[0][0], "us-east");
+        assert_eq!(table.rows[2][0], "(system)");
+
+        // A flat run renders headers only.
+        let flat = run_leopard_scenario(&ScenarioConfig::small(4));
+        assert!(region_breakdown(&flat).rows.is_empty());
     }
 }

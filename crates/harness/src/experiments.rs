@@ -24,6 +24,24 @@ fn fmt_opt_secs(value: Option<f64>) -> String {
     value.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".to_string())
 }
 
+/// Formats a protocol's p50/p95/p99 latency percentiles (milliseconds) as one cell.
+/// The leading number keeps the cell parseable by `--require-nonzero`.
+fn fmt_percentiles(report: &ScenarioReport) -> String {
+    match (
+        report.latency_p50_secs,
+        report.latency_p95_secs,
+        report.latency_p99_secs,
+    ) {
+        (Some(p50), Some(p95), Some(p99)) => format!(
+            "{:.1} / {:.1} / {:.1}",
+            p50 * 1000.0,
+            p95 * 1000.0,
+            p99 * 1000.0
+        ),
+        _ => "-".to_string(),
+    }
+}
+
 /// Formats a throughput-like cell, annotating a zero with the run's `StallReason` so a
 /// collapse can never appear as a bare `0.00` (the numeric prefix stays parseable).
 fn fmt_annotated(value: f64, report: &ScenarioReport) -> String {
@@ -180,6 +198,8 @@ const FIG9_HEADERS: &[&str] = &[
     "ratio",
     "Leopard steady (Kreqs/s)",
     "HotStuff steady (Kreqs/s)",
+    "Leopard p50/p95/p99 lat (ms)",
+    "HotStuff p50/p95/p99 lat (ms)",
     "Leopard diagnostics",
 ];
 
@@ -198,6 +218,8 @@ fn fig9_row(n: usize) -> Vec<String> {
         fmt_f(ratio),
         fmt_annotated(leopard.steady_state_kreqs(), &leopard),
         fmt_annotated(hotstuff.steady_state_kreqs(), &hotstuff),
+        fmt_percentiles(&leopard),
+        fmt_percentiles(&hotstuff),
         leopard.stall_summary(),
     ]
 }
@@ -236,6 +258,70 @@ pub fn fig9_smoke(_quick: bool) -> Table {
         fmt_annotated(leopard.steady_state_kreqs(), &leopard),
         leopard.stall_summary(),
     ]);
+    table
+}
+
+/// The four regions of the geo-distributed fig9 variant, spanning four continents.
+pub const FIG9GEO_REGIONS: [&str; 4] = ["us-east", "eu-west", "ap-northeast", "sa-east"];
+
+/// Fig. 9 (geo-distributed variant) — throughput at increasing scale when the replicas
+/// are spread round-robin over a four-region WAN ([`FIG9GEO_REGIONS`], representative
+/// public-cloud inter-region latencies), with and without 10% Raptr-style stragglers
+/// (1 Gbps NIC, half-speed CPU, +25 ms one-way latency; see
+/// `leopard_simnet::StragglerProfile::wan_default`).
+///
+/// The point of the experiment: Leopard's throughput plateau is a *bandwidth* argument
+/// (the scaling factor stays O(1)), so WAN propagation latency moves its client
+/// latency percentiles but not its plateau — while HotStuff's leader bottleneck only
+/// deepens, since every request still serialises through one (now far-away) leader.
+/// Per-region latency columns show the Leopard replicas' mean client latency from each
+/// region's vantage point.
+pub fn fig9geo_throughput_scaling(quick: bool) -> Table {
+    let mut headers: Vec<String> = [
+        "n",
+        "stragglers",
+        "Leopard (Kreqs/s)",
+        "HotStuff (Kreqs/s)",
+        "Leopard steady (Kreqs/s)",
+        "Leopard p50/p95/p99 lat (ms)",
+    ]
+    .iter()
+    .map(|h| h.to_string())
+    .collect();
+    headers.extend(FIG9GEO_REGIONS.iter().map(|region| format!("{region} lat (ms)")));
+    headers.push("Leopard diagnostics".to_string());
+    let mut table = Table::new(
+        "Fig. 9 (geo) — throughput over a 4-region WAN, with and without 10% stragglers",
+        &[],
+    );
+    table.headers = headers;
+    for n in scales(quick, &[8, 16], &[32, 64, 128, 256]) {
+        for (label, fraction) in [("none", 0.0), ("10%", 0.10)] {
+            let config = ScenarioConfig::paper(n)
+                .with_wan_regions(&FIG9GEO_REGIONS)
+                .with_straggler_fraction(fraction);
+            let leopard = run_leopard_scenario(&config);
+            let hotstuff = run_hotstuff_scenario(&config);
+            let mut row = vec![
+                n.to_string(),
+                label.to_string(),
+                fmt_annotated(leopard.throughput_kreqs(), &leopard),
+                fmt_annotated(hotstuff.throughput_kreqs(), &hotstuff),
+                fmt_annotated(leopard.steady_state_kreqs(), &leopard),
+                fmt_percentiles(&leopard),
+            ];
+            for region in &leopard.regions {
+                row.push(
+                    region
+                        .average_latency_secs
+                        .map(|secs| format!("{:.1}", secs * 1000.0))
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            row.push(leopard.stall_summary());
+            table.push_row(row);
+        }
+    }
     table
 }
 
@@ -513,7 +599,7 @@ pub fn fig13_view_change(quick: bool) -> Table {
 /// Every experiment id understood by [`run_experiment`].
 pub const EXPERIMENT_IDS: &[&str] = &[
     "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig9cpu",
-    "fig10", "tab3", "tab4", "fig11", "fig12", "fig13",
+    "fig9geo", "fig10", "tab3", "tab4", "fig11", "fig12", "fig13",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for an unknown id.
@@ -529,6 +615,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "fig9" => fig9_throughput_scaling(quick),
         "fig9smoke" => fig9_smoke(quick),
         "fig9cpu" => fig9cpu_compute_bound(quick),
+        "fig9geo" => fig9geo_throughput_scaling(quick),
         "fig10" => fig10_scaling_up(quick),
         "tab3" => tab3_bandwidth_breakdown(quick),
         "tab4" => tab4_latency_breakdown(quick),

@@ -7,7 +7,7 @@ use leopard_crypto::provider::CryptoMode;
 use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
 use leopard_simnet::{
     FaultPlan, NetworkConfig, ObservationKind, ProgressProbe, SimDuration, SimTime, Simulation,
-    SimulationReport,
+    SimulationReport, StragglerProfile, Topology,
 };
 use leopard_types::{CostModelKind, NodeId, ProtocolParams};
 
@@ -55,6 +55,17 @@ pub struct ScenarioConfig {
     pub slow_replicas: usize,
     /// CPU speed factor of the slow replicas (`1.0` = no slowdown).
     pub slow_cpu_factor: f64,
+    /// Geo-distributed topology (regions, pairwise latency matrix, bandwidth classes).
+    /// `None` keeps the paper's flat LAN. See [`Self::with_topology`] and the `wan` /
+    /// `two_dc` builders.
+    pub topology: Option<Topology>,
+    /// Fraction of the replicas (highest ids first, skipping the initial leader, count
+    /// rounded up) degraded with [`Self::straggler_profile`] — Raptr-style stragglers
+    /// that are network- and CPU-slow at once. `0.0` disables stragglers.
+    pub straggler_fraction: f64,
+    /// The degradation applied to each straggler (see
+    /// [`StragglerProfile::wan_default`]).
+    pub straggler_profile: StragglerProfile,
 }
 
 impl ScenarioConfig {
@@ -82,6 +93,9 @@ impl ScenarioConfig {
             cost_model: CostModelKind::Calibrated,
             slow_replicas: 0,
             slow_cpu_factor: 1.0,
+            topology: None,
+            straggler_fraction: 0.0,
+            straggler_profile: StragglerProfile::wan_default(),
         }
     }
 
@@ -104,6 +118,9 @@ impl ScenarioConfig {
             cost_model: CostModelKind::Calibrated,
             slow_replicas: 0,
             slow_cpu_factor: 1.0,
+            topology: None,
+            straggler_fraction: 0.0,
+            straggler_profile: StragglerProfile::wan_default(),
         }
     }
 
@@ -193,26 +210,105 @@ impl ScenarioConfig {
         self
     }
 
+    /// Installs a geo-distributed topology. A flat single-region topology reproduces
+    /// the default LAN bit-identically (see `DESIGN.md` §7).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Spreads the replicas round-robin over a WAN of the named regions, with
+    /// representative public-cloud inter-region latencies
+    /// (see [`Topology::wan`]).
+    pub fn with_wan_regions(self, regions: &[&str]) -> Self {
+        self.with_topology(Topology::wan(regions))
+    }
+
+    /// Splits the replicas over two datacenters with `intra` latency inside each and
+    /// `inter` latency across the pair (see [`Topology::two_dc`]).
+    pub fn with_two_dc(self, intra: SimDuration, inter: SimDuration) -> Self {
+        self.with_topology(Topology::two_dc(intra, inter))
+    }
+
+    /// Degrades `ceil(fraction · n)` replicas (highest ids first, skipping the initial
+    /// leader) with the current [`Self::straggler_profile`] — slow link, slow CPU and
+    /// extra one-way latency at once, the Raptr straggler scenario.
+    pub fn with_straggler_fraction(mut self, fraction: f64) -> Self {
+        self.straggler_fraction = fraction;
+        self
+    }
+
+    /// Overrides the degradation profile used by [`Self::with_straggler_fraction`].
+    pub fn with_straggler_profile(mut self, profile: StragglerProfile) -> Self {
+        self.straggler_profile = profile;
+        self
+    }
+
+    /// Number of stragglers this scenario degrades.
+    pub fn straggler_count(&self) -> usize {
+        if self.straggler_fraction <= 0.0 {
+            return 0;
+        }
+        ((self.straggler_fraction * self.n as f64).ceil() as usize).min(self.n.saturating_sub(1))
+    }
+
+    /// The topology actually handed to the simulator: [`Self::topology`] (or a flat
+    /// stand-in when stragglers are requested without one) with the straggler profiles
+    /// applied. `None` when the scenario is a plain flat LAN.
+    pub fn effective_topology(&self) -> Option<Topology> {
+        let stragglers = self.straggler_count();
+        let mut topology = self.topology.clone();
+        if stragglers > 0 {
+            // The scenario's own LAN expressed as a flat topology — bit-identical to
+            // the scalar model by construction, so adding stragglers never perturbs
+            // the non-straggler schedule, and the scalars can never drift from the
+            // network the scenario actually builds.
+            let mut with_stragglers = topology.take().unwrap_or_else(|| {
+                let base = self.base_network();
+                Topology::flat(base.base_latency, base.jitter)
+            });
+            for node in self.highest_non_leader_ids(stragglers) {
+                with_stragglers = with_stragglers.with_straggler(node, self.straggler_profile);
+            }
+            topology = Some(with_stragglers);
+        }
+        topology
+    }
+
     /// The identifier of the initial leader (the leader of view 1).
     pub fn initial_leader(&self) -> NodeId {
         leopard_types::View::initial().leader(self.n)
     }
 
-    fn network(&self) -> NetworkConfig {
-        let mut config = match self.bandwidth_mbps {
+    /// The `count` highest replica ids, skipping the initial leader — the shared
+    /// selection used for stragglers, slow-CPU replicas and selective attackers, so
+    /// the three experiments always degrade the same node set.
+    fn highest_non_leader_ids(&self, count: usize) -> Vec<usize> {
+        let leader = self.initial_leader();
+        (0..self.n)
+            .rev()
+            .filter(|&i| NodeId(i as u32) != leader)
+            .take(count)
+            .collect()
+    }
+
+    /// The network before any topology is applied (scale, NIC class, seed scalars).
+    fn base_network(&self) -> NetworkConfig {
+        match self.bandwidth_mbps {
             Some(mbps) => NetworkConfig::throttled(self.n, mbps),
             None => NetworkConfig::datacenter(self.n),
-        };
+        }
+    }
+
+    fn network(&self) -> NetworkConfig {
+        let mut config = self.base_network();
         if self.slow_replicas > 0 && self.slow_cpu_factor != 1.0 {
-            let leader = self.initial_leader();
-            let slowed: Vec<usize> = (0..self.n)
-                .rev()
-                .filter(|&i| NodeId(i as u32) != leader)
-                .take(self.slow_replicas)
-                .collect();
-            for node in slowed {
+            for node in self.highest_non_leader_ids(self.slow_replicas) {
                 config = config.with_node_cpu_speed(node, self.slow_cpu_factor);
             }
+        }
+        if let Some(topology) = self.effective_topology() {
+            config = config.with_topology(topology);
         }
         config.with_seed(self.seed)
     }
@@ -221,12 +317,10 @@ impl ScenarioConfig {
         let mut plan = if self.selective_attackers > 0 {
             let f = (self.n - 1) / 3;
             let quorum = 2 * f + 1;
-            let leader = self.initial_leader();
-            let attackers: Vec<NodeId> = (0..self.n as u32)
-                .rev()
-                .map(NodeId)
-                .filter(|id| *id != leader)
-                .take(self.selective_attackers)
+            let attackers: Vec<NodeId> = self
+                .highest_non_leader_ids(self.selective_attackers)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
                 .collect();
             FaultPlan::selective_attack(attackers, "datablock", quorum)
         } else {
@@ -262,16 +356,39 @@ impl ScenarioConfig {
         // erasure work. Three dissemination times of headroom keeps the timer a
         // genuine loss detector (fig12's retrieval runs use small datablocks, where
         // the 100 ms floor still applies).
-        let uplink_bps = self.network().link(0).uplink_bps;
+        // Under a topology the slowest producer's uplink bounds honest dissemination
+        // (a straggler's 1 Gbps NIC, a throttled region class), and WAN propagation
+        // adds up to `max_one_way_latency` per hop of query/response — so the timeout
+        // gets four one-way latencies of deterministic headroom on top. For a flat
+        // network both terms collapse to exactly the pre-topology formula.
+        let network = self.network();
+        let resolved = network.resolve();
+        let min_uplink_bps = resolved
+            .links
+            .iter()
+            .map(|link| {
+                if link.uplink_bps == 0 {
+                    u64::MAX // unlimited
+                } else {
+                    link.uplink_bps
+                }
+            })
+            .min()
+            .unwrap_or(u64::MAX);
         let datablock_bytes = (self.datablock_size * self.workload.payload_size) as f64;
-        let dissemination_secs = if uplink_bps == 0 {
+        let dissemination_secs = if min_uplink_bps == u64::MAX {
             0.0 // unlimited link: dissemination is instant, the floor applies
         } else {
-            (self.n - 1) as f64 * datablock_bytes * 8.0 / uplink_bps as f64
+            (self.n - 1) as f64 * datablock_bytes * 8.0 / min_uplink_bps as f64
         };
+        let wan_headroom = network
+            .topology
+            .as_ref()
+            .map(|topology| topology.max_one_way_latency().saturating_mul(4))
+            .unwrap_or(SimDuration::ZERO);
         config.retrieval_timeout = config
             .retrieval_timeout
-            .max(SimDuration::from_secs_f64(3.0 * dissemination_secs));
+            .max(SimDuration::from_secs_f64(3.0 * dissemination_secs) + wan_headroom);
         config
     }
 
@@ -282,6 +399,32 @@ impl ScenarioConfig {
         config.crypto_mode = self.crypto_mode;
         config.cost_model = self.cost_model;
         config
+    }
+}
+
+/// Throughput and latency of the replicas of one region (see
+/// [`ScenarioReport::regions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Region name (from the scenario's [`Topology`]).
+    pub name: String,
+    /// Number of replicas assigned to the region.
+    pub nodes: usize,
+    /// Confirmed requests per second, measured as the maximum per-replica confirmation
+    /// count *within the region* over the full run window (the same server-side
+    /// measure as the global figure, restricted to the region).
+    pub throughput_rps: f64,
+    /// Mean client latency in seconds over the requests acknowledged by this region's
+    /// replicas, or `None` if none completed.
+    pub average_latency_secs: Option<f64>,
+    /// Number of latency samples behind [`Self::average_latency_secs`].
+    pub latency_samples: u64,
+}
+
+impl RegionStats {
+    /// Throughput in the paper's Kreqs/sec unit.
+    pub fn throughput_kreqs(&self) -> f64 {
+        self.throughput_rps / 1_000.0
     }
 }
 
@@ -308,6 +451,16 @@ pub struct ScenarioReport {
     pub throughput_bps: f64,
     /// Average client latency in seconds (None if nothing completed).
     pub average_latency_secs: Option<f64>,
+    /// Median client latency in seconds, from the O(1) fixed-bucket histogram
+    /// (bucket-midpoint accuracy; see `leopard_simnet::LatencyHistogram`).
+    pub latency_p50_secs: Option<f64>,
+    /// 95th-percentile client latency in seconds (same histogram).
+    pub latency_p95_secs: Option<f64>,
+    /// 99th-percentile client latency in seconds (same histogram).
+    pub latency_p99_secs: Option<f64>,
+    /// Per-region throughput and latency, in the topology's region order. Empty when
+    /// the scenario has no [`ScenarioConfig::topology`].
+    pub regions: Vec<RegionStats>,
     /// Bits per second moved (sent + received) by the initial leader.
     pub leader_bandwidth_bps: f64,
     /// Number of view changes observed (across all replicas).
@@ -359,6 +512,10 @@ impl ScenarioReport {
         let leader = config.initial_leader();
         let leader_bandwidth_bps = sim.node_bandwidth_bps(leader);
         let average_latency_secs = sim.average_latency_secs();
+        let latency_p50_secs = sim.latency_percentile_secs(0.50);
+        let latency_p95_secs = sim.latency_percentile_secs(0.95);
+        let latency_p99_secs = sim.latency_percentile_secs(0.99);
+        let regions = Self::region_stats(config, &sim);
         let leader_compute_utilization = sim.compute_utilization(leader);
         let max_compute_utilization = sim.max_compute_utilization();
         let mean_compute_utilization = sim.mean_compute_utilization();
@@ -429,6 +586,10 @@ impl ScenarioReport {
             warmup_secs: warmup.as_secs_f64(),
             throughput_bps,
             average_latency_secs,
+            latency_p50_secs,
+            latency_p95_secs,
+            latency_p99_secs,
+            regions,
             leader_bandwidth_bps,
             view_changes,
             average_view_change_secs,
@@ -443,6 +604,58 @@ impl ScenarioReport {
             mean_compute_utilization,
             sim,
         }
+    }
+
+    /// One pass over the observations grouping confirmations and latency samples by
+    /// region. Empty when the scenario has no topology.
+    fn region_stats(config: &ScenarioConfig, sim: &SimulationReport) -> Vec<RegionStats> {
+        let Some(topology) = &config.topology else {
+            return Vec::new();
+        };
+        let r = topology.region_count();
+        let duration_secs = sim.end_time.as_secs_f64();
+        let mut per_node_confirmed = vec![0u64; config.n];
+        let mut latency_sum = vec![0f64; r];
+        let mut latency_count = vec![0u64; r];
+        for observation in &sim.metrics.observations {
+            match observation.kind {
+                ObservationKind::RequestsConfirmed { count, .. } => {
+                    if let Some(slot) = per_node_confirmed.get_mut(observation.node.as_index()) {
+                        *slot += count;
+                    }
+                }
+                ObservationKind::RequestLatency { nanos } => {
+                    let region = topology.region_of(observation.node.as_index());
+                    latency_sum[region] += nanos as f64 / 1e9;
+                    latency_count[region] += 1;
+                }
+                _ => {}
+            }
+        }
+        let mut max_confirmed = vec![0u64; r];
+        let mut nodes_per_region = vec![0usize; r];
+        for (node, &confirmed) in per_node_confirmed.iter().enumerate() {
+            let region = topology.region_of(node);
+            max_confirmed[region] = max_confirmed[region].max(confirmed);
+            nodes_per_region[region] += 1;
+        }
+        (0..r)
+            .map(|region| RegionStats {
+                name: topology.region_name(region).to_string(),
+                nodes: nodes_per_region[region],
+                throughput_rps: if duration_secs > 0.0 {
+                    max_confirmed[region] as f64 / duration_secs
+                } else {
+                    0.0
+                },
+                average_latency_secs: if latency_count[region] > 0 {
+                    Some(latency_sum[region] / latency_count[region] as f64)
+                } else {
+                    None
+                },
+                latency_samples: latency_count[region],
+            })
+            .collect()
     }
 
     /// Throughput in the paper's Kreqs/sec unit.
@@ -565,5 +778,56 @@ mod tests {
         assert_eq!(config.datablock_size, 500);
         assert_eq!(config.hotstuff_batch, 400);
         assert_eq!(config.initial_leader(), NodeId(1));
+    }
+
+    #[test]
+    fn topology_builders_compose() {
+        let config = ScenarioConfig::paper(16)
+            .with_wan_regions(&["us-east", "eu-west"])
+            .with_straggler_fraction(0.10)
+            .with_straggler_profile(StragglerProfile::slow_path(SimDuration::from_millis(10)));
+        assert_eq!(config.topology.as_ref().unwrap().region_count(), 2);
+        assert_eq!(config.straggler_count(), 2);
+        let topology = config.effective_topology().unwrap();
+        assert_eq!(topology.stragglers().len(), 2);
+        assert!(config.network().validate().is_ok());
+
+        let dc = ScenarioConfig::small(4)
+            .with_two_dc(SimDuration::from_micros(200), SimDuration::from_millis(5));
+        assert_eq!(dc.topology.as_ref().unwrap().region_count(), 2);
+        assert!(dc.effective_topology().is_some());
+
+        // No topology, no stragglers: the network stays the flat scalar model.
+        let flat = ScenarioConfig::small(4);
+        assert!(flat.effective_topology().is_none());
+        assert!(flat.network().topology.is_none());
+    }
+
+    #[test]
+    fn wan_topology_raises_the_retrieval_timeout() {
+        let flat = ScenarioConfig::paper(16);
+        let wan = ScenarioConfig::paper(16).with_wan_regions(&["us-east", "eu-west", "sa-east"]);
+        let flat_timeout = flat.leopard_config().retrieval_timeout;
+        let wan_timeout = wan.leopard_config().retrieval_timeout;
+        // eu-west ↔ sa-east is 95 ms + 9.5 ms jitter; four one-way latencies of
+        // headroom must push the timeout well past the flat configuration's 100 ms.
+        assert!(
+            wan_timeout.as_nanos() >= 4 * 95_000_000 && wan_timeout > flat_timeout,
+            "wan timeout {wan_timeout} vs flat {flat_timeout}"
+        );
+    }
+
+    #[test]
+    fn small_wan_scenario_reports_region_stats() {
+        let config = ScenarioConfig::small(4)
+            .with_wan_regions(&["us-east", "eu-west"])
+            .with_duration(SimDuration::from_secs(3));
+        let report = run_leopard_scenario(&config);
+        assert!(report.confirmed_requests > 0);
+        assert_eq!(report.regions.len(), 2);
+        assert_eq!(report.regions[0].name, "us-east");
+        assert_eq!(report.regions[0].nodes + report.regions[1].nodes, 4);
+        assert!(report.regions.iter().all(|r| r.throughput_rps > 0.0));
+        assert!(report.latency_p50_secs.is_some());
     }
 }

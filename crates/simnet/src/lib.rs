@@ -16,6 +16,9 @@
 //! * [`Simulation`] — the deterministic discrete-event engine ([`sim`]);
 //! * [`NetworkConfig`] / [`LinkConfig`] — bandwidth, latency and partial-synchrony
 //!   parameters ([`network`]);
+//! * [`Topology`] / [`StragglerProfile`] — geo-distributed deployments: named regions,
+//!   a pairwise latency/jitter matrix, per-region bandwidth classes and per-node
+//!   stragglers that are network- and CPU-slow at once ([`network`]);
 //! * [`FaultPlan`] — message filters and crash schedules for Byzantine experiments
 //!   ([`fault`]);
 //! * [`MetricsSink`], [`TrafficMatrix`] — per-node, per-category byte accounting and
@@ -35,8 +38,8 @@ pub mod sim;
 pub mod time;
 
 pub use fault::{FaultPlan, MessageFate};
-pub use metrics::{MetricsSink, Observation, ObservationKind, TrafficMatrix};
-pub use network::{LinkConfig, NetworkConfig};
+pub use metrics::{LatencyHistogram, MetricsSink, Observation, ObservationKind, TrafficMatrix};
+pub use network::{LinkConfig, NetworkConfig, ResolvedTopology, StragglerProfile, Topology};
 pub use protocol::{Context, ProgressProbe, Protocol, SimMessage};
 pub use sim::{Simulation, SimulationReport};
 pub use time::{SimDuration, SimTime};

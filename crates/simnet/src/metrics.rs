@@ -157,6 +157,99 @@ impl TrafficMatrix {
     }
 }
 
+/// A fixed-bucket logarithmic histogram of latency samples in nanoseconds.
+///
+/// Buckets are exact below 32 ns and 1/16-octave geometric above (16 sub-buckets per
+/// power of two), covering the full `u64` nanosecond range in a constant 976 counters
+/// — memory stays O(1) no matter how many samples a run records. Percentile queries
+/// return the midpoint of the bucket holding the requested rank, so the relative
+/// error is bounded by half a bucket width (≈ 3%).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// Exact buckets cover `[0, LINEAR_LIMIT)`; geometric buckets take over above.
+const LINEAR_LIMIT: u64 = 32;
+/// Sub-buckets per octave in the geometric range.
+const SUB_BUCKETS: usize = 16;
+/// Total bucket count: `63 * 16 + 15 - 48 + 1` (the index of `u64::MAX`, plus one).
+const NUM_BUCKETS: usize = 976;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < LINEAR_LIMIT {
+            return nanos as usize;
+        }
+        let exp = 63 - nanos.leading_zeros() as usize; // ≥ 5 here
+        let frac = ((nanos >> (exp - 4)) & 15) as usize;
+        exp * SUB_BUCKETS + frac - 48
+    }
+
+    /// The `[lower, upper)` nanosecond range of bucket `index` (`upper` saturates at
+    /// `u64::MAX` for the topmost buckets).
+    fn bucket_bounds(index: usize) -> (u64, u64) {
+        if index < LINEAR_LIMIT as usize {
+            return (index as u64, index as u64 + 1);
+        }
+        let exp = (index + 48) / SUB_BUCKETS;
+        let frac = ((index + 48) % SUB_BUCKETS) as u64;
+        let lower = (1u64 << exp) + (frac << (exp - 4));
+        let width = 1u64 << (exp - 4);
+        (lower, lower.saturating_add(width))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`, clamped) in nanoseconds, or `None` if the
+    /// histogram is empty. Returns the midpoint of the bucket containing the rank
+    /// `ceil(p · total)`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let (lower, upper) = Self::bucket_bounds(index);
+                return Some(lower + (upper - lower) / 2);
+            }
+        }
+        None // unreachable: total > 0 guarantees some bucket reaches the rank
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Collects traffic counters and observations during a run.
 #[derive(Debug, Default)]
 pub struct MetricsSink {
@@ -164,6 +257,9 @@ pub struct MetricsSink {
     pub traffic: TrafficMatrix,
     /// Ordered list of protocol observations.
     pub observations: Vec<Observation>,
+    /// O(1)-memory histogram of every [`ObservationKind::RequestLatency`] sample,
+    /// for percentile reporting.
+    pub latency_histogram: LatencyHistogram,
 }
 
 impl MetricsSink {
@@ -174,6 +270,9 @@ impl MetricsSink {
 
     /// Records an observation.
     pub fn observe(&mut self, at: SimTime, node: NodeId, kind: ObservationKind) {
+        if let ObservationKind::RequestLatency { nanos } = kind {
+            self.latency_histogram.record(nanos);
+        }
         self.observations.push(Observation { at, node, kind });
     }
 
@@ -311,5 +410,62 @@ mod tests {
         assert_eq!(sink.max_confirmed_requests_since(2, SimTime(0)), 12);
         assert_eq!(sink.max_confirmed_requests_since(2, SimTime(15)), 7);
         assert_eq!(sink.max_confirmed_requests_since(2, SimTime(21)), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_exhaustive() {
+        // Every boundary value maps into range, and indices never decrease.
+        let mut last = 0usize;
+        for nanos in (0u64..1000).chain([1 << 20, (1 << 20) + 1, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            let index = LatencyHistogram::bucket_index(nanos);
+            assert!(index < NUM_BUCKETS, "index {index} out of range for {nanos}");
+            assert!(index >= last, "bucket index decreased at {nanos}");
+            last = index;
+            let (lower, upper) = LatencyHistogram::bucket_bounds(index);
+            assert!(lower <= nanos, "{nanos} below its bucket [{lower}, {upper})");
+            assert!(nanos < upper || upper == u64::MAX, "{nanos} above its bucket");
+        }
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_accurate() {
+        let mut histogram = LatencyHistogram::new();
+        assert!(histogram.is_empty());
+        assert_eq!(histogram.percentile(0.5), None);
+        // 100 samples of 1 ms, 10 of 100 ms: p50 lands in the 1 ms bucket, p99 and
+        // beyond in the 100 ms bucket, with ≤ ~3% bucket-midpoint error.
+        for _ in 0..100 {
+            histogram.record(1_000_000);
+        }
+        for _ in 0..10 {
+            histogram.record(100_000_000);
+        }
+        assert_eq!(histogram.total(), 110);
+        let p50 = histogram.percentile(0.5).unwrap() as f64;
+        assert!((p50 / 1_000_000.0 - 1.0).abs() < 0.04, "p50 = {p50}");
+        let p99 = histogram.percentile(0.99).unwrap() as f64;
+        assert!((p99 / 100_000_000.0 - 1.0).abs() < 0.04, "p99 = {p99}");
+        // p at the extremes is clamped, not panicking.
+        assert!(histogram.percentile(0.0).is_some());
+        assert!(histogram.percentile(1.5).is_some());
+        // Tiny exact-bucket samples are exact.
+        let mut small = LatencyHistogram::new();
+        small.record(7);
+        assert_eq!(small.percentile(0.5), Some(7));
+    }
+
+    #[test]
+    fn sink_feeds_latency_samples_into_the_histogram() {
+        let mut sink = MetricsSink::new();
+        sink.observe(SimTime(1), NodeId(0), ObservationKind::RequestLatency { nanos: 2_000_000 });
+        sink.observe(SimTime(2), NodeId(1), ObservationKind::RequestLatency { nanos: 8_000_000 });
+        sink.observe(
+            SimTime(3),
+            NodeId(0),
+            ObservationKind::Custom { label: "x", value: 1 },
+        );
+        assert_eq!(sink.latency_histogram.total(), 2);
+        assert_eq!(sink.latency_samples().len(), 2);
     }
 }

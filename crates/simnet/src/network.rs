@@ -1,5 +1,7 @@
-//! Network model configuration: per-node link capacities, propagation latency, and the
-//! partial-synchrony (GST) model.
+//! Network model configuration: per-node link capacities, propagation latency, the
+//! partial-synchrony (GST) model, and the geo-distributed [`Topology`] abstraction
+//! (named regions, a pairwise latency/jitter matrix, per-region bandwidth classes and
+//! per-node straggler profiles).
 
 use crate::time::{SimDuration, SimTime};
 
@@ -43,11 +45,407 @@ impl Default for LinkConfig {
     }
 }
 
+/// Degradations applied to a single straggler node: a slower NIC, a slower CPU and an
+/// extra one-way propagation latency on every message it sends or receives.
+///
+/// This is the Raptr-style straggler (arXiv:2504.18649): geo-distributed validators
+/// whose stragglers are *network*-slow and *CPU*-slow at once. The CPU factor
+/// multiplies whatever [`NetworkConfig::cpu_speed`] already assigns the node, so a
+/// straggler profile composes with the heterogeneous-CPU experiments instead of
+/// overriding them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerProfile {
+    /// NIC cap for the straggler, or `None` to keep the node's regular link. A profile
+    /// *degrades*: the effective link is the direction-wise minimum of this cap and
+    /// the link the node would otherwise have, so a 1 Gbps profile on an
+    /// already-throttled 20 Mbps fleet leaves the node at 20 Mbps instead of silently
+    /// upgrading it.
+    pub link: Option<LinkConfig>,
+    /// Multiplier applied to the node's CPU speed factor (`1.0` = no slowdown).
+    pub cpu_factor: f64,
+    /// Extra one-way latency added to every message the straggler sends *or* receives
+    /// (a message between two stragglers pays both ends' extras). Deterministic — it
+    /// consumes no randomness, so adding a straggler never shifts jitter draws of
+    /// unrelated messages.
+    pub extra_latency: SimDuration,
+}
+
+impl StragglerProfile {
+    /// The WAN straggler used by the geo-distributed experiments: a 1 Gbps NIC cap
+    /// (vs the fleet's 9.8 Gbps), a half-speed CPU and 25 ms of extra one-way latency.
+    pub fn wan_default() -> Self {
+        Self {
+            link: Some(LinkConfig::symmetric_mbps(1_000)),
+            cpu_factor: 0.5,
+            extra_latency: SimDuration::from_millis(25),
+        }
+    }
+
+    /// A straggler that is only latency-degraded (link and CPU untouched).
+    pub fn slow_path(extra_latency: SimDuration) -> Self {
+        Self {
+            link: None,
+            cpu_factor: 1.0,
+            extra_latency,
+        }
+    }
+}
+
+/// A geo-distributed network topology: named regions, a symmetric pairwise
+/// latency/jitter matrix between regions, optional per-region bandwidth classes, and
+/// per-node straggler profiles.
+///
+/// Nodes are assigned to regions round-robin (`node % region_count`), so every region
+/// holds an equal share of the replicas regardless of `n` and region membership never
+/// depends on mutable state. A message from node `a` to node `b` propagates for
+/// `base(region(a), region(b)) + U(0, jitter(region(a), region(b)))` plus the
+/// deterministic straggler extras of both endpoints.
+///
+/// **RNG compatibility:** a single-region [`Topology::flat`] draws exactly one uniform
+/// jitter sample per routed message with the same bound as the scalar
+/// `base_latency`/`jitter` model, in the same order — so a flat topology reproduces
+/// the scalar model's event schedule bit-identically (see `DESIGN.md` §7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Region names, in region-index order.
+    regions: Vec<String>,
+    /// Base one-way latency between region pairs, row-major `r × r`, symmetric.
+    base: Vec<SimDuration>,
+    /// Maximum uniform jitter between region pairs, row-major `r × r`, symmetric.
+    jitter: Vec<SimDuration>,
+    /// Per-region NIC class (an assignment, replacing [`NetworkConfig::links`] for
+    /// the region's nodes); `None` falls back to [`NetworkConfig::links`].
+    region_links: Vec<Option<LinkConfig>>,
+    /// Straggler profiles, sorted by node index.
+    stragglers: Vec<(usize, StragglerProfile)>,
+}
+
+/// One-way latency in microseconds between two known WAN regions (representative
+/// public-cloud inter-region figures; symmetric). Unknown pairs fall back to a
+/// conservative 100 ms intercontinental default.
+fn wan_one_way_micros(a: &str, b: &str) -> u64 {
+    if a == b {
+        return 500; // intra-region: the paper's LAN latency
+    }
+    let key = if a <= b { (a, b) } else { (b, a) };
+    let ms = match key {
+        ("us-east", "us-west") => 30,
+        ("eu-west", "us-east") => 38,
+        ("eu-central", "us-east") => 45,
+        ("ap-northeast", "us-east") => 75,
+        ("ap-southeast", "us-east") => 105,
+        ("sa-east", "us-east") => 60,
+        ("eu-west", "us-west") => 65,
+        ("eu-central", "us-west") => 73,
+        ("ap-northeast", "us-west") => 50,
+        ("ap-southeast", "us-west") => 85,
+        ("sa-east", "us-west") => 85,
+        ("eu-central", "eu-west") => 10,
+        ("ap-northeast", "eu-west") => 110,
+        ("ap-southeast", "eu-west") => 80,
+        ("eu-west", "sa-east") => 95,
+        ("ap-northeast", "eu-central") => 115,
+        ("ap-southeast", "eu-central") => 85,
+        ("eu-central", "sa-east") => 100,
+        ("ap-northeast", "ap-southeast") => 35,
+        ("ap-northeast", "sa-east") => 130,
+        ("ap-southeast", "sa-east") => 160,
+        _ => 100,
+    };
+    ms * 1_000
+}
+
+impl Topology {
+    /// A single-region topology with one base latency and jitter for every pair —
+    /// the scalar model as a `Topology`, bit-identical to it by construction.
+    pub fn flat(base: SimDuration, jitter: SimDuration) -> Self {
+        Self {
+            regions: vec!["flat".to_string()],
+            base: vec![base],
+            jitter: vec![jitter],
+            region_links: vec![None],
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// A topology of `names.len()` regions with `intra` latency inside a region,
+    /// `inter` latency between any two distinct regions, and the same `jitter` bound
+    /// everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn uniform(names: &[&str], intra: SimDuration, inter: SimDuration, jitter: SimDuration) -> Self {
+        assert!(!names.is_empty(), "a topology needs at least one region");
+        let r = names.len();
+        let mut base = Vec::with_capacity(r * r);
+        for i in 0..r {
+            for j in 0..r {
+                base.push(if i == j { intra } else { inter });
+            }
+        }
+        Self {
+            regions: names.iter().map(|n| n.to_string()).collect(),
+            base,
+            jitter: vec![jitter; r * r],
+            region_links: vec![None; r],
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Two datacenters (`dc-a`, `dc-b`) with `intra` latency inside each and `inter`
+    /// latency across the pair; jitter is a tenth of the respective base latency.
+    pub fn two_dc(intra: SimDuration, inter: SimDuration) -> Self {
+        let mut topology = Self::uniform(&["dc-a", "dc-b"], intra, inter, SimDuration::ZERO);
+        for i in 0..2 {
+            for j in 0..2 {
+                let base = topology.base[i * 2 + j];
+                topology.jitter[i * 2 + j] = SimDuration::from_nanos(base.as_nanos() / 10);
+            }
+        }
+        topology
+    }
+
+    /// A WAN topology over the named regions, with representative public-cloud
+    /// one-way latencies between known region names (`us-east`, `us-west`, `eu-west`,
+    /// `eu-central`, `ap-northeast`, `ap-southeast`, `sa-east`; unknown pairs default
+    /// to 100 ms) and jitter at a tenth of each pair's base latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn wan(names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "a topology needs at least one region");
+        let r = names.len();
+        let mut base = Vec::with_capacity(r * r);
+        let mut jitter = Vec::with_capacity(r * r);
+        for i in 0..r {
+            for j in 0..r {
+                let micros = wan_one_way_micros(names[i], names[j]);
+                base.push(SimDuration::from_micros(micros));
+                jitter.push(SimDuration::from_micros(micros / 10));
+            }
+        }
+        Self {
+            regions: names.iter().map(|n| n.to_string()).collect(),
+            base,
+            jitter,
+            region_links: vec![None; r],
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Sets the latency between regions `a` and `b` (symmetrically, both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either region index is out of range.
+    pub fn with_latency(mut self, a: usize, b: usize, base: SimDuration, jitter: SimDuration) -> Self {
+        let r = self.regions.len();
+        assert!(a < r && b < r, "region index out of range: {a}, {b} (have {r} regions)");
+        self.base[a * r + b] = base;
+        self.base[b * r + a] = base;
+        self.jitter[a * r + b] = jitter;
+        self.jitter[b * r + a] = jitter;
+        self
+    }
+
+    /// Gives every node of `region` the NIC class `link`, **replacing**
+    /// [`NetworkConfig::links`] for those nodes — a region class is an assignment
+    /// ("this region's machines have these NICs"), so it may be slower *or* faster
+    /// than the fleet default (a throttled satellite region, a well-provisioned core
+    /// region). Contrast [`StragglerProfile::link`], which is a *cap* and only ever
+    /// degrades: use a straggler profile, not a region class, to model a degraded
+    /// node inside an otherwise-throttled fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region index is out of range.
+    pub fn with_region_link(mut self, region: usize, link: LinkConfig) -> Self {
+        assert!(
+            region < self.regions.len(),
+            "region index out of range: {region} (have {} regions)",
+            self.regions.len()
+        );
+        self.region_links[region] = Some(link);
+        self
+    }
+
+    /// Attaches a straggler profile to `node` (replacing any previous profile).
+    /// Node-range validation happens in [`NetworkConfig::validate`], where `n` is known.
+    pub fn with_straggler(mut self, node: usize, profile: StragglerProfile) -> Self {
+        match self.stragglers.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(position) => self.stragglers[position] = (node, profile),
+            Err(position) => self.stragglers.insert(position, (node, profile)),
+        }
+        self
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Region names in index order.
+    pub fn region_names(&self) -> &[String] {
+        &self.regions
+    }
+
+    /// The name of region `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn region_name(&self, index: usize) -> &str {
+        &self.regions[index]
+    }
+
+    /// The region `node` belongs to (round-robin assignment).
+    pub fn region_of(&self, node: usize) -> usize {
+        node % self.regions.len()
+    }
+
+    /// Base one-way latency between regions `a` and `b`.
+    pub fn base_between(&self, a: usize, b: usize) -> SimDuration {
+        self.base[a * self.regions.len() + b]
+    }
+
+    /// Maximum uniform jitter between regions `a` and `b`.
+    pub fn jitter_between(&self, a: usize, b: usize) -> SimDuration {
+        self.jitter[a * self.regions.len() + b]
+    }
+
+    /// The NIC class of region `index`, if one was set.
+    pub fn region_link(&self, index: usize) -> Option<LinkConfig> {
+        self.region_links[index]
+    }
+
+    /// The straggler profile of `node`, if any.
+    pub fn straggler(&self, node: usize) -> Option<&StragglerProfile> {
+        self.stragglers
+            .binary_search_by_key(&node, |(n, _)| *n)
+            .ok()
+            .map(|position| &self.stragglers[position].1)
+    }
+
+    /// All straggler profiles, sorted by node index.
+    pub fn stragglers(&self) -> &[(usize, StragglerProfile)] {
+        &self.stragglers
+    }
+
+    /// An upper bound on the one-way propagation delay between any two nodes:
+    /// the largest `base + jitter` over all region pairs plus twice the largest
+    /// straggler extra (both endpoints could be stragglers). Used by the harness to
+    /// give WAN deployments latency-aware timeouts.
+    pub fn max_one_way_latency(&self) -> SimDuration {
+        let matrix = self
+            .base
+            .iter()
+            .zip(&self.jitter)
+            .map(|(b, j)| b.as_nanos() + j.as_nanos())
+            .max()
+            .unwrap_or(0);
+        let extra = self
+            .stragglers
+            .iter()
+            .map(|(_, p)| p.extra_latency.as_nanos())
+            .max()
+            .unwrap_or(0);
+        SimDuration::from_nanos(matrix + 2 * extra)
+    }
+
+    /// Validates structural constraints against a deployment of `nodes` replicas.
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        let r = self.regions.len();
+        if r == 0 {
+            return Err("topology must have at least one region".to_string());
+        }
+        if self.base.len() != r * r || self.jitter.len() != r * r {
+            return Err(format!(
+                "topology latency matrices must have {} entries, got {} base / {} jitter",
+                r * r,
+                self.base.len(),
+                self.jitter.len()
+            ));
+        }
+        if self.region_links.len() != r {
+            return Err(format!(
+                "topology must have {r} region link entries, got {}",
+                self.region_links.len()
+            ));
+        }
+        for i in 0..r {
+            for j in 0..i {
+                if self.base[i * r + j] != self.base[j * r + i]
+                    || self.jitter[i * r + j] != self.jitter[j * r + i]
+                {
+                    return Err(format!(
+                        "topology latency matrix must be symmetric; regions {i} and {j} disagree"
+                    ));
+                }
+            }
+        }
+        for (node, profile) in &self.stragglers {
+            if *node >= nodes {
+                return Err(format!(
+                    "straggler node {node} out of range for a {nodes}-node network"
+                ));
+            }
+            if !profile.cpu_factor.is_finite() || profile.cpu_factor <= 0.0 {
+                return Err(format!(
+                    "straggler node {node} must have a positive, finite cpu_factor, got {}",
+                    profile.cpu_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-node view of a [`NetworkConfig`] that the simulation engine actually
+/// consults on the hot path: region membership and the region-pair latency matrix in
+/// nanoseconds, plus link capacities, CPU speeds and straggler extras already resolved
+/// per node. Built once by [`NetworkConfig::resolve`] at [`crate::Simulation::new`].
+#[derive(Debug, Clone)]
+pub struct ResolvedTopology {
+    /// Effective NIC of each node (straggler override > region class > shared links).
+    pub links: Vec<LinkConfig>,
+    /// Effective CPU speed factor of each node (straggler factor already multiplied in).
+    pub cpu_speeds: Vec<f64>,
+    /// Region index of each node.
+    pub node_region: Vec<u32>,
+    /// Number of regions (1 for the flat scalar model).
+    pub region_count: usize,
+    /// Region-pair base latency in nanoseconds, row-major `region_count²`.
+    pub base_nanos: Vec<u64>,
+    /// Region-pair jitter bound in nanoseconds, row-major `region_count²`.
+    pub jitter_nanos: Vec<u64>,
+    /// Per-node deterministic straggler extra latency in nanoseconds.
+    pub extra_nanos: Vec<u64>,
+}
+
+impl ResolvedTopology {
+    /// The deterministic base propagation delay (including both endpoints' straggler
+    /// extras) and the jitter bound for a message from `from` to `to`, in nanoseconds.
+    #[inline]
+    pub fn delay_parts(&self, from: usize, to: usize) -> (u64, u64) {
+        let pair = self.node_region[from] as usize * self.region_count + self.node_region[to] as usize;
+        (
+            self.base_nanos[pair] + self.extra_nanos[from] + self.extra_nanos[to],
+            self.jitter_nanos[pair],
+        )
+    }
+}
+
 /// Full network configuration.
 ///
 /// The model charges each message `wire_size` bytes of serialisation delay at the
 /// sender's uplink and the receiver's downlink (FIFO queues), plus a propagation delay
-/// drawn uniformly from `[base_latency, base_latency + jitter]`. Before
+/// drawn uniformly from `[base, base + jitter]`, where `base` and `jitter` come from
+/// the scalar [`Self::base_latency`]/[`Self::jitter`] pair when [`Self::topology`] is
+/// `None`, and from the topology's region-pair matrix otherwise. Before
 /// [`NetworkConfig::gst`] an additional asynchronous delay of up to
 /// `pre_gst_extra_delay` is added to every message, modelling the unstable period of
 /// the partial-synchrony model of Dwork et al.
@@ -57,9 +455,10 @@ pub struct NetworkConfig {
     pub nodes: usize,
     /// Per-node link capacities; either one entry shared by every node or one per node.
     pub links: Vec<LinkConfig>,
-    /// Base one-way propagation latency.
+    /// Base one-way propagation latency (the flat scalar model; a [`Self::topology`]
+    /// overrides it with its region-pair matrix).
     pub base_latency: SimDuration,
-    /// Maximum additional random latency (uniform jitter).
+    /// Maximum additional random latency (uniform jitter) of the flat scalar model.
     pub jitter: SimDuration,
     /// Global stabilisation time; before this instant messages suffer the extra delay.
     pub gst: SimTime,
@@ -79,6 +478,11 @@ pub struct NetworkConfig {
     /// [`Self::links`]. A factor below `1.0` models a slower core (the heterogeneous-
     /// CPU experiments), above `1.0` a faster one.
     pub cpu_speeds: Vec<f64>,
+    /// Geo-distributed topology (regions, pairwise latency matrix, bandwidth classes,
+    /// stragglers). `None` selects the flat scalar model of
+    /// [`Self::base_latency`]/[`Self::jitter`]; a flat single-region topology is
+    /// bit-identical to `None` by construction.
+    pub topology: Option<Topology>,
 }
 
 impl NetworkConfig {
@@ -95,6 +499,7 @@ impl NetworkConfig {
             seed: 0xC0FFEE,
             half_duplex: true,
             cpu_speeds: Vec::new(),
+            topology: None,
         }
     }
 
@@ -107,7 +512,16 @@ impl NetworkConfig {
     }
 
     /// Overrides the link configuration of a single node (e.g. to model a slow replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this network.
     pub fn with_node_link(mut self, node: usize, link: LinkConfig) -> Self {
+        assert!(
+            node < self.nodes,
+            "with_node_link: node {node} out of range for a {}-node network",
+            self.nodes
+        );
         if self.links.len() != self.nodes {
             let shared = self.links.first().copied().unwrap_or_default();
             self.links = vec![shared; self.nodes];
@@ -136,7 +550,16 @@ impl NetworkConfig {
     }
 
     /// Overrides the CPU speed factor of a single node (e.g. to model a straggler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this network.
     pub fn with_node_cpu_speed(mut self, node: usize, speed: f64) -> Self {
+        assert!(
+            node < self.nodes,
+            "with_node_cpu_speed: node {node} out of range for a {}-node network",
+            self.nodes
+        );
         if self.cpu_speeds.len() != self.nodes {
             let shared = self.cpu_speeds.first().copied().unwrap_or(1.0);
             self.cpu_speeds = vec![shared; self.nodes];
@@ -145,7 +568,15 @@ impl NetworkConfig {
         self
     }
 
-    /// The CPU speed factor of `node` (`1.0` when no factors are configured).
+    /// Installs a geo-distributed topology (see [`Topology`]).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The CPU speed factor of `node` (`1.0` when no factors are configured). Does not
+    /// include straggler factors from a [`Self::topology`] — use [`Self::resolve`] for
+    /// the effective per-node view.
     pub fn cpu_speed(&self, node: usize) -> f64 {
         if self.cpu_speeds.len() == self.nodes {
             self.cpu_speeds[node]
@@ -154,12 +585,72 @@ impl NetworkConfig {
         }
     }
 
-    /// The link configuration of `node`.
+    /// The link configuration of `node` from [`Self::links`] alone. Does not include
+    /// region classes or straggler overrides from a [`Self::topology`] — use
+    /// [`Self::resolve`] for the effective per-node view.
     pub fn link(&self, node: usize) -> LinkConfig {
         if self.links.len() == self.nodes {
             self.links[node]
         } else {
             self.links.first().copied().unwrap_or_default()
+        }
+    }
+
+    /// Resolves the configuration into the per-node view the engine consults on the
+    /// hot path: effective links (straggler override > region class > [`Self::links`]),
+    /// effective CPU speeds ([`Self::cpu_speeds`] × straggler factor), region
+    /// membership and the latency matrix in nanoseconds. Without a topology this is
+    /// the flat single-region view of [`Self::base_latency`]/[`Self::jitter`], which
+    /// reproduces the scalar model bit-identically.
+    pub fn resolve(&self) -> ResolvedTopology {
+        let n = self.nodes;
+        let Some(topology) = &self.topology else {
+            return ResolvedTopology {
+                links: (0..n).map(|i| self.link(i)).collect(),
+                cpu_speeds: (0..n).map(|i| self.cpu_speed(i)).collect(),
+                node_region: vec![0; n],
+                region_count: 1,
+                base_nanos: vec![self.base_latency.as_nanos()],
+                jitter_nanos: vec![self.jitter.as_nanos()],
+                extra_nanos: vec![0; n],
+            };
+        };
+        let r = topology.region_count();
+        let mut links = Vec::with_capacity(n);
+        let mut cpu_speeds = Vec::with_capacity(n);
+        let mut node_region = Vec::with_capacity(n);
+        let mut extra_nanos = Vec::with_capacity(n);
+        // Direction-wise minimum of two capacities, treating 0 as unlimited.
+        let min_bps = |a: u64, b: u64| match (a, b) {
+            (0, b) => b,
+            (a, 0) => a,
+            (a, b) => a.min(b),
+        };
+        for i in 0..n {
+            let region = topology.region_of(i);
+            let straggler = topology.straggler(i);
+            let base = topology.region_link(region).unwrap_or_else(|| self.link(i));
+            let link = match straggler.and_then(|p| p.link) {
+                // A straggler cap only ever degrades the node's link.
+                Some(cap) => LinkConfig {
+                    uplink_bps: min_bps(base.uplink_bps, cap.uplink_bps),
+                    downlink_bps: min_bps(base.downlink_bps, cap.downlink_bps),
+                },
+                None => base,
+            };
+            links.push(link);
+            cpu_speeds.push(self.cpu_speed(i) * straggler.map_or(1.0, |p| p.cpu_factor));
+            node_region.push(region as u32);
+            extra_nanos.push(straggler.map_or(0, |p| p.extra_latency.as_nanos()));
+        }
+        ResolvedTopology {
+            links,
+            cpu_speeds,
+            node_region,
+            region_count: r,
+            base_nanos: topology.base.iter().map(|d| d.as_nanos()).collect(),
+            jitter_nanos: topology.jitter.iter().map(|d| d.as_nanos()).collect(),
+            extra_nanos,
         }
     }
 
@@ -192,6 +683,9 @@ impl NetworkConfig {
         }
         if self.cpu_speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
             return Err("cpu_speeds must be positive and finite".to_string());
+        }
+        if let Some(topology) = &self.topology {
+            topology.validate(self.nodes)?;
         }
         Ok(())
     }
@@ -231,6 +725,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "with_node_link: node 4 out of range for a 4-node network")]
+    fn node_link_out_of_range_panics_with_context() {
+        let _ = NetworkConfig::datacenter(4).with_node_link(4, LinkConfig::unlimited());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_node_cpu_speed: node 9 out of range for a 4-node network")]
+    fn node_cpu_out_of_range_panics_with_context() {
+        let _ = NetworkConfig::datacenter(4).with_node_cpu_speed(9, 0.5);
+    }
+
+    #[test]
     fn cpu_speed_overrides() {
         let config = NetworkConfig::datacenter(4);
         assert_eq!(config.cpu_speed(2), 1.0);
@@ -265,5 +771,153 @@ mod tests {
         let mut config = NetworkConfig::datacenter(4);
         config.links = vec![LinkConfig::unlimited(); 3];
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn flat_topology_resolves_like_the_scalar_model() {
+        let scalar = NetworkConfig::datacenter(4);
+        let flat = NetworkConfig::datacenter(4).with_topology(Topology::flat(
+            SimDuration::from_micros(500),
+            SimDuration::from_micros(50),
+        ));
+        let a = scalar.resolve();
+        let b = flat.resolve();
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.cpu_speeds, b.cpu_speeds);
+        assert_eq!(a.node_region, b.node_region);
+        assert_eq!(a.region_count, b.region_count);
+        assert_eq!(a.base_nanos, b.base_nanos);
+        assert_eq!(a.jitter_nanos, b.jitter_nanos);
+        assert_eq!(a.extra_nanos, b.extra_nanos);
+        assert_eq!(a.delay_parts(0, 3), (500_000, 50_000));
+    }
+
+    #[test]
+    fn wan_topology_is_symmetric_and_region_aware() {
+        let topology = Topology::wan(&["us-east", "eu-west", "ap-northeast", "sa-east"]);
+        assert_eq!(topology.region_count(), 4);
+        assert_eq!(topology.region_name(1), "eu-west");
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(topology.base_between(i, j), topology.base_between(j, i));
+                assert_eq!(topology.jitter_between(i, j), topology.jitter_between(j, i));
+            }
+            // Intra-region is LAN-like; inter-region is WAN-scale.
+            assert_eq!(topology.base_between(i, i), SimDuration::from_micros(500));
+        }
+        assert_eq!(topology.base_between(0, 1), SimDuration::from_millis(38));
+        assert!(topology.validate(16).is_ok());
+
+        // Round-robin region assignment.
+        let config = NetworkConfig::datacenter(8).with_topology(topology);
+        let resolved = config.resolve();
+        assert_eq!(resolved.node_region, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn straggler_profiles_resolve_onto_links_cpu_and_latency() {
+        let topology = Topology::wan(&["us-east", "eu-west"])
+            .with_straggler(3, StragglerProfile::wan_default());
+        let config = NetworkConfig::datacenter(4)
+            .with_cpu_speed(0.8)
+            .with_topology(topology);
+        let resolved = config.resolve();
+        assert_eq!(resolved.links[3], LinkConfig::symmetric_mbps(1_000));
+        assert_eq!(resolved.links[2], LinkConfig::paper_default());
+        assert!((resolved.cpu_speeds[3] - 0.4).abs() < 1e-12); // 0.8 × 0.5 composes
+        assert!((resolved.cpu_speeds[2] - 0.8).abs() < 1e-12);
+        assert_eq!(resolved.extra_nanos[3], 25_000_000);
+        // Both endpoints' extras are charged: node 1 (clean) → node 3 (straggler) pays
+        // the straggler's 25 ms on top of the eu-west↔eu-west intra-region base.
+        let (base, _) = resolved.delay_parts(1, 3);
+        assert_eq!(base, 500_000 + 25_000_000);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn straggler_link_caps_never_upgrade_a_throttled_fleet() {
+        // A 1 Gbps straggler cap on a 20 Mbps fleet keeps the node at 20 Mbps …
+        let topology = Topology::flat(SimDuration::ZERO, SimDuration::ZERO)
+            .with_straggler(1, StragglerProfile::wan_default());
+        let resolved = NetworkConfig::throttled(4, 20).with_topology(topology.clone()).resolve();
+        assert_eq!(resolved.links[1], LinkConfig::symmetric_mbps(20));
+        // … while the same cap on the paper's 9.8 Gbps fleet degrades to 1 Gbps.
+        let resolved = NetworkConfig::datacenter(4).with_topology(topology).resolve();
+        assert_eq!(resolved.links[1], LinkConfig::symmetric_mbps(1_000));
+        // An unlimited base link takes the cap; an uncapped profile keeps the base.
+        let topology = Topology::flat(SimDuration::ZERO, SimDuration::ZERO)
+            .with_straggler(0, StragglerProfile::wan_default())
+            .with_straggler(2, StragglerProfile::slow_path(SimDuration::from_millis(1)));
+        let mut config = NetworkConfig::datacenter(4).with_topology(topology);
+        config.links = vec![LinkConfig::unlimited()];
+        let resolved = config.resolve();
+        assert_eq!(resolved.links[0], LinkConfig::symmetric_mbps(1_000));
+        assert_eq!(resolved.links[2], LinkConfig::unlimited());
+    }
+
+    #[test]
+    fn region_link_classes_apply_to_member_nodes() {
+        let topology = Topology::two_dc(SimDuration::from_micros(200), SimDuration::from_millis(5))
+            .with_region_link(1, LinkConfig::symmetric_mbps(100));
+        let resolved = NetworkConfig::datacenter(4).with_topology(topology).resolve();
+        assert_eq!(resolved.links[0], LinkConfig::paper_default());
+        assert_eq!(resolved.links[1], LinkConfig::symmetric_mbps(100));
+        assert_eq!(resolved.links[3], LinkConfig::symmetric_mbps(100));
+        let (base, jitter) = resolved.delay_parts(0, 1);
+        assert_eq!(base, 5_000_000);
+        assert_eq!(jitter, 500_000);
+    }
+
+    #[test]
+    fn topology_validation_catches_bad_shapes() {
+        let mut topology = Topology::wan(&["us-east", "eu-west"]);
+        topology.base[1] = SimDuration::from_millis(1); // break symmetry
+        assert!(topology.validate(4).is_err());
+
+        let topology = Topology::flat(SimDuration::ZERO, SimDuration::ZERO)
+            .with_straggler(9, StragglerProfile::wan_default());
+        assert!(topology.validate(4).is_err());
+
+        let mut bad_cpu = StragglerProfile::wan_default();
+        bad_cpu.cpu_factor = 0.0;
+        let topology = Topology::flat(SimDuration::ZERO, SimDuration::ZERO).with_straggler(1, bad_cpu);
+        assert!(topology.validate(4).is_err());
+
+        let config = NetworkConfig::datacenter(4).with_topology(
+            Topology::flat(SimDuration::ZERO, SimDuration::ZERO)
+                .with_straggler(7, StragglerProfile::wan_default()),
+        );
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn max_one_way_latency_bounds_the_matrix_and_stragglers() {
+        let topology = Topology::wan(&["us-east", "eu-west", "ap-northeast", "sa-east"]);
+        // Worst pair: ap-northeast ↔ sa-east at 130 ms + 13 ms jitter.
+        assert_eq!(topology.max_one_way_latency(), SimDuration::from_millis(143));
+        let with_straggler = topology.with_straggler(0, StragglerProfile::wan_default());
+        assert_eq!(
+            with_straggler.max_one_way_latency(),
+            SimDuration::from_millis(143 + 50)
+        );
+    }
+
+    #[test]
+    fn uniform_and_two_dc_builders() {
+        let topology = Topology::uniform(
+            &["a", "b", "c"],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(10),
+        );
+        assert_eq!(topology.base_between(1, 1), SimDuration::from_micros(100));
+        assert_eq!(topology.base_between(0, 2), SimDuration::from_millis(2));
+        assert_eq!(topology.jitter_between(0, 2), SimDuration::from_micros(10));
+
+        let dc = Topology::two_dc(SimDuration::from_micros(500), SimDuration::from_millis(10));
+        assert_eq!(dc.region_count(), 2);
+        assert_eq!(dc.jitter_between(0, 1), SimDuration::from_millis(1));
+        assert_eq!(dc.jitter_between(0, 0), SimDuration::from_micros(50));
     }
 }

@@ -6,8 +6,14 @@
 //!
 //! 1. The message queues at `a`'s uplink: it departs at
 //!    `departure = max(t, uplink_free[a]) + s·8 / uplink_bps`.
-//! 2. It propagates for `base_latency + U(0, jitter)` (plus `U(0, pre_gst_extra_delay)`
-//!    before GST).
+//! 2. It propagates for `base + U(0, jitter)` (plus `U(0, pre_gst_extra_delay)` before
+//!    GST), where `base` and `jitter` come from the flat scalar
+//!    `base_latency`/`jitter` pair, or — when the configuration carries a
+//!    [`crate::network::Topology`] — from the region-pair latency matrix, plus the
+//!    deterministic straggler extras of both endpoints. Exactly one uniform jitter
+//!    sample is drawn per routed message whose pair jitter bound is non-zero, in route
+//!    order, so a flat single-region topology reproduces the scalar model's schedule
+//!    bit-identically.
 //! 3. It queues at `b`'s downlink **on arrival**: it is delivered at
 //!    `max(arrival, downlink_free[b]) + s·8 / downlink_bps`, where the reservation is
 //!    made when the bytes arrive (the `Arrive` event), so the downlink FIFO is ordered
@@ -26,7 +32,7 @@
 
 use crate::fault::{FaultPlan, MessageFate};
 use crate::metrics::{MetricsSink, ObservationKind};
-use crate::network::NetworkConfig;
+use crate::network::{NetworkConfig, ResolvedTopology};
 use crate::protocol::{Context, Protocol, SimMessage};
 use crate::time::{SimDuration, SimTime};
 use leopard_types::{NodeId, WireSize};
@@ -256,6 +262,17 @@ impl SimulationReport {
         Some(samples.iter().map(|&n| n as f64 / 1e9).sum::<f64>() / samples.len() as f64)
     }
 
+    /// The `p`-quantile (`p` in `[0, 1]`) of request latency in seconds, computed from
+    /// the O(1) fixed-bucket histogram (bucket-midpoint accuracy, ≈ 3% relative
+    /// error), or `None` if no request completed. See
+    /// [`crate::metrics::LatencyHistogram`].
+    pub fn latency_percentile_secs(&self, p: f64) -> Option<f64> {
+        self.metrics
+            .latency_histogram
+            .percentile(p)
+            .map(|nanos| nanos as f64 / 1e9)
+    }
+
     /// Average bits per second moved (sent + received) by `node` over the run.
     pub fn node_bandwidth_bps(&self, node: NodeId) -> f64 {
         let secs = self.end_time.as_secs_f64();
@@ -304,6 +321,9 @@ impl SimulationReport {
 /// A deterministic discrete-event simulation of `n` nodes running a [`Protocol`].
 pub struct Simulation<P: Protocol> {
     config: NetworkConfig,
+    /// The per-node view of `config` (effective links, CPU speeds, region latency
+    /// matrix) consulted on the hot path; resolved once at construction.
+    resolved: ResolvedTopology,
     faults: FaultPlan,
     nodes: Vec<P>,
     node_rngs: Vec<StdRng>,
@@ -332,6 +352,7 @@ impl<P: Protocol> Simulation<P> {
         config
             .validate()
             .unwrap_or_else(|message| panic!("invalid network config: {message}"));
+        let resolved = config.resolve();
         let n = config.nodes;
         let nodes: Vec<P> = (0..n).map(|i| factory(NodeId(i as u32))).collect();
         let node_rngs = (0..n)
@@ -353,6 +374,7 @@ impl<P: Protocol> Simulation<P> {
             cpu_free: vec![SimTime::ZERO; n],
             cpu_busy_nanos: vec![0; n],
             metrics: MetricsSink::new(),
+            resolved,
             config,
         }
     }
@@ -501,7 +523,7 @@ impl<P: Protocol> Simulation<P> {
                 if self.faults.is_crashed(to, self.now) {
                     return;
                 }
-                let to_link = self.config.link(to.as_index());
+                let to_link = self.resolved.links[to.as_index()];
                 let start = self.now.max(self.downlink_free[to.as_index()]);
                 let delivery = start + SimDuration::transmission(size, to_link.downlink_bps);
                 self.downlink_free[to.as_index()] = delivery;
@@ -562,7 +584,7 @@ impl<P: Protocol> Simulation<P> {
         let done = if actions.compute.as_nanos() == 0 {
             self.now
         } else {
-            let speed = self.config.cpu_speed(node.as_index());
+            let speed = self.resolved.cpu_speeds[node.as_index()];
             let scaled = (actions.compute.as_nanos() as f64 / speed).round() as u64;
             let start = self.now.max(self.cpu_free[node.as_index()]);
             let done = start + SimDuration::from_nanos(scaled);
@@ -641,7 +663,7 @@ impl<P: Protocol> Simulation<P> {
         }
 
         // Uplink serialisation at the sender.
-        let from_link = self.config.link(from.as_index());
+        let from_link = self.resolved.links[from.as_index()];
         let uplink_start = at.max(self.uplink_free[from.as_index()]);
         let departure = uplink_start + SimDuration::transmission(size, from_link.uplink_bps);
         self.uplink_free[from.as_index()] = departure;
@@ -655,13 +677,15 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
 
-        // Propagation.
-        let jitter_nanos = if self.config.jitter.as_nanos() == 0 {
+        // Propagation: the pair's base latency (plus both endpoints' deterministic
+        // straggler extras) and one uniform jitter draw against the pair's bound.
+        let (base_nanos, jitter_bound) = self.resolved.delay_parts(from.as_index(), to.as_index());
+        let jitter_nanos = if jitter_bound == 0 {
             0
         } else {
-            self.net_rng.gen_range(0..=self.config.jitter.as_nanos())
+            self.net_rng.gen_range(0..=jitter_bound)
         };
-        let mut latency = self.config.base_latency + SimDuration::from_nanos(jitter_nanos);
+        let mut latency = SimDuration::from_nanos(base_nanos + jitter_nanos);
         if at < self.config.gst && self.config.pre_gst_extra_delay.as_nanos() > 0 {
             latency = latency
                 + SimDuration::from_nanos(
@@ -688,6 +712,7 @@ impl<P: Protocol> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::{StragglerProfile, Topology};
     use crate::protocol::test_support::{PingMessage, PingPong};
     use crate::LinkConfig;
 
@@ -1025,6 +1050,99 @@ mod tests {
         assert!(report.compute_busy_nanos.iter().all(|&b| b == 0));
         assert_eq!(report.max_compute_utilization(), 0.0);
         assert_eq!(report.metrics.custom_samples("pingpong_done"), vec![4]);
+    }
+
+    /// A flat single-region [`Topology`] must reproduce the scalar model's schedule
+    /// bit-identically — same event count, same observation timestamps (the RNG
+    /// compatibility contract of `DESIGN.md` §7).
+    #[test]
+    fn flat_topology_is_bit_identical_to_the_scalar_model() {
+        let run = |topology: Option<Topology>| {
+            let mut config = NetworkConfig::datacenter(3).with_seed(99);
+            config.topology = topology;
+            let sim = Simulation::new(config, FaultPlan::none(), pingpong_factory(20, 256));
+            let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 100_000);
+            (
+                report.events,
+                report.metrics.traffic.total_sent_bytes(),
+                report
+                    .metrics
+                    .observations
+                    .iter()
+                    .map(|o| o.at.as_nanos())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let scalar = run(None);
+        let flat = run(Some(Topology::flat(
+            SimDuration::from_micros(500),
+            SimDuration::from_micros(50),
+        )));
+        assert_eq!(scalar, flat);
+    }
+
+    /// Propagation delay is drawn from the region-pair matrix: an intra-region ping
+    /// arrives at the intra latency, a cross-region ping at the inter latency, and a
+    /// straggler's extra is charged on top deterministically.
+    #[test]
+    fn topology_matrix_and_straggler_extras_drive_delivery_times() {
+        #[derive(Debug)]
+        struct Fanout;
+        impl Protocol for Fanout {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                if ctx.node_id() == NodeId(0) {
+                    // Node 1 is region "b" (cross-region), node 2 is region "a"
+                    // (intra-region), node 3 is region "b" and a straggler.
+                    for peer in [1u32, 2, 3] {
+                        ctx.send(NodeId(peer), PingMessage::Ping { hops: 0, payload: 8 });
+                    }
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                _message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                ctx.observe(ObservationKind::Custom {
+                    label: "arrived",
+                    value: ctx.node_id().0 as u64 * 1_000_000_000 + ctx.now().as_nanos(),
+                });
+            }
+
+            fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Context<Message = PingMessage>) {}
+        }
+
+        let topology = Topology::uniform(
+            &["a", "b"],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        )
+        .with_straggler(3, StragglerProfile::slow_path(SimDuration::from_millis(25)));
+        let mut config = NetworkConfig::datacenter(4).with_topology(topology);
+        config.links = vec![LinkConfig::unlimited()];
+        config.half_duplex = false;
+        let mut sim = Simulation::new(config, FaultPlan::none(), |_| Fanout);
+        sim.run_until(SimTime(SimDuration::from_secs(1).as_nanos()), 1_000);
+        let mut arrivals: Vec<(u64, u64)> = sim
+            .metrics()
+            .custom_samples("arrived")
+            .into_iter()
+            .map(|v| (v / 1_000_000_000, v % 1_000_000_000))
+            .collect();
+        arrivals.sort_unstable();
+        assert_eq!(
+            arrivals,
+            vec![
+                (1, 5_000_000),  // cross-region: 5 ms
+                (2, 100_000),    // intra-region: 100 µs
+                (3, 30_000_000), // cross-region + straggler extra: 5 ms + 25 ms
+            ]
+        );
     }
 
     #[test]

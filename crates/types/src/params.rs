@@ -35,7 +35,7 @@ impl CostModelKind {
 
 /// Per-operation compute costs measured from the repository's own implementations with
 /// `cargo run --release --example calibrate_costs` (single-core container, see
-/// `DESIGN.md` §7 for the methodology and the raw probe output):
+/// `DESIGN.md` §6.3 for the methodology and the raw probe output):
 ///
 /// | primitive | measured |
 /// |-----------|----------|

@@ -8,7 +8,7 @@
 //!
 //! Prints one line per primitive in the unit the cost model uses. The baked-in
 //! constants in `params::calibrated_crypto_costs` were captured from a run of this
-//! probe (see `DESIGN.md` §7).
+//! probe (see `DESIGN.md` §6.3).
 
 use leopard::crypto::field::{lagrange_coefficients, Fp};
 use leopard::crypto::threshold::ThresholdScheme;

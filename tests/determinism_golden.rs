@@ -12,8 +12,14 @@
 //! If a future PR changes these numbers **intentionally** (a protocol change, a network
 //! model change), re-capture the constants and say so in the PR description — a diff
 //! here is a semantic change, not a perf regression.
+//!
+//! PR 5 (the topology layer) kept every pre-existing constant byte-for-byte: a flat
+//! scenario resolves to a single-region topology whose delivery path draws the same
+//! jitter values in the same order as the old scalar model. The `fig9geo` golden below
+//! was captured once when the geo-distributed path landed.
 
 use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use leopard::harness::experiments::FIG9GEO_REGIONS;
 
 struct Golden {
     events: u64,
@@ -100,6 +106,29 @@ fn hotstuff_small_scale_matches_recaptured_golden() {
             confirmed: 3_980,
             sent_bytes: 6_569_256,
             recv_bytes: 6_569_256,
+        },
+    );
+}
+
+/// One point of the geo-distributed `fig9geo` sweep: Leopard at n = 16 over the
+/// 4-region WAN with 10% stragglers (2 degraded replicas). Captured once when the
+/// topology layer landed (PR 5); pins the WAN latency matrix, the straggler profile
+/// resolution and the per-pair jitter draws all at once.
+#[test]
+fn leopard_fig9geo_point_matches_captured_golden() {
+    let config = ScenarioConfig::paper(16)
+        .with_wan_regions(&FIG9GEO_REGIONS)
+        .with_straggler_fraction(0.10)
+        .with_seed(0x6E0);
+    let report = run_leopard_scenario(&config);
+    assert_matches(
+        "leopard fig9geo paper(16) wan4 +10% stragglers seed 0x6E0",
+        &report,
+        &Golden {
+            events: 32_974,
+            confirmed: 294_000,
+            sent_bytes: 844_733_759,
+            recv_bytes: 844_733_759,
         },
     );
 }
