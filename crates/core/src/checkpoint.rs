@@ -7,7 +7,7 @@
 //! instances below it.
 
 use crate::instance::ShareCollector;
-use leopard_crypto::threshold::SignatureShare;
+use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
 use leopard_crypto::{hash_parts, Digest};
 use leopard_types::SeqNum;
 use std::collections::HashMap;
@@ -23,6 +23,10 @@ pub fn checkpoint_digest(seq: SeqNum, state: &Digest) -> Digest {
 pub struct CheckpointState {
     /// The latest stable (proven) checkpoint sequence number; this is the low watermark.
     stable: SeqNum,
+    /// State digest and combined proof of the stable checkpoint, kept so this replica
+    /// can serve state-transfer requests (`None` only at the genesis checkpoint, which
+    /// needs no proof).
+    stable_proof: Option<(Digest, CombinedSignature)>,
     /// Leader-side share collection per candidate checkpoint.
     collecting: HashMap<SeqNum, (Digest, ShareCollector)>,
 }
@@ -87,6 +91,22 @@ impl CheckpointState {
         } else {
             false
         }
+    }
+
+    /// Advances the stable checkpoint and retains its (already verified) state digest
+    /// and proof for serving state transfers. Returns true if the watermark moved.
+    pub fn advance_proven(&mut self, seq: SeqNum, state: Digest, proof: CombinedSignature) -> bool {
+        if self.advance(seq) {
+            self.stable_proof = Some((state, proof));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The stable checkpoint's state digest and proof, if past genesis.
+    pub fn stable_proof(&self) -> Option<&(Digest, CombinedSignature)> {
+        self.stable_proof.as_ref()
     }
 }
 
@@ -164,6 +184,26 @@ mod tests {
         assert!(!checkpoints.advance(SeqNum(8)));
         assert!(checkpoints.advance(SeqNum(16)));
         assert_eq!(checkpoints.low_watermark(), SeqNum(16));
+    }
+
+    #[test]
+    fn advance_proven_retains_the_stable_proof_for_state_transfer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
+        let state = hash_bytes(b"state");
+        let digest = checkpoint_digest(SeqNum(8), &state);
+        let shares: Vec<_> = keys[..3].iter().map(|k| scheme.sign_share(k, &digest)).collect();
+        let proof = scheme.combine(&shares, &digest).unwrap();
+
+        let mut checkpoints = CheckpointState::new();
+        assert!(checkpoints.stable_proof().is_none());
+        assert!(checkpoints.advance_proven(SeqNum(8), state, proof));
+        let (stored_state, stored_proof) = checkpoints.stable_proof().expect("proof retained");
+        assert_eq!(*stored_state, state);
+        assert!(scheme.verify_combined(stored_proof, &digest));
+        // A stale advance neither moves the watermark nor clobbers the proof.
+        assert!(!checkpoints.advance_proven(SeqNum(4), hash_bytes(b"old"), proof));
+        assert_eq!(checkpoints.stable_proof().unwrap().0, state);
     }
 
     #[test]

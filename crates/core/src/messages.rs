@@ -75,6 +75,25 @@ impl WireSize for NotarizedEntry {
     }
 }
 
+/// A confirmed BFTblock carried by a state-transfer response: the block plus the two
+/// proofs a requester needs to accept it without having voted — the notarization (to
+/// recompute the second-round message) and the confirmation over it.
+#[derive(Debug, Clone)]
+pub struct ConfirmedEntry {
+    /// The confirmed BFTblock.
+    pub block: Arc<BftBlock>,
+    /// The notarization proof (first-round combined signature).
+    pub notarization: CombinedSignature,
+    /// The confirmation proof (second-round combined signature).
+    pub confirmation: CombinedSignature,
+}
+
+impl WireSize for ConfirmedEntry {
+    fn wire_size(&self) -> usize {
+        self.block.wire_size() + 2 * VOTE_WIRE_BYTES
+    }
+}
+
 /// All messages of the Leopard protocol.
 #[derive(Debug, Clone)]
 pub enum LeopardMessage {
@@ -196,6 +215,28 @@ pub enum LeopardMessage {
         /// The blocks to re-propose in the new view.
         blocks: Vec<NotarizedEntry>,
     },
+    /// State transfer: a replica that rebooted (or fell behind a watermark advance)
+    /// asks peers for everything confirmed past its own execution point.
+    StateRequest {
+        /// Serial number of the requester's latest executed BFTblock.
+        last_executed: SeqNum,
+    },
+    /// State transfer: a peer's answer — its stable checkpoint (with proof) plus the
+    /// confirmed blocks above it, each carried with both agreement proofs.
+    StateResponse {
+        /// The responder's current view (lets a rebooted replica rejoin after missing a
+        /// view change).
+        view: View,
+        /// Serial number of the responder's stable checkpoint.
+        checkpoint_seq: SeqNum,
+        /// Execution-state digest of that checkpoint.
+        checkpoint_state: Digest,
+        /// The checkpoint proof; `None` only while the responder is still at the
+        /// genesis checkpoint (seq 0), which needs no proof.
+        checkpoint_proof: Option<CombinedSignature>,
+        /// Confirmed blocks above the requester's execution point, with proofs.
+        entries: Vec<ConfirmedEntry>,
+    },
 }
 
 impl WireSize for LeopardMessage {
@@ -223,6 +264,17 @@ impl WireSize for LeopardMessage {
                 blocks,
                 ..
             } => 8 + 4 + *view_change_bytes as usize + blocks.iter().map(WireSize::wire_size).sum::<usize>(),
+            LeopardMessage::StateRequest { .. } => 8,
+            LeopardMessage::StateResponse {
+                checkpoint_proof,
+                entries,
+                ..
+            } => {
+                8 + 8
+                    + DIGEST_WIRE_BYTES
+                    + checkpoint_proof.map_or(0, |_| VOTE_WIRE_BYTES)
+                    + entries.iter().map(WireSize::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -245,6 +297,9 @@ impl SimMessage for LeopardMessage {
             LeopardMessage::Timeout { .. }
             | LeopardMessage::ViewChange { .. }
             | LeopardMessage::NewView { .. } => "viewchange",
+            LeopardMessage::StateRequest { .. } | LeopardMessage::StateResponse { .. } => {
+                "statesync"
+            }
         }
     }
 }
@@ -364,6 +419,26 @@ mod tests {
                 },
                 "viewchange",
             ),
+            (
+                LeopardMessage::StateRequest {
+                    last_executed: SeqNum(4),
+                },
+                "statesync",
+            ),
+            (
+                LeopardMessage::StateResponse {
+                    view: View(1),
+                    checkpoint_seq: SeqNum(8),
+                    checkpoint_state: digest,
+                    checkpoint_proof: Some(proof),
+                    entries: vec![ConfirmedEntry {
+                        block: block.clone(),
+                        notarization: proof,
+                        confirmation: proof,
+                    }],
+                },
+                "statesync",
+            ),
         ];
         for (message, expected) in cases {
             assert_eq!(message.category(), expected);
@@ -395,6 +470,35 @@ mod tests {
             digests: (0..5u8).map(|i| hash_bytes(&[i])).collect(),
         };
         assert_eq!(five.wire_size() - one.wire_size(), 4 * DIGEST_WIRE_BYTES);
+    }
+
+    #[test]
+    fn state_response_accounts_for_carried_entries() {
+        let (_, proof) = sample_share();
+        let block = Arc::new(BftBlock::new(View(1), SeqNum(1), vec![hash_bytes(b"l")]));
+        let entry = ConfirmedEntry {
+            block,
+            notarization: proof,
+            confirmation: proof,
+        };
+        let empty = LeopardMessage::StateResponse {
+            view: View(1),
+            checkpoint_seq: SeqNum(0),
+            checkpoint_state: hash_bytes(b"s"),
+            checkpoint_proof: None,
+            entries: vec![],
+        };
+        let loaded = LeopardMessage::StateResponse {
+            view: View(1),
+            checkpoint_seq: SeqNum(0),
+            checkpoint_state: hash_bytes(b"s"),
+            checkpoint_proof: Some(proof),
+            entries: vec![entry.clone(), entry.clone()],
+        };
+        assert_eq!(
+            loaded.wire_size() - empty.wire_size(),
+            VOTE_WIRE_BYTES + 2 * entry.wire_size()
+        );
     }
 
     #[test]

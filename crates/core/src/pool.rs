@@ -54,6 +54,12 @@ impl DatablockPool {
         self.by_digest.contains_key(digest)
     }
 
+    /// Iterates over the digests of every stored datablock (used by the harness
+    /// invariant checker to snapshot retrieval completeness).
+    pub fn digests(&self) -> impl Iterator<Item = &Digest> + '_ {
+        self.by_digest.keys()
+    }
+
     /// Removes datablocks whose digests appear in `digests` (garbage collection after a
     /// checkpoint). The per-producer counter history is retained so counters can never
     /// be reused.

@@ -17,7 +17,7 @@ use crate::checkpoint::{checkpoint_digest, CheckpointState};
 use crate::config::{LeopardConfig, SharedKeys, WorkloadMode};
 use crate::instance::{LeaderInstance, ReplicaInstance};
 use crate::mempool::Mempool;
-use crate::messages::{LeopardMessage, NotarizedEntry, RetrievalPayload};
+use crate::messages::{ConfirmedEntry, LeopardMessage, NotarizedEntry, RetrievalPayload};
 use crate::pipeline::{Pipeline, StallReason};
 use crate::pool::{DatablockPool, ReadyTracker};
 use crate::retrieval::{ChunkOutcome, RetrievalManager};
@@ -84,6 +84,9 @@ pub struct LeopardReplica {
 
     // --- watchdog ---
     confirmed_at_last_check: u64,
+
+    // --- state transfer (catch-up after a crash-restart or partition heal) ---
+    state_sync_at: Option<SimTime>,
 
     // --- client-stub pacing ---
     injection_carry: f64,
@@ -164,6 +167,7 @@ impl LeopardReplica {
             in_view_change: false,
             view_change_started_at: None,
             confirmed_at_last_check: 0,
+            state_sync_at: None,
             injection_carry: 0.0,
             view: View::initial(),
             config,
@@ -214,6 +218,27 @@ impl LeopardReplica {
     /// The leader-side proposal pipeline (in-flight instances, stall condition).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// This replica's configuration (Byzantine behaviour, timers, protocol parameters).
+    pub fn config(&self) -> &LeopardConfig {
+        &self.config
+    }
+
+    /// Iterates over the confirmed log in serial-number order.
+    pub fn log_entries(&self) -> impl Iterator<Item = (SeqNum, &Arc<BftBlock>)> + '_ {
+        self.log.iter().map(|(&seq, block)| (SeqNum(seq), block))
+    }
+
+    /// The local datablock pool (used by the harness invariant checker to snapshot
+    /// retrieval completeness).
+    pub fn pool(&self) -> &DatablockPool {
+        &self.pool
+    }
+
+    /// When this replica last executed a BFTblock, if ever.
+    pub fn last_confirmation_at(&self) -> Option<SimTime> {
+        self.last_confirmation_at
     }
 
     /// The guard currently blocking this replica's pipeline, as a first-class value.
@@ -914,7 +939,7 @@ impl LeopardReplica {
         if !self.verify_combined(&proof, &digest, ctx) {
             return;
         }
-        if !self.checkpoints.advance(seq) {
+        if !self.checkpoints.advance_proven(seq, state_digest, proof) {
             return;
         }
         // Garbage collection: drop instances, log entries and executed datablocks at or
@@ -931,9 +956,179 @@ impl LeopardReplica {
         self.ready.prune(executed_links);
         self.pipeline.prune_through(SeqNum(watermark));
         self.replica_instances.retain(|&s, _| s > watermark);
+        if watermark > self.last_executed.0 {
+            // The system checkpointed past this replica's execution point: it missed
+            // confirmations (partition, crash) and can no longer execute forward on its
+            // own — catch up via state transfer.
+            self.maybe_state_sync(ctx);
+        }
         // Event-driven pipeline: the watermark advance may have cleared the
         // `WatermarkFull` guard.
         self.propose(ctx, false);
+    }
+
+    // ------------------------------------------------------------------
+    // State transfer (catch-up after a crash-restart or partition heal)
+    // ------------------------------------------------------------------
+
+    /// Asks `f + 1` peers (guaranteeing at least one honest responder) for everything
+    /// confirmed past this replica's execution point.
+    fn begin_state_sync(&mut self, ctx: &mut Ctx<'_>) {
+        self.state_sync_at = Some(ctx.now());
+        let request = LeopardMessage::StateRequest {
+            last_executed: self.last_executed,
+        };
+        let mut remaining = self.f() + 1;
+        for index in 0..self.n() {
+            let peer = NodeId(index as u32);
+            if peer == self.id {
+                continue;
+            }
+            ctx.send(peer, request.clone());
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Starts a state sync unless one is already in flight (cooldown of one progress
+    /// timeout) or a view change will re-synchronise the replica anyway.
+    fn maybe_state_sync(&mut self, ctx: &mut Ctx<'_>) {
+        if self.in_view_change {
+            return;
+        }
+        if let Some(at) = self.state_sync_at {
+            if ctx.now().saturating_since(at) < self.config.progress_timeout {
+                return;
+            }
+        }
+        self.begin_state_sync(ctx);
+    }
+
+    fn handle_state_request(&mut self, from: NodeId, last_executed: SeqNum, ctx: &mut Ctx<'_>) {
+        if self.behaviour().ignores_queries() {
+            return;
+        }
+        let (checkpoint_seq, checkpoint_state, checkpoint_proof) =
+            match self.checkpoints.stable_proof() {
+                Some((state, proof)) => (self.checkpoints.low_watermark(), *state, Some(*proof)),
+                None => (
+                    SeqNum(0),
+                    hash_parts([b"state".as_slice(), &0u64.to_le_bytes()]),
+                    None,
+                ),
+            };
+        let mut entries = Vec::new();
+        for (&seq, instance) in &self.replica_instances {
+            if seq <= last_executed.0 || !instance.is_confirmed() {
+                continue;
+            }
+            // Both proofs are needed for the requester to accept the block without
+            // having voted; an entry missing either is skipped (another responder or
+            // the live protocol will cover it).
+            if let (Some(block), Some(notarization), Some(confirmation)) =
+                (&instance.block, instance.notarization, instance.confirmation)
+            {
+                entries.push(ConfirmedEntry {
+                    block: block.clone(),
+                    notarization,
+                    confirmation,
+                });
+            }
+        }
+        ctx.send(
+            from,
+            LeopardMessage::StateResponse {
+                view: self.view,
+                checkpoint_seq,
+                checkpoint_state,
+                checkpoint_proof,
+                entries,
+            },
+        );
+    }
+
+    fn handle_state_response(
+        &mut self,
+        view: View,
+        checkpoint_seq: SeqNum,
+        checkpoint_state: Digest,
+        checkpoint_proof: Option<CombinedSignature>,
+        entries: Vec<ConfirmedEntry>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Adopt the responder's stable checkpoint if its proof verifies.
+        if let Some(proof) = checkpoint_proof {
+            let digest = checkpoint_digest(checkpoint_seq, &checkpoint_state);
+            if self.verify_combined(&proof, &digest, ctx) {
+                self.checkpoints.advance_proven(checkpoint_seq, checkpoint_state, proof);
+            }
+        }
+        // Jump execution to the stable watermark — whether it came from this response
+        // or from a `CheckpointProof` multicast that raced ahead of it. Everything at
+        // or below a stable checkpoint is summarised by its quorum-signed state digest,
+        // and blocks below the cluster-wide watermark are garbage-collected at the
+        // peers, so replaying them is impossible anyway.
+        if self.checkpoints.stable_proof().is_some() {
+            let watermark = self.checkpoints.low_watermark();
+            if watermark > self.last_executed {
+                self.last_executed = watermark;
+                self.last_confirmation_at = Some(ctx.now());
+                self.replica_instances.retain(|&s, _| s > watermark.0);
+                self.pipeline.prune_through(watermark);
+            }
+        }
+        for entry in entries {
+            self.install_confirmed_entry(entry, ctx);
+        }
+        // Rejoin the responder's view if this replica missed a view change while down.
+        // Like `handle_new_view`, this trusts view metadata from a single peer: a lying
+        // responder can only delay this one replica until the next genuine view change,
+        // never affect safety (votes are bound to their view).
+        if view.0 > self.view.0 {
+            self.enter_view(view, ctx);
+        }
+        self.try_execute(ctx);
+    }
+
+    /// Installs one confirmed block received via state transfer, after verifying its
+    /// notarization and confirmation proofs.
+    fn install_confirmed_entry(&mut self, entry: ConfirmedEntry, ctx: &mut Ctx<'_>) {
+        let seq = entry.block.id.seq;
+        if seq.0 <= self.last_executed.0 || seq <= self.checkpoints.low_watermark() {
+            return;
+        }
+        let block_digest = entry.block.digest();
+        charge(ctx, self.keys.provider.model().hash(entry.block.wire_size()));
+        if !self.verify_combined(&entry.notarization, &block_digest, ctx) {
+            return;
+        }
+        let notarization_digest = Self::notarization_digest(seq, &block_digest, &entry.notarization);
+        if !self.verify_combined(&entry.confirmation, &notarization_digest, ctx) {
+            return;
+        }
+        let instance = self.replica_instances.entry(seq.0).or_default();
+        if instance.is_confirmed() {
+            return;
+        }
+        instance.block = Some(entry.block.clone());
+        instance.block_digest = Some(block_digest);
+        instance.state = BlockState::Confirmed;
+        instance.notarization = Some(entry.notarization);
+        instance.notarization_digest = Some(notarization_digest);
+        instance.confirmation = Some(entry.confirmation);
+        if instance.received_at.is_none() {
+            instance.received_at = Some(ctx.now());
+        }
+        self.log.insert(seq.0, entry.block.clone());
+        // Any linked datablock this replica does not hold is fetched through the
+        // regular retrieval plane (Algorithm 3) before execution.
+        for link in &entry.block.links {
+            if !self.pool.contains(link) {
+                self.retrieval.note_missing(*link, seq, ctx.now());
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1220,10 +1415,10 @@ impl LeopardReplica {
     }
 }
 
-impl Protocol for LeopardReplica {
-    type Message = LeopardMessage;
-
-    fn on_start(&mut self, ctx: &mut dyn Context<Message = LeopardMessage>) {
+impl LeopardReplica {
+    /// Arms all periodic timers (at start, and again after a crash-restart — pre-crash
+    /// timers die with the process).
+    fn arm_timers(&mut self, ctx: &mut Ctx<'_>) {
         // Stagger the batch timer so system-wide datablock generation is spread evenly.
         //
         // The first fire lands at `stagger ∈ [0, interval)`, *not* at
@@ -1247,6 +1442,21 @@ impl Protocol for LeopardReplica {
         ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
         ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
         ctx.set_timer(self.config.retrieval_timeout, TOKEN_RETRIEVAL);
+    }
+}
+
+impl Protocol for LeopardReplica {
+    type Message = LeopardMessage;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Message = LeopardMessage>) {
+        self.arm_timers(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut dyn Context<Message = LeopardMessage>) {
+        self.arm_timers(ctx);
+        // Rejoin via state transfer instead of replaying from genesis: peers answer
+        // with their stable checkpoint proof and the confirmed blocks above it.
+        self.begin_state_sync(ctx);
     }
 
     fn on_message(
@@ -1310,6 +1520,23 @@ impl Protocol for LeopardReplica {
                 view_change_count,
                 ..
             } => self.handle_new_view(from, view, view_change_count, ctx),
+            LeopardMessage::StateRequest { last_executed } => {
+                self.handle_state_request(from, last_executed, ctx)
+            }
+            LeopardMessage::StateResponse {
+                view,
+                checkpoint_seq,
+                checkpoint_state,
+                checkpoint_proof,
+                entries,
+            } => self.handle_state_response(
+                view,
+                checkpoint_seq,
+                checkpoint_state,
+                checkpoint_proof,
+                entries,
+                ctx,
+            ),
         }
     }
 
@@ -1491,6 +1718,37 @@ mod tests {
         assert!(!view_changes.is_empty(), "no view change was observed");
         // ...and requests are confirmed afterwards under the new leader.
         assert!(report.metrics.max_confirmed_requests(n) > 0);
+    }
+
+    #[test]
+    fn crash_restarted_replica_catches_up_via_state_transfer() {
+        let n = 4;
+        // Replica 2 (a non-leader) is down for [1s, 2s); the other three keep the
+        // quorum, so confirmation continues while it is dark.
+        let faults = FaultPlan::none().with_crash_restart(
+            NodeId(2),
+            SimTime(SimDuration::from_secs(1).as_nanos()),
+            SimTime(SimDuration::from_secs(2).as_nanos()),
+        );
+        let (report, _) = run_small(n, |_| LeopardConfig::small_test(n), faults, 5);
+        assert!(report.metrics.max_confirmed_requests(n) > 100);
+        // The restarted replica asked for state transfer and got answers.
+        assert!(
+            report.metrics.traffic.sent_bytes_in(NodeId(2), "statesync") > 0,
+            "restarted replica sent no state request"
+        );
+        assert!(
+            report.metrics.traffic.received_bytes_in(NodeId(2), "statesync") > 0,
+            "restarted replica received no state response"
+        );
+        // It resumes executing after the restart instead of staying dark.
+        let restart = SimTime(SimDuration::from_secs(2).as_nanos());
+        let resumed = report.metrics.observations.iter().any(|o| {
+            o.node == NodeId(2)
+                && o.at > restart
+                && matches!(o.kind, ObservationKind::RequestsConfirmed { .. })
+        });
+        assert!(resumed, "restarted replica never confirmed after rejoining");
     }
 
     #[test]

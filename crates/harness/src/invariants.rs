@@ -1,0 +1,483 @@
+//! The always-on invariant checker: every Leopard scenario run ends with a pure
+//! check over a snapshot of the replicas' states, and any violation fails the run.
+//!
+//! Three invariant families are checked (see `DESIGN.md` §8):
+//!
+//! * **Safety** — no two honest replicas hold conflicting BFTblocks at the same
+//!   serial number, ever. A fork here would mean the quorum intersection argument
+//!   of the protocol was broken (or the implementation equivocated its own log).
+//! * **Liveness** — after the system has quiesced (the last scheduled fault has
+//!   fired, every partition has healed), every honest live replica keeps
+//!   confirming requests; none may stall longer than a configurable bound.
+//! * **Retrieval completeness** — every datablock linked by a confirmed BFTblock
+//!   above a replica's low watermark is either already in that replica's pool or
+//!   still recoverable from the pools of at least `f + 1` honest live replicas
+//!   (the erasure-coded retrieval plane needs `f + 1` honest chunks to rebuild).
+//!
+//! The checker is deliberately split into a *snapshot* (extracted from a live
+//! [`Simulation`]) and a *pure* [`SystemSnapshot::check`] over it, so the
+//! mutation tests below can seed known-bad states (a forked log, a permanent
+//! stall, an unretrievable datablock) and prove the checker flags each one.
+
+use leopard_core::LeopardReplica;
+use leopard_crypto::Digest;
+use leopard_simnet::{SimDuration, SimTime, Simulation};
+use leopard_types::NodeId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One invariant violation found by [`SystemSnapshot::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two honest replicas confirmed conflicting BFTblocks at the same serial.
+    SafetyFork {
+        /// The serial number both replicas hold a block for.
+        seq: u64,
+        /// The first replica of the conflicting pair.
+        node_a: NodeId,
+        /// Digest of the block `node_a` holds at `seq`.
+        digest_a: Digest,
+        /// The second replica of the conflicting pair.
+        node_b: NodeId,
+        /// Digest of the block `node_b` holds at `seq`.
+        digest_b: Digest,
+    },
+    /// An honest live replica stopped confirming requests for longer than the
+    /// stall bound after the system quiesced.
+    LivenessStall {
+        /// The stalled replica.
+        node: NodeId,
+        /// Its last confirmation instant (or the quiesce instant if it never
+        /// confirmed after the last fault).
+        last_progress: SimTime,
+        /// How long it had been stalled at the end of the run.
+        stalled_for: SimDuration,
+        /// The bound it exceeded.
+        bound: SimDuration,
+    },
+    /// A datablock linked by a confirmed BFTblock is neither in the replica's own
+    /// pool nor held by enough honest live replicas to be recoverable.
+    UnretrievableDatablock {
+        /// The replica that still needs the datablock.
+        node: NodeId,
+        /// Serial number of the BFTblock linking it.
+        seq: u64,
+        /// Digest of the missing datablock.
+        link: Digest,
+        /// How many honest live replicas hold it.
+        holders: usize,
+        /// How many are needed (`f + 1`).
+        needed: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SafetyFork {
+                seq,
+                node_a,
+                digest_a,
+                node_b,
+                digest_b,
+            } => write!(
+                f,
+                "safety fork at seq {seq}: node {} holds {digest_a}, node {} holds {digest_b}",
+                node_a.0, node_b.0
+            ),
+            Violation::LivenessStall {
+                node,
+                last_progress,
+                stalled_for,
+                bound,
+            } => write!(
+                f,
+                "liveness stall at node {}: no confirmation since {last_progress} \
+                 ({stalled_for} > bound {bound})",
+                node.0
+            ),
+            Violation::UnretrievableDatablock {
+                node,
+                seq,
+                link,
+                holders,
+                needed,
+            } => write!(
+                f,
+                "unretrievable datablock {link} (linked at seq {seq}): node {} lacks it and \
+                 only {holders}/{needed} honest live replicas hold it",
+                node.0
+            ),
+        }
+    }
+}
+
+/// One replica's state distilled to what the invariants need.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    /// The replica's identifier.
+    pub node: NodeId,
+    /// False for replicas configured with a Byzantine behaviour — their state is
+    /// excluded from every invariant (a Byzantine log may say anything).
+    pub honest: bool,
+    /// False for replicas that are crashed at the end of the run.
+    pub live: bool,
+    /// The replica's stable checkpoint (entries at or below it may be pruned).
+    pub low_watermark: u64,
+    /// When the replica last confirmed requests, if ever.
+    pub last_confirmation_at: Option<SimTime>,
+    /// The confirmed log: `(seq, block digest, linked datablock digests)`.
+    pub log: Vec<(u64, Digest, Vec<Digest>)>,
+    /// Digests of the datablocks in the replica's pool.
+    pub pool: HashSet<Digest>,
+}
+
+/// A checkable snapshot of the whole system at the end of a run.
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    /// Number of replicas.
+    pub n: usize,
+    /// The fault bound `f = ⌊(n − 1) / 3⌋`.
+    pub f: usize,
+    /// Simulated time at the end of the run.
+    pub end_time: SimTime,
+    /// The instant the last scheduled disturbance ended (crash instants, restart
+    /// instants, partition heals). The liveness invariant only binds after this.
+    pub quiet_after: SimTime,
+    /// Longest tolerated confirmation stall after [`Self::quiet_after`].
+    pub stall_bound: SimDuration,
+    /// Per-replica snapshots, indexed by node id.
+    pub replicas: Vec<ReplicaSnapshot>,
+}
+
+impl SystemSnapshot {
+    /// Extracts a snapshot from a finished (but not yet consumed) simulation.
+    ///
+    /// `quiet_after` should be the latest instant any scheduled fault acts (see
+    /// [`crate::ScenarioConfig`]'s runner); `stall_bound` the longest tolerated
+    /// post-quiesce confirmation gap.
+    pub fn capture(
+        sim: &Simulation<LeopardReplica>,
+        n: usize,
+        quiet_after: SimTime,
+        stall_bound: SimDuration,
+    ) -> Self {
+        let end_time = sim.now();
+        let f = (n - 1) / 3;
+        let replicas = (0..n)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let replica = sim.node(node);
+                ReplicaSnapshot {
+                    node,
+                    honest: !replica.config().byzantine.is_byzantine(),
+                    live: !sim.faults().is_crashed(node, end_time),
+                    low_watermark: replica.low_watermark().0,
+                    last_confirmation_at: replica.last_confirmation_at(),
+                    log: replica
+                        .log_entries()
+                        .map(|(seq, block)| (seq.0, block.digest(), block.links.clone()))
+                        .collect(),
+                    pool: replica.pool().digests().copied().collect(),
+                }
+            })
+            .collect();
+        Self {
+            n,
+            f,
+            end_time,
+            quiet_after,
+            stall_bound,
+            replicas,
+        }
+    }
+
+    /// Runs every invariant and returns the violations found (empty = all good).
+    pub fn check(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        self.check_safety(&mut violations);
+        self.check_liveness(&mut violations);
+        self.check_retrieval(&mut violations);
+        violations
+    }
+
+    fn honest_replicas(&self) -> impl Iterator<Item = &ReplicaSnapshot> + '_ {
+        self.replicas.iter().filter(|r| r.honest)
+    }
+
+    /// Safety: for every serial number, all honest replicas that hold a confirmed
+    /// block there hold the *same* block. Crashed replicas are included — a crash
+    /// must never un-confirm anything.
+    fn check_safety(&self, violations: &mut Vec<Violation>) {
+        use std::collections::HashMap;
+        // seq -> first (node, digest) seen; every later holder must match it.
+        let mut canonical: HashMap<u64, (NodeId, Digest)> = HashMap::new();
+        let mut forked: HashSet<u64> = HashSet::new();
+        for replica in self.honest_replicas() {
+            for &(seq, digest, _) in &replica.log {
+                match canonical.get(&seq) {
+                    None => {
+                        canonical.insert(seq, (replica.node, digest));
+                    }
+                    Some(&(node_a, digest_a)) => {
+                        if digest_a != digest && forked.insert(seq) {
+                            violations.push(Violation::SafetyFork {
+                                seq,
+                                node_a,
+                                digest_a,
+                                node_b: replica.node,
+                                digest_b: digest,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness: once the run outlasts `quiet_after` by more than the stall bound,
+    /// every honest live replica's last confirmation must be within the bound of
+    /// the end of the run.
+    fn check_liveness(&self, violations: &mut Vec<Violation>) {
+        if self.end_time.saturating_since(self.quiet_after) <= self.stall_bound {
+            // The run ended too soon after the last disturbance to judge.
+            return;
+        }
+        for replica in self.honest_replicas().filter(|r| r.live) {
+            let last_progress = replica
+                .last_confirmation_at
+                .map_or(self.quiet_after, |at| at.max(self.quiet_after));
+            let stalled_for = self.end_time.saturating_since(last_progress);
+            if stalled_for > self.stall_bound {
+                violations.push(Violation::LivenessStall {
+                    node: replica.node,
+                    last_progress,
+                    stalled_for,
+                    bound: self.stall_bound,
+                });
+            }
+        }
+    }
+
+    /// Retrieval completeness: every datablock linked by a confirmed BFTblock above
+    /// a replica's own low watermark (below it the link may be legitimately pruned)
+    /// is in that replica's pool or held by ≥ `f + 1` honest live replicas.
+    fn check_retrieval(&self, violations: &mut Vec<Violation>) {
+        let needed = self.f + 1;
+        for replica in self.honest_replicas().filter(|r| r.live) {
+            for (seq, _, links) in &replica.log {
+                if *seq <= replica.low_watermark {
+                    continue;
+                }
+                for link in links {
+                    if replica.pool.contains(link) {
+                        continue;
+                    }
+                    let holders = self
+                        .honest_replicas()
+                        .filter(|r| r.live && r.pool.contains(link))
+                        .count();
+                    if holders < needed {
+                        violations.push(Violation::UnretrievableDatablock {
+                            node: replica.node,
+                            seq: *seq,
+                            link: *link,
+                            holders,
+                            needed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_crypto::hash_bytes;
+
+    fn digest(tag: &str) -> Digest {
+        hash_bytes(tag.as_bytes())
+    }
+
+    /// A healthy 4-replica system: identical logs, every link everywhere, fresh
+    /// confirmations.
+    fn healthy_snapshot() -> SystemSnapshot {
+        let link_a = digest("link-a");
+        let link_b = digest("link-b");
+        let block_1 = digest("block-1");
+        let block_2 = digest("block-2");
+        let replicas = (0..4)
+            .map(|i| ReplicaSnapshot {
+                node: NodeId(i),
+                honest: true,
+                live: true,
+                low_watermark: 0,
+                last_confirmation_at: Some(SimTime(4_900_000_000)),
+                log: vec![(1, block_1, vec![link_a]), (2, block_2, vec![link_b])],
+                pool: [link_a, link_b].into_iter().collect(),
+            })
+            .collect();
+        SystemSnapshot {
+            n: 4,
+            f: 1,
+            end_time: SimTime(5_000_000_000),
+            quiet_after: SimTime(1_000_000_000),
+            stall_bound: SimDuration::from_secs(2),
+            replicas,
+        }
+    }
+
+    #[test]
+    fn healthy_snapshot_has_no_violations() {
+        assert_eq!(healthy_snapshot().check(), Vec::new());
+    }
+
+    #[test]
+    fn checker_flags_a_forked_log() {
+        let mut snapshot = healthy_snapshot();
+        // Mutation: replica 3 confirmed a different block at seq 2.
+        snapshot.replicas[3].log[1].1 = digest("evil-block-2");
+        let violations = snapshot.check();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::SafetyFork { seq: 2, node_b: NodeId(3), .. }
+            )),
+            "fork not flagged: {violations:?}"
+        );
+        // The same fork is reported once, not once per honest observer pair.
+        let forks = violations
+            .iter()
+            .filter(|v| matches!(v, Violation::SafetyFork { .. }))
+            .count();
+        assert_eq!(forks, 1);
+    }
+
+    #[test]
+    fn byzantine_logs_are_excluded_from_safety() {
+        let mut snapshot = healthy_snapshot();
+        snapshot.replicas[3].honest = false;
+        snapshot.replicas[3].log[1].1 = digest("evil-block-2");
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
+    fn checker_flags_a_permanent_stall() {
+        let mut snapshot = healthy_snapshot();
+        // Mutation: replica 2 stopped confirming right after the quiesce instant.
+        snapshot.replicas[2].last_confirmation_at = Some(SimTime(1_100_000_000));
+        let violations = snapshot.check();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::LivenessStall { node: NodeId(2), .. }
+            )),
+            "stall not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn never_confirming_after_quiesce_is_a_stall() {
+        let mut snapshot = healthy_snapshot();
+        snapshot.replicas[1].last_confirmation_at = None;
+        let violations = snapshot.check();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::LivenessStall { node: NodeId(1), .. })));
+    }
+
+    #[test]
+    fn liveness_is_not_judged_on_short_runs() {
+        let mut snapshot = healthy_snapshot();
+        snapshot.replicas[2].last_confirmation_at = None;
+        // The run barely outlasts the last disturbance: no verdict.
+        snapshot.quiet_after = SimTime(4_000_000_000);
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
+    fn crashed_replicas_are_exempt_from_liveness_but_not_safety() {
+        let mut snapshot = healthy_snapshot();
+        snapshot.replicas[2].live = false;
+        snapshot.replicas[2].last_confirmation_at = None;
+        assert_eq!(snapshot.check(), Vec::new());
+        // ... but its confirmed log still participates in the fork check.
+        snapshot.replicas[2].log[0].1 = digest("evil-block-1");
+        assert!(snapshot
+            .check()
+            .iter()
+            .any(|v| matches!(v, Violation::SafetyFork { seq: 1, .. })));
+    }
+
+    #[test]
+    fn checker_flags_an_unretrievable_datablock() {
+        let mut snapshot = healthy_snapshot();
+        let lost = digest("link-b");
+        // Mutation: the datablock behind seq 2 vanished from every pool.
+        for replica in &mut snapshot.replicas {
+            replica.pool.remove(&lost);
+        }
+        let violations = snapshot.check();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::UnretrievableDatablock { seq: 2, holders: 0, needed: 2, .. }
+            )),
+            "lost datablock not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn a_quorum_of_holders_keeps_a_missing_link_retrievable() {
+        let mut snapshot = healthy_snapshot();
+        let link = digest("link-b");
+        // Replica 0 is missing the datablock, but f + 1 = 2 honest live peers hold it.
+        snapshot.replicas[0].pool.remove(&link);
+        snapshot.replicas[1].pool.remove(&link);
+        assert_eq!(snapshot.check(), Vec::new());
+        // One more loss drops the holder count below f + 1.
+        snapshot.replicas[2].pool.remove(&link);
+        assert!(!snapshot.check().is_empty());
+    }
+
+    #[test]
+    fn pruned_entries_below_the_watermark_are_not_checked() {
+        let mut snapshot = healthy_snapshot();
+        let link = digest("link-a");
+        for replica in &mut snapshot.replicas {
+            replica.low_watermark = 1; // seq 1 checkpointed and pruned everywhere
+            replica.pool.remove(&link);
+        }
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let fork = Violation::SafetyFork {
+            seq: 7,
+            node_a: NodeId(0),
+            digest_a: digest("a"),
+            node_b: NodeId(1),
+            digest_b: digest("b"),
+        };
+        assert!(fork.to_string().contains("safety fork at seq 7"));
+        let stall = Violation::LivenessStall {
+            node: NodeId(2),
+            last_progress: SimTime(1_000_000_000),
+            stalled_for: SimDuration::from_secs(3),
+            bound: SimDuration::from_secs(2),
+        };
+        assert!(stall.to_string().contains("liveness stall at node 2"));
+        let lost = Violation::UnretrievableDatablock {
+            node: NodeId(3),
+            seq: 9,
+            link: digest("c"),
+            holders: 1,
+            needed: 2,
+        };
+        assert!(lost.to_string().contains("unretrievable datablock"));
+        assert!(lost.to_string().contains("1/2"));
+    }
+}

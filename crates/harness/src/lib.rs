@@ -3,6 +3,8 @@
 //! * [`workload`] — workload descriptions shared by the two protocols;
 //! * [`scenario`] — end-to-end scenario runners (`n` replicas, bandwidth, faults →
 //!   throughput / latency / bandwidth report) for Leopard and HotStuff;
+//! * [`invariants`] — the always-on invariant checker (safety, liveness, retrieval
+//!   completeness) every Leopard scenario run passes through;
 //! * [`analysis`] — the closed-form cost model behind Table I and §V-B;
 //! * [`report`] — plain-text table rendering and CSV output (no external dependencies);
 //! * [`experiments`] — one function per table/figure of the evaluation section, each
@@ -13,10 +15,15 @@
 
 pub mod analysis;
 pub mod experiments;
+pub mod invariants;
 pub mod report;
 pub mod scenario;
 pub mod workload;
 
+pub use invariants::{SystemSnapshot, Violation};
 pub use report::Table;
-pub use scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig, ScenarioReport};
+pub use scenario::{
+    run_hotstuff_scenario, run_leopard_scenario, run_leopard_scenario_unchecked, ScenarioConfig,
+    ScenarioReport,
+};
 pub use workload::WorkloadConfig;

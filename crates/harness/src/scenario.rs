@@ -1,7 +1,9 @@
 //! End-to-end scenario runners: configure a system (scale, bandwidth, batches, faults),
 //! run it on the simulator, and distil the metrics the paper plots.
 
+use crate::invariants::SystemSnapshot;
 use crate::workload::WorkloadConfig;
+use leopard_core::byzantine::ByzantineBehavior;
 use leopard_core::{config::WorkloadMode, LeopardConfig, LeopardReplica};
 use leopard_crypto::provider::CryptoMode;
 use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
@@ -66,6 +68,21 @@ pub struct ScenarioConfig {
     /// The degradation applied to each straggler (see
     /// [`StragglerProfile::wan_default`]).
     pub straggler_profile: StragglerProfile,
+    /// Replicas running a protocol-level Byzantine behaviour (equivocation, vote
+    /// withholding, silence — see [`ByzantineBehavior`]). These replicas are excluded
+    /// from the invariant checker's honest set.
+    pub byzantine: Vec<(NodeId, ByzantineBehavior)>,
+    /// Crash-restart windows `(node, crash offset, restart offset)`: the node is down
+    /// for the window and rejoins via state transfer at the restart instant.
+    pub crash_restarts: Vec<(NodeId, SimDuration, SimDuration)>,
+    /// Region-level partition windows `(region_a, region_b, from, until)` over the
+    /// scenario's [`Self::topology`] — all traffic between the pair is dropped for
+    /// the window, then heals.
+    pub partitions: Vec<(usize, usize, SimDuration, SimDuration)>,
+    /// Longest tolerated confirmation stall of an honest live replica after the last
+    /// scheduled disturbance (the liveness invariant), or `None` for the default of
+    /// four progress timeouts.
+    pub liveness_bound: Option<SimDuration>,
 }
 
 impl ScenarioConfig {
@@ -96,6 +113,10 @@ impl ScenarioConfig {
             topology: None,
             straggler_fraction: 0.0,
             straggler_profile: StragglerProfile::wan_default(),
+            byzantine: Vec::new(),
+            crash_restarts: Vec::new(),
+            partitions: Vec::new(),
+            liveness_bound: None,
         }
     }
 
@@ -121,6 +142,10 @@ impl ScenarioConfig {
             topology: None,
             straggler_fraction: 0.0,
             straggler_profile: StragglerProfile::wan_default(),
+            byzantine: Vec::new(),
+            crash_restarts: Vec::new(),
+            partitions: Vec::new(),
+            liveness_bound: None,
         }
     }
 
@@ -182,6 +207,66 @@ impl ScenarioConfig {
     pub fn with_selective_attackers(mut self, count: usize) -> Self {
         self.selective_attackers = count;
         self
+    }
+
+    /// Runs `node` with a protocol-level Byzantine behaviour (it is excluded from the
+    /// invariant checker's honest set).
+    pub fn with_byzantine_replica(mut self, node: NodeId, behaviour: ByzantineBehavior) -> Self {
+        self.byzantine.push((node, behaviour));
+        self
+    }
+
+    /// Crashes `node` at offset `at` and restarts it at `until`; the restarted replica
+    /// rejoins via state transfer (see `leopard_core::replica`'s catch-up path).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`FaultPlan::with_crash_restart`], when the run starts) if the
+    /// window is inverted.
+    pub fn with_crash_restart(mut self, node: NodeId, at: SimDuration, until: SimDuration) -> Self {
+        self.crash_restarts.push((node, at, until));
+        self
+    }
+
+    /// Severs all traffic between `region_a` and `region_b` of the scenario's
+    /// [`Self::topology`] for `from <= t < until` (then heals). To isolate one region
+    /// of a `k`-region topology, add its `k - 1` pairwise windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`FaultPlan::with_partition`], when the run starts) if the window
+    /// is inverted or the regions are equal.
+    pub fn with_partition_window(
+        mut self,
+        region_a: usize,
+        region_b: usize,
+        from: SimDuration,
+        until: SimDuration,
+    ) -> Self {
+        self.partitions.push((region_a, region_b, from, until));
+        self
+    }
+
+    /// Overrides the liveness-invariant stall bound (default: four progress timeouts).
+    pub fn with_liveness_bound(mut self, bound: SimDuration) -> Self {
+        self.liveness_bound = Some(bound);
+        self
+    }
+
+    /// The instant the last scheduled disturbance acts: crash instants, restart
+    /// instants and partition heals. The liveness invariant only binds after this.
+    pub fn quiet_after(&self) -> SimTime {
+        let mut quiet = SimTime::ZERO;
+        if let Some(at) = self.leader_crash_at {
+            quiet = quiet.max(SimTime::ZERO + at);
+        }
+        for &(_, at, until) in &self.crash_restarts {
+            quiet = quiet.max(SimTime::ZERO + at).max(SimTime::ZERO + until);
+        }
+        for &(_, _, _, until) in &self.partitions {
+            quiet = quiet.max(SimTime::ZERO + until);
+        }
+        quiet
     }
 
     /// Overrides the seed.
@@ -328,6 +413,12 @@ impl ScenarioConfig {
         };
         if let Some(at) = self.leader_crash_at {
             plan = plan.with_crash(self.initial_leader(), SimTime::ZERO + at);
+        }
+        for &(node, at, until) in &self.crash_restarts {
+            plan = plan.with_crash_restart(node, SimTime::ZERO + at, SimTime::ZERO + until);
+        }
+        for &(region_a, region_b, from, until) in &self.partitions {
+            plan = plan.with_partition(region_a, region_b, SimTime::ZERO + from, SimTime::ZERO + until);
         }
         plan
     }
@@ -487,6 +578,11 @@ pub struct ScenarioReport {
     pub max_compute_utilization: f64,
     /// The mean per-replica compute utilization of the run.
     pub mean_compute_utilization: f64,
+    /// Invariant violations found by the always-on checker (rendered, one per line).
+    /// Always empty for reports returned by [`run_leopard_scenario`], which panics on
+    /// any violation; populated (when violations exist) only by
+    /// [`run_leopard_scenario_unchecked`]. HotStuff runs are not instrumented.
+    pub violations: Vec<String>,
     /// The raw simulation report (traffic matrix, observations) for detailed breakdowns.
     pub sim: SimulationReport,
 }
@@ -602,6 +698,7 @@ impl ScenarioReport {
             leader_compute_utilization,
             max_compute_utilization,
             mean_compute_utilization,
+            violations: Vec::new(),
             sim,
         }
     }
@@ -697,15 +794,51 @@ impl ScenarioReport {
     }
 }
 
-/// Runs Leopard under the given scenario.
+/// Runs Leopard under the given scenario and asserts the invariant checker found
+/// nothing: any safety fork, post-quiesce liveness stall or unretrievable datablock
+/// panics with the rendered violations. Every experiment goes through this runner, so
+/// all published figures come from runs that passed the checker.
+///
+/// # Panics
+///
+/// Panics if the run violates any invariant (see [`crate::invariants`]).
 pub fn run_leopard_scenario(config: &ScenarioConfig) -> ScenarioReport {
+    let report = run_leopard_scenario_unchecked(config);
+    assert!(
+        report.violations.is_empty(),
+        "scenario violated {} invariant(s):\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    report
+}
+
+/// Runs Leopard under the given scenario with the invariant checker *reporting*
+/// instead of asserting: violations land in [`ScenarioReport::violations`]. This is
+/// the escape hatch for harness tests that deliberately provoke violations; everything
+/// else should use [`run_leopard_scenario`].
+pub fn run_leopard_scenario_unchecked(config: &ScenarioConfig) -> ScenarioReport {
     let leopard_config = config.leopard_config();
+    let stall_bound = config
+        .liveness_bound
+        .unwrap_or_else(|| leopard_config.progress_timeout.saturating_mul(4));
     let shared = LeopardConfig::shared_keys(&leopard_config, config.seed);
-    let sim = Simulation::new(config.network(), config.faults(), move |id| {
-        LeopardReplica::new(id, leopard_config.clone(), shared.clone())
+    let byzantine = config.byzantine.clone();
+    let factory_config = leopard_config;
+    let mut sim = Simulation::new(config.network(), config.faults(), move |id| {
+        let mut replica_config = factory_config.clone();
+        if let Some(&(_, behaviour)) = byzantine.iter().find(|(node, _)| *node == id) {
+            replica_config = replica_config.with_byzantine(behaviour);
+        }
+        LeopardReplica::new(id, replica_config, shared.clone())
     });
-    let report = sim.run_to_report(SimTime::ZERO + config.duration, config.max_events);
-    ScenarioReport::from_sim("leopard", config, report)
+    sim.run_until(SimTime::ZERO + config.duration, config.max_events);
+    let snapshot = SystemSnapshot::capture(&sim, config.n, config.quiet_after(), stall_bound);
+    let violations: Vec<String> = snapshot.check().iter().map(ToString::to_string).collect();
+    let report = sim.into_report();
+    let mut report = ScenarioReport::from_sim("leopard", config, report);
+    report.violations = violations;
+    report
 }
 
 /// Runs the HotStuff baseline under the given scenario.
@@ -801,6 +934,58 @@ mod tests {
         let flat = ScenarioConfig::small(4);
         assert!(flat.effective_topology().is_none());
         assert!(flat.network().topology.is_none());
+    }
+
+    #[test]
+    fn fault_schedule_builders_compose() {
+        let config = ScenarioConfig::small(4)
+            .with_byzantine_replica(NodeId(1), ByzantineBehavior::EquivocatingLeader)
+            .with_crash_restart(NodeId(2), SimDuration::from_secs(1), SimDuration::from_secs(2))
+            .with_partition_window(0, 1, SimDuration::from_millis(500), SimDuration::from_millis(800))
+            .with_liveness_bound(SimDuration::from_secs(3));
+        assert_eq!(config.byzantine, vec![(NodeId(1), ByzantineBehavior::EquivocatingLeader)]);
+        assert_eq!(config.crash_restarts.len(), 1);
+        assert_eq!(config.partitions.len(), 1);
+        assert_eq!(config.liveness_bound, Some(SimDuration::from_secs(3)));
+        // The restart at 2 s is the last scheduled disturbance.
+        assert_eq!(config.quiet_after(), SimTime::ZERO + SimDuration::from_secs(2));
+        let plan = config.faults();
+        assert_eq!(plan.crash_windows().len(), 1);
+        assert_eq!(plan.partitions().len(), 1);
+    }
+
+    #[test]
+    fn crash_restart_scenario_recovers_and_passes_the_checker() {
+        let config = ScenarioConfig::small(4)
+            .with_crash_restart(NodeId(2), SimDuration::from_secs(1), SimDuration::from_secs(2))
+            .with_duration(SimDuration::from_secs(5));
+        // run_leopard_scenario panics on any violation, so reaching the asserts means
+        // the restarted replica caught up and every invariant held.
+        let report = run_leopard_scenario(&config);
+        assert!(report.violations.is_empty());
+        assert!(report.confirmed_requests > 0);
+        assert!(
+            report.sim.metrics.traffic.sent_bytes_in(NodeId(2), "statesync") > 0,
+            "restarted replica never requested state transfer"
+        );
+    }
+
+    #[test]
+    fn unchecked_runner_reports_a_real_liveness_loss() {
+        // Two vote withholders exceed f = 1 at n = 4: the quorum of 3 is unreachable,
+        // nothing ever confirms, and the two honest replicas stall from t = 0. The
+        // unchecked runner must surface that as liveness violations (one per honest
+        // live replica) instead of panicking.
+        let config = ScenarioConfig::small(4)
+            .with_byzantine_replica(NodeId(1), ByzantineBehavior::WithholdVotes)
+            .with_byzantine_replica(NodeId(2), ByzantineBehavior::WithholdVotes)
+            .with_duration(SimDuration::from_secs(4))
+            // The default bound (four 2 s progress timeouts) outlasts this short run.
+            .with_liveness_bound(SimDuration::from_secs(2));
+        let report = run_leopard_scenario_unchecked(&config);
+        assert_eq!(report.confirmed_requests, 0);
+        assert_eq!(report.violations.len(), 2, "violations: {:?}", report.violations);
+        assert!(report.violations.iter().all(|v| v.contains("liveness stall")));
     }
 
     #[test]

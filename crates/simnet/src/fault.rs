@@ -1,9 +1,12 @@
-//! Fault injection: message filters and crash schedules.
+//! Fault injection: message filters, crash/restart schedules and region partitions.
 //!
-//! The paper's Byzantine experiments need two kinds of interference below the protocol
-//! level: *selective dissemination* (a faulty replica sends its datablocks only to a
-//! subset of replicas — §IV "Datablock Retrieval") and *crashes* (the leader is stopped
-//! to trigger a view-change — §VI-D). Protocol-level misbehaviour (equivocation, vote
+//! The paper's Byzantine experiments need three kinds of interference below the
+//! protocol level: *selective dissemination* (a faulty replica sends its datablocks
+//! only to a subset of replicas — §IV "Datablock Retrieval"), *crashes* (the leader is
+//! stopped to trigger a view-change — §VI-D, optionally restarting later to exercise
+//! the state-transfer catch-up path), and *region partitions* (a whole region of a
+//! [`crate::network::Topology`] is cut off for a time window and healed, the classic
+//! partial-synchrony disruption). Protocol-level misbehaviour (equivocation, vote
 //! withholding) is implemented inside the protocol crates; this module only interferes
 //! with message delivery.
 
@@ -20,7 +23,47 @@ pub enum MessageFate {
     Drop,
 }
 
-/// A plan describing which messages to drop and which nodes crash when.
+/// One crash window: the node is down from `at` until `until` (or forever when
+/// `until` is `None`). While down it neither sends nor receives messages and its
+/// timers do not fire; a finite window ends with a restart callback
+/// ([`crate::Protocol::on_restart`]) at exactly `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: NodeId,
+    /// Crash instant (inclusive: the node is already down at `at`).
+    pub at: SimTime,
+    /// Restart instant (exclusive: the node is back up at `until`), or `None` for a
+    /// permanent crash.
+    pub until: Option<SimTime>,
+}
+
+/// One region-level partition window: all traffic between `region_a` and `region_b`
+/// is dropped for `at <= now < until` (symmetric, both directions). Senders still pay
+/// the uplink cost for the lost bytes, like any other [`MessageFate::Drop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First region of the severed pair.
+    pub region_a: usize,
+    /// Second region of the severed pair.
+    pub region_b: usize,
+    /// Start of the partition (inclusive).
+    pub at: SimTime,
+    /// Heal instant (exclusive: traffic flows again at `until`).
+    pub until: SimTime,
+}
+
+impl PartitionWindow {
+    /// True if this window severs the (unordered) region pair at `now`.
+    fn severs(&self, now: SimTime, a: usize, b: usize) -> bool {
+        let pair_matches = (self.region_a == a && self.region_b == b)
+            || (self.region_a == b && self.region_b == a);
+        pair_matches && now >= self.at && now < self.until
+    }
+}
+
+/// A plan describing which messages to drop, which nodes crash (and restart) when,
+/// and which region pairs are partitioned over which windows.
 ///
 /// The filter closure receives `(now, from, to, category, wire_size)` so that selective
 /// attacks can discriminate by message category without depending on the concrete
@@ -28,7 +71,8 @@ pub enum MessageFate {
 pub struct FaultPlan {
     #[allow(clippy::type_complexity)]
     filter: Option<Box<dyn FnMut(SimTime, NodeId, NodeId, &'static str, usize) -> MessageFate + Send>>,
-    crashes: Vec<(NodeId, SimTime)>,
+    crashes: Vec<CrashWindow>,
+    partitions: Vec<PartitionWindow>,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -36,6 +80,7 @@ impl std::fmt::Debug for FaultPlan {
         f.debug_struct("FaultPlan")
             .field("has_filter", &self.filter.is_some())
             .field("crashes", &self.crashes)
+            .field("partitions", &self.partitions)
             .finish()
     }
 }
@@ -47,11 +92,12 @@ impl Default for FaultPlan {
 }
 
 impl FaultPlan {
-    /// No faults: every message is delivered, no node crashes.
+    /// No faults: every message is delivered, no node crashes, no partitions.
     pub fn none() -> Self {
         Self {
             filter: None,
             crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -64,10 +110,68 @@ impl FaultPlan {
         self
     }
 
-    /// Schedules `node` to crash at `at`: from that instant it neither sends nor
-    /// receives messages and its timers stop firing.
+    /// Schedules `node` to crash permanently at `at`: from that instant it neither
+    /// sends nor receives messages and its timers stop firing.
+    ///
+    /// Node-range validation happens in [`crate::Simulation::new`], where `n` is known.
     pub fn with_crash(mut self, node: NodeId, at: SimTime) -> Self {
-        self.crashes.push((node, at));
+        self.crashes.push(CrashWindow { node, at, until: None });
+        self
+    }
+
+    /// Schedules `node` to crash at `at` and restart at `until`: the window behaves
+    /// like [`Self::with_crash`] while it lasts, then the engine calls
+    /// [`crate::Protocol::on_restart`] on the node at `until` and delivery resumes.
+    /// Timers set before the crash never fire after the restart (the process died);
+    /// the restart callback must re-arm whatever it needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted (`until <= at`). Node-range validation happens
+    /// in [`crate::Simulation::new`], where `n` is known.
+    pub fn with_crash_restart(mut self, node: NodeId, at: SimTime, until: SimTime) -> Self {
+        assert!(
+            until > at,
+            "with_crash_restart: restart instant {until} must lie after the crash instant {at}"
+        );
+        self.crashes.push(CrashWindow {
+            node,
+            at,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Severs all traffic between `region_a` and `region_b` (symmetric) for
+    /// `from <= now < until` — a full region partition healed at `until`. To isolate a
+    /// region of a `k`-region topology entirely, add the `k - 1` pairwise windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted (`until <= from`) or the two regions are the
+    /// same. Region-range validation happens in [`crate::Simulation::new`], where the
+    /// topology is known.
+    pub fn with_partition(
+        mut self,
+        region_a: usize,
+        region_b: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            until > from,
+            "with_partition: heal instant {until} must lie after the partition instant {from}"
+        );
+        assert!(
+            region_a != region_b,
+            "with_partition: cannot partition region {region_a} from itself"
+        );
+        self.partitions.push(PartitionWindow {
+            region_a,
+            region_b,
+            at: from,
+            until,
+        });
         self
     }
 
@@ -116,16 +220,35 @@ impl FaultPlan {
         }
     }
 
-    /// True if `node` has crashed by time `now`.
+    /// True if `node` is down at `now` (inside any crash window; a restarting window
+    /// is half-open, so the node is back up exactly at its restart instant).
     pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
-        self.crashes
-            .iter()
-            .any(|&(crashed, at)| crashed == node && now >= at)
+        self.crashes.iter().any(|window| {
+            window.node == node
+                && now >= window.at
+                && window.until.map_or(true, |until| now < until)
+        })
     }
 
-    /// The configured crash schedule.
-    pub fn crashes(&self) -> &[(NodeId, SimTime)] {
+    /// True if the (unordered) region pair `(a, b)` is severed at `now`.
+    pub fn is_partitioned(&self, now: SimTime, a: usize, b: usize) -> bool {
+        self.partitions.iter().any(|window| window.severs(now, a, b))
+    }
+
+    /// True if any partition window is configured (lets the engine skip the region
+    /// lookup entirely on partition-free runs).
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// The configured crash windows, in insertion order.
+    pub fn crash_windows(&self) -> &[CrashWindow] {
         &self.crashes
+    }
+
+    /// The configured partition windows, in insertion order.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
     }
 }
 
@@ -141,6 +264,8 @@ mod tests {
             MessageFate::Deliver
         );
         assert!(!plan.is_crashed(NodeId(0), SimTime(1_000_000)));
+        assert!(!plan.is_partitioned(SimTime(0), 0, 1));
+        assert!(!plan.has_partitions());
     }
 
     #[test]
@@ -159,7 +284,65 @@ mod tests {
             MessageFate::Drop
         );
         assert!(plan.is_crashed(NodeId(2), SimTime(1500)));
-        assert_eq!(plan.crashes(), &[(NodeId(2), SimTime(1000))]);
+        assert_eq!(
+            plan.crash_windows(),
+            &[CrashWindow {
+                node: NodeId(2),
+                at: SimTime(1000),
+                until: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn crash_restart_window_is_half_open() {
+        let plan = FaultPlan::none().with_crash_restart(NodeId(1), SimTime(1000), SimTime(5000));
+        assert!(!plan.is_crashed(NodeId(1), SimTime(999)));
+        assert!(plan.is_crashed(NodeId(1), SimTime(1000)));
+        assert!(plan.is_crashed(NodeId(1), SimTime(4999)));
+        // Back up exactly at the restart instant.
+        assert!(!plan.is_crashed(NodeId(1), SimTime(5000)));
+        assert_eq!(plan.crash_windows().len(), 1);
+        assert_eq!(plan.crash_windows()[0].until, Some(SimTime(5000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_crash_restart: restart instant")]
+    fn inverted_crash_restart_window_panics() {
+        let _ = FaultPlan::none().with_crash_restart(NodeId(0), SimTime(5000), SimTime(1000));
+    }
+
+    #[test]
+    fn partition_windows_sever_symmetrically_and_heal() {
+        let mut plan = FaultPlan::none().with_partition(0, 2, SimTime(100), SimTime(200));
+        assert!(plan.has_partitions());
+        assert!(!plan.is_partitioned(SimTime(99), 0, 2));
+        assert!(plan.is_partitioned(SimTime(100), 0, 2));
+        // Symmetric: the reversed pair is severed too.
+        assert!(plan.is_partitioned(SimTime(150), 2, 0));
+        // Other pairs are unaffected.
+        assert!(!plan.is_partitioned(SimTime(150), 0, 1));
+        assert!(!plan.is_partitioned(SimTime(150), 1, 2));
+        // Healed exactly at `until`.
+        assert!(!plan.is_partitioned(SimTime(200), 0, 2));
+        // The partition check is orthogonal to the message filter.
+        assert_eq!(
+            plan.judge(SimTime(150), NodeId(0), NodeId(2), "vote", 10),
+            MessageFate::Deliver
+        );
+        assert_eq!(plan.partitions().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_partition: heal instant")]
+    fn inverted_partition_window_panics() {
+        let _ = FaultPlan::none().with_partition(0, 1, SimTime(200), SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_partition: cannot partition region 1 from itself")]
+    fn self_partition_panics() {
+        let _ = FaultPlan::none().with_partition(1, 1, SimTime(0), SimTime(100));
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! * [`Topology`] / [`StragglerProfile`] — geo-distributed deployments: named regions,
 //!   a pairwise latency/jitter matrix, per-region bandwidth classes and per-node
 //!   stragglers that are network- and CPU-slow at once ([`network`]);
-//! * [`FaultPlan`] — message filters and crash schedules for Byzantine experiments
-//!   ([`fault`]);
+//! * [`FaultPlan`] — message filters, crash/restart schedules and region partition
+//!   windows for Byzantine experiments ([`fault`]);
 //! * [`MetricsSink`], [`TrafficMatrix`] — per-node, per-category byte accounting and
 //!   protocol observations ([`metrics`]);
 //! * [`runtime`] — a crossbeam-channel + thread runtime that drives the same
@@ -37,7 +37,7 @@ pub mod runtime;
 pub mod sim;
 pub mod time;
 
-pub use fault::{FaultPlan, MessageFate};
+pub use fault::{CrashWindow, FaultPlan, MessageFate, PartitionWindow};
 pub use metrics::{LatencyHistogram, MetricsSink, Observation, ObservationKind, TrafficMatrix};
 pub use network::{LinkConfig, NetworkConfig, ResolvedTopology, StragglerProfile, Topology};
 pub use protocol::{Context, ProgressProbe, Protocol, SimMessage};

@@ -135,6 +135,16 @@ pub trait Protocol {
     /// Called once when the node starts.
     fn on_start(&mut self, ctx: &mut dyn Context<Message = Self::Message>);
 
+    /// Called when the node comes back from a finite crash window scheduled via
+    /// [`crate::FaultPlan::with_crash_restart`]. The node keeps its in-memory state
+    /// (the simulation does not reconstruct the instance), but none of its pre-crash
+    /// timers will ever fire — the implementation must re-arm them and should trigger
+    /// whatever catch-up the protocol defines (e.g. a state-transfer request). The
+    /// default simply runs [`Self::on_start`] again.
+    fn on_restart(&mut self, ctx: &mut dyn Context<Message = Self::Message>) {
+        self.on_start(ctx);
+    }
+
     /// Called when a message from `from` is delivered.
     fn on_message(
         &mut self,

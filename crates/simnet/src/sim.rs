@@ -46,6 +46,11 @@ use std::sync::Arc;
 enum EventKind<M> {
     /// Call `on_start` on the node.
     Start(NodeId),
+    /// Call `on_restart` on a node coming back from a finite crash window. Scheduled
+    /// at construction from the fault plan's restart instants; bumps the node's timer
+    /// epoch first, so timers armed before the crash never fire after the restart
+    /// (the process died — its pending timers died with it).
+    Restart(NodeId),
     /// A message finishes propagating and reaches the receiver's downlink queue. The
     /// downlink serialisation slot is reserved **when this fires** — i.e. in arrival
     /// order — not when the message was routed. Reserving at route time would let a
@@ -79,6 +84,10 @@ enum EventKind<M> {
         node: NodeId,
         /// The token passed to `set_timer`.
         token: u64,
+        /// The node's timer epoch when the timer was armed. A restart bumps the
+        /// node's epoch, so timers armed before a crash are swallowed when they fire
+        /// afterwards. Stays `0` forever on runs without restarts.
+        epoch: u32,
     },
 }
 
@@ -339,6 +348,8 @@ pub struct Simulation<P: Protocol> {
     /// committed (the CPU analogue of the link horizons).
     cpu_free: Vec<SimTime>,
     cpu_busy_nanos: Vec<u64>,
+    /// Per-node timer epoch, bumped on restart so pre-crash timers are swallowed.
+    timer_epochs: Vec<u32>,
     metrics: MetricsSink,
 }
 
@@ -347,13 +358,31 @@ impl<P: Protocol> Simulation<P> {
     ///
     /// # Panics
     ///
-    /// Panics if the network configuration is invalid.
+    /// Panics if the network configuration is invalid, if the fault plan schedules a
+    /// crash for a node outside the network, or if it partitions a region outside the
+    /// configured topology.
     pub fn new(config: NetworkConfig, faults: FaultPlan, mut factory: impl FnMut(NodeId) -> P) -> Self {
         config
             .validate()
             .unwrap_or_else(|message| panic!("invalid network config: {message}"));
         let resolved = config.resolve();
         let n = config.nodes;
+        for window in faults.crash_windows() {
+            assert!(
+                window.node.as_index() < n,
+                "with_crash: node {} out of range for a {n}-node network",
+                window.node.as_index()
+            );
+        }
+        for window in faults.partitions() {
+            let regions = resolved.region_count;
+            for region in [window.region_a, window.region_b] {
+                assert!(
+                    region < regions,
+                    "with_partition: region {region} out of range for a {regions}-region topology"
+                );
+            }
+        }
         let nodes: Vec<P> = (0..n).map(|i| factory(NodeId(i as u32))).collect();
         let node_rngs = (0..n)
             .map(|i| StdRng::seed_from_u64(config.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1))))
@@ -373,6 +402,7 @@ impl<P: Protocol> Simulation<P> {
             downlink_free: vec![SimTime::ZERO; n],
             cpu_free: vec![SimTime::ZERO; n],
             cpu_busy_nanos: vec![0; n],
+            timer_epochs: vec![0; n],
             metrics: MetricsSink::new(),
             resolved,
             config,
@@ -397,6 +427,12 @@ impl<P: Protocol> Simulation<P> {
     /// Immutable access to a node's protocol state (for tests and assertions).
     pub fn node(&self, node: NodeId) -> &P {
         &self.nodes[node.as_index()]
+    }
+
+    /// Immutable access to the fault plan (e.g. for post-run invariant checks that
+    /// need to know which nodes are down at the end of the run).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Mutable access to the fault plan (e.g. to add crashes mid-run).
@@ -436,6 +472,17 @@ impl<P: Protocol> Simulation<P> {
         self.started = true;
         for i in 0..self.config.nodes {
             self.push_event(SimTime::ZERO, EventKind::Start(NodeId(i as u32)));
+        }
+        // Schedule the restart instant of every finite crash window. On fault-free
+        // runs this pushes nothing, keeping the event schedule byte-identical.
+        let restarts: Vec<(SimTime, NodeId)> = self
+            .faults
+            .crash_windows()
+            .iter()
+            .filter_map(|window| window.until.map(|until| (until, window.node)))
+            .collect();
+        for (until, node) in restarts {
+            self.push_event(until, EventKind::Restart(node));
         }
     }
 
@@ -514,6 +561,26 @@ impl<P: Protocol> Simulation<P> {
                 }
                 self.finish_callback(node, actions);
             }
+            EventKind::Restart(node) => {
+                // Overlapping windows could have the node down again already.
+                if self.faults.is_crashed(node, self.now) {
+                    return;
+                }
+                // The process died: whatever timers it had armed died with it.
+                self.timer_epochs[node.as_index()] += 1;
+                let mut actions = ActionBuffer::default();
+                {
+                    let mut ctx = SimContext {
+                        now: self.now,
+                        node,
+                        node_count: self.config.nodes,
+                        actions: &mut actions,
+                        rng: &mut self.node_rngs[node.as_index()],
+                    };
+                    self.nodes[node.as_index()].on_restart(&mut ctx);
+                }
+                self.finish_callback(node, actions);
+            }
             EventKind::Arrive {
                 from,
                 to,
@@ -554,8 +621,13 @@ impl<P: Protocol> Simulation<P> {
                 }
                 self.finish_callback(to, actions);
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer { node, token, epoch } => {
                 if self.faults.is_crashed(node, self.now) {
+                    return;
+                }
+                // A stale epoch means the timer was armed before a crash the node has
+                // since restarted from: the timer belongs to the dead incarnation.
+                if epoch != self.timer_epochs[node.as_index()] {
                     return;
                 }
                 let mut actions = ActionBuffer::default();
@@ -599,8 +671,9 @@ impl<P: Protocol> Simulation<P> {
         for observation in actions.observations {
             self.metrics.observe(at, node, observation);
         }
+        let epoch = self.timer_epochs[node.as_index()];
         for (delay, token) in actions.timers {
-            self.push_event(at + delay, EventKind::Timer { node, token });
+            self.push_event(at + delay, EventKind::Timer { node, token, epoch });
         }
         for outgoing in actions.sends {
             match outgoing {
@@ -657,9 +730,18 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
 
-        let fate = self.faults.judge(at, from, to, category, size);
+        let mut fate = self.faults.judge(at, from, to, category, size);
         if self.faults.is_crashed(from, at) {
             return;
+        }
+        // A severed region pair drops the message after uplink accounting, exactly
+        // like a filter Drop: the sender paid for bytes the network lost.
+        if fate == MessageFate::Deliver && self.faults.has_partitions() {
+            let from_region = self.resolved.node_region[from.as_index()] as usize;
+            let to_region = self.resolved.node_region[to.as_index()] as usize;
+            if self.faults.is_partitioned(at, from_region, to_region) {
+                fate = MessageFate::Drop;
+            }
         }
 
         // Uplink serialisation at the sender.
@@ -1143,6 +1225,167 @@ mod tests {
                 (3, 30_000_000), // cross-region + straggler extra: 5 ms + 25 ms
             ]
         );
+    }
+
+    /// A ticker protocol for the crash-restart tests: a 100 ms periodic timer that
+    /// observes each tick, plus one long one-shot "ghost" timer armed at (re)start.
+    #[derive(Debug)]
+    struct Ticker;
+    impl Protocol for Ticker {
+        type Message = PingMessage;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+            ctx.set_timer(SimDuration::from_millis(100), 1);
+            ctx.set_timer(SimDuration::from_millis(800), 2);
+        }
+
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            _message: PingMessage,
+            _ctx: &mut dyn Context<Message = PingMessage>,
+        ) {
+        }
+
+        fn on_timer(&mut self, token: u64, ctx: &mut dyn Context<Message = PingMessage>) {
+            if ctx.node_id() != NodeId(0) {
+                return;
+            }
+            match token {
+                1 => {
+                    ctx.observe(ObservationKind::Custom {
+                        label: "tick",
+                        value: ctx.now().as_nanos(),
+                    });
+                    ctx.set_timer(SimDuration::from_millis(100), 1);
+                }
+                2 => ctx.observe(ObservationKind::Custom {
+                    label: "ghost",
+                    value: ctx.now().as_nanos(),
+                }),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// A finite crash window silences the node while it lasts, calls `on_restart` at
+    /// the restart instant, and swallows every timer armed by the dead incarnation —
+    /// including long timers that would only fire *after* the restart.
+    #[test]
+    fn crash_restart_resumes_timers_in_a_fresh_epoch() {
+        let config = two_node_config(0);
+        let faults = FaultPlan::none().with_crash_restart(
+            NodeId(0),
+            SimTime(SimDuration::from_millis(250).as_nanos()),
+            SimTime(SimDuration::from_millis(500).as_nanos()),
+        );
+        let sim = Simulation::new(config, faults, |_| Ticker);
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        let ticks: Vec<u64> = report
+            .metrics
+            .custom_samples("tick")
+            .iter()
+            .map(|&nanos| nanos / 1_000_000)
+            .collect();
+        // Pre-crash ticks at 100 and 200 ms; the 300 ms tick dies with the crash, and
+        // the restart re-arms a fresh chain at 600..=1000 ms.
+        assert_eq!(ticks, vec![100, 200, 600, 700, 800, 900, 1000]);
+        // The ghost timer armed at t = 0 would fire at 800 ms — after the restart. It
+        // belongs to the dead incarnation, so the epoch check must swallow it (the
+        // re-armed copy from `on_restart` lands at 1300 ms, past the deadline).
+        assert!(report.metrics.custom_samples("ghost").is_empty());
+    }
+
+    /// A partition window drops cross-region traffic (sender still charged) and heals
+    /// at its end instant.
+    #[test]
+    fn partition_window_severs_and_heals_region_pairs() {
+        #[derive(Debug)]
+        struct RetrySender;
+        impl Protocol for RetrySender {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                if ctx.node_id() == NodeId(0) {
+                    // First copy at t = 0 (inside the partition), retry at 150 ms.
+                    ctx.send(NodeId(1), PingMessage::Ping { hops: 0, payload: 92 });
+                    ctx.set_timer(SimDuration::from_millis(150), 1);
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                _message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                ctx.observe(ObservationKind::Custom {
+                    label: "delivered_at",
+                    value: ctx.now().as_nanos(),
+                });
+            }
+
+            fn on_timer(&mut self, _token: u64, ctx: &mut dyn Context<Message = PingMessage>) {
+                ctx.send(NodeId(1), PingMessage::Ping { hops: 1, payload: 92 });
+            }
+        }
+
+        // Nodes 0 and 1 land in regions "a" and "b" (round-robin); partition the pair
+        // for the first 100 ms.
+        let topology = Topology::uniform(
+            &["a", "b"],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let mut config = NetworkConfig::datacenter(2).with_topology(topology);
+        config.links = vec![LinkConfig::unlimited()];
+        config.half_duplex = false;
+        let faults = FaultPlan::none().with_partition(
+            0,
+            1,
+            SimTime::ZERO,
+            SimTime(SimDuration::from_millis(100).as_nanos()),
+        );
+        let sim = Simulation::new(config, faults, |_| RetrySender);
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        // Only the retry got through: 150 ms departure + 5 ms cross-region latency.
+        let delivered = report.metrics.custom_samples("delivered_at");
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0], SimDuration::from_millis(155).as_nanos());
+        // The sender paid the uplink for both copies; the receiver saw only one.
+        assert_eq!(report.metrics.traffic.sent_bytes(NodeId(0)), 200);
+        assert_eq!(report.metrics.traffic.received_bytes(NodeId(1)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_partition: region 2 out of range for a 2-region topology")]
+    fn partition_region_out_of_range_panics_with_context() {
+        let topology = Topology::uniform(
+            &["a", "b"],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let config = NetworkConfig::datacenter(2).with_topology(topology);
+        let faults = FaultPlan::none().with_partition(0, 2, SimTime::ZERO, SimTime(100));
+        let _ = Simulation::new(config, faults, pingpong_factory(1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_partition: region 1 out of range for a 1-region topology")]
+    fn partition_without_topology_panics_with_context() {
+        let config = two_node_config(0);
+        let faults = FaultPlan::none().with_partition(0, 1, SimTime::ZERO, SimTime(100));
+        let _ = Simulation::new(config, faults, pingpong_factory(1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_crash: node 7 out of range for a 2-node network")]
+    fn crash_node_out_of_range_panics_with_context() {
+        let config = two_node_config(0);
+        let faults = FaultPlan::none().with_crash(NodeId(7), SimTime::ZERO);
+        let _ = Simulation::new(config, faults, pingpong_factory(1, 8));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Fault-injection integration tests: the selective-dissemination attack (retrieval
-//! path) and leader crashes (view-change path), exercised through the public scenario
-//! API.
+//! path), leader crashes (view-change path) and crash-restart catch-up (state-transfer
+//! path), exercised through the public scenario API and direct simulation access.
 
+mod common;
+
+use common::{assert_logs_consistent, build_simulation, run};
 use leopard::harness::scenario::{run_leopard_scenario, ScenarioConfig};
 use leopard::harness::workload::WorkloadConfig;
-use leopard::simnet::SimDuration;
+use leopard::simnet::{FaultPlan, SimDuration, SimTime};
+use leopard::types::NodeId;
 
 #[test]
 fn selective_attacker_forces_retrievals_but_not_stalls() {
@@ -45,6 +49,33 @@ fn combined_faults_still_make_progress() {
     let report = run_leopard_scenario(&config);
     assert!(report.confirmed_requests > 0);
     assert!(report.view_changes > 0);
+}
+
+#[test]
+fn crash_restart_catches_up_and_logs_agree() {
+    let n = 4;
+    // Replica 2 (a follower) is down for a full second — long enough for the rest of
+    // the cluster to checkpoint past it, forcing catch-up via state transfer rather
+    // than ordinary replay.
+    let faults = FaultPlan::none().with_crash_restart(
+        NodeId(2),
+        SimTime::ZERO + SimDuration::from_millis(500),
+        SimTime::ZERO + SimDuration::from_millis(1500),
+    );
+    let mut sim = build_simulation(n, |_, c| c, faults);
+    run(&mut sim, 4);
+    let rejoined = sim.node(NodeId(2));
+    assert!(
+        rejoined.last_executed().0 > 0,
+        "the restarted replica never executed anything"
+    );
+    let healthy_head = sim.node(NodeId(0)).last_executed().0;
+    assert!(
+        healthy_head.saturating_sub(rejoined.last_executed().0) <= 16,
+        "the restarted replica never caught back up (at {} vs head {healthy_head})",
+        rejoined.last_executed().0
+    );
+    assert_logs_consistent(&sim, n, &[0, 1, 2, 3]);
 }
 
 #[test]

@@ -1,57 +1,20 @@
 //! Cross-crate integration tests: safety and liveness of Leopard end-to-end on the
 //! simulator, with direct access to replica state.
+//!
+//! Small scales (n ≤ 7) run real crypto; the large-scale tests (n ∈ {64, 128}) use
+//! metered crypto, which `tests/metered_equivalence.rs` proves bit-identical in
+//! schedule and decisions, to keep wall-clock time in budget.
 
+mod common;
+
+use common::{assert_logs_consistent, build_simulation, build_simulation_with, run};
 use leopard::core::byzantine::ByzantineBehavior;
-use leopard::core::{LeopardConfig, LeopardReplica};
-use leopard::simnet::{FaultPlan, NetworkConfig, SimDuration, SimTime, Simulation};
-use leopard::types::{NodeId, SeqNum};
-
-fn build_simulation(
-    n: usize,
-    configure: impl Fn(NodeId, LeopardConfig) -> LeopardConfig,
-    faults: FaultPlan,
-) -> Simulation<LeopardReplica> {
-    let base = LeopardConfig::small_test(n);
-    let shared = LeopardConfig::shared_keys(&base, 99);
-    Simulation::new(NetworkConfig::datacenter(n), faults, move |id| {
-        let config = configure(id, LeopardConfig::small_test(n));
-        LeopardReplica::new(id, config, shared.clone())
-    })
-}
-
-fn run(sim: &mut Simulation<LeopardReplica>, secs: u64) {
-    sim.run_until(
-        SimTime::ZERO + SimDuration::from_secs(secs),
-        20_000_000,
-    );
-}
-
-/// Safety: every pair of honest replicas agrees on the block at every executed serial
-/// number (Theorem 1).
-fn assert_logs_consistent(sim: &Simulation<LeopardReplica>, n: usize, honest: &[u32]) {
-    let min_executed = honest
-        .iter()
-        .map(|&i| sim.node(NodeId(i)).last_executed().0)
-        .min()
-        .unwrap_or(0);
-    assert!(n >= honest.len());
-    for seq in 1..=min_executed {
-        let mut reference = None;
-        for &i in honest {
-            let block = sim
-                .node(NodeId(i))
-                .log_block(SeqNum(seq))
-                .unwrap_or_else(|| panic!("replica {i} executed seq {seq} but has no log entry"));
-            match &reference {
-                None => reference = Some(block.clone()),
-                Some(expected) => assert_eq!(
-                    expected.links, block.links,
-                    "divergent logs at seq {seq} (replica {i})"
-                ),
-            }
-        }
-    }
-}
+use leopard::core::LeopardConfig;
+use leopard::crypto::provider::CryptoMode;
+use leopard::harness::experiments::FIG9GEO_REGIONS;
+use leopard::harness::scenario::{run_leopard_scenario, ScenarioConfig};
+use leopard::simnet::{FaultPlan, NetworkConfig, SimDuration};
+use leopard::types::NodeId;
 
 #[test]
 fn honest_run_is_safe_and_live() {
@@ -120,4 +83,89 @@ fn watermark_advances_through_checkpoints() {
     // garbage collection must have advanced the low watermark at least once.
     let advanced = (0..n as u32).any(|i| sim.node(NodeId(i)).low_watermark().0 >= 8);
     assert!(advanced, "no replica ever advanced its checkpoint watermark");
+}
+
+/// The `small_test` defaults with metered crypto, coarser blocks and a slower batch
+/// cadence: at n = 128 the dominant cost is the per-node datablock multicast (O(n)
+/// messages each), so flushing every 100 ms instead of every 20 ms cuts the event
+/// count ~5× and keeps the run within a few seconds of wall clock.
+fn large_scale_config(n: usize) -> LeopardConfig {
+    let mut config = LeopardConfig::small_test(n).with_crypto_mode(CryptoMode::Metered);
+    config.params.datablock_size = 64;
+    config.params.bftblock_size = 8;
+    config.batch_timeout = SimDuration::from_millis(100);
+    config.propose_interval = SimDuration::from_millis(20);
+    config
+}
+
+#[test]
+fn honest_run_is_safe_and_live_at_n64() {
+    let n = 64;
+    let mut sim = build_simulation_with(
+        NetworkConfig::datacenter(n),
+        large_scale_config(n),
+        |_, c| c,
+        FaultPlan::none(),
+    );
+    run(&mut sim, 2);
+    let honest: Vec<u32> = (0..n as u32).collect();
+    for &i in &honest {
+        assert!(
+            sim.node(NodeId(i)).last_executed().0 >= 2,
+            "replica {i} executed too little"
+        );
+        assert!(sim.node(NodeId(i)).confirmed_requests() > 0, "replica {i} stalled");
+    }
+    assert_logs_consistent(&sim, n, &honest);
+}
+
+#[test]
+fn logs_agree_with_vote_withholders_at_n128() {
+    let n = 128; // f = 42
+    let byzantine = 16; // well inside the f-bound, enough to bite into every quorum
+    let mut sim = build_simulation_with(
+        NetworkConfig::datacenter(n),
+        large_scale_config(n),
+        move |id, config| {
+            if id.as_index() >= n - byzantine {
+                config.with_byzantine(ByzantineBehavior::WithholdVotes)
+            } else {
+                config
+            }
+        },
+        FaultPlan::none(),
+    );
+    // One virtual second is ~50 proposal rounds under the 20 ms cadence — plenty to
+    // prove progress and agreement, and n = 128 wall-clock cost scales with duration.
+    run(&mut sim, 1);
+    let honest: Vec<u32> = (0..(n - byzantine) as u32).collect();
+    for &i in &honest {
+        assert!(sim.node(NodeId(i)).confirmed_requests() > 0, "replica {i} stalled");
+    }
+    assert_logs_consistent(&sim, n, &honest);
+}
+
+#[test]
+fn wan_run_at_n64_holds_steady_state_throughput() {
+    // One scenario over the four-region WAN topology, with throughput bounds rather
+    // than bare termination. The scenario runner's always-on invariant checker covers
+    // safety, liveness and retrieval completeness on top.
+    let config = ScenarioConfig::small(64)
+        .with_crypto_mode(CryptoMode::Metered)
+        .with_wan_regions(&FIG9GEO_REGIONS)
+        .with_duration(SimDuration::from_secs(3))
+        .with_warmup(SimDuration::from_secs(1));
+    let report = run_leopard_scenario(&config);
+    let offered = config.workload.aggregate_rps as f64;
+    assert!(
+        report.steady_state_throughput_rps >= 0.5 * offered,
+        "steady-state throughput {:.0} req/s fell below half the offered {offered:.0} req/s",
+        report.steady_state_throughput_rps
+    );
+    assert!(
+        report.steady_state_throughput_rps <= 1.2 * offered,
+        "steady-state throughput {:.0} req/s exceeds the offered load {offered:.0} req/s",
+        report.steady_state_throughput_rps
+    );
+    assert!(report.regions.len() == FIG9GEO_REGIONS.len());
 }
