@@ -18,13 +18,19 @@
 //! guard that keeps the "Leopard confirms nothing at paper scale" collapse from
 //! silently regressing (used with the `fig9smoke` experiment).
 //!
+//! `--schedules <N>`, `--chaos-seed <S>` and `--chaos-case <K>` tune the `chaos` /
+//! `chaossmoke` experiments: schedule count and master seed of the fuzzed stream, or a
+//! single case index — the one-line reproducer the chaos engine prints on a violation
+//! (`chaos --chaos-seed S --chaos-case K`) uses the last two.
+//!
 //! `--max-wall-clock <secs>` makes the binary exit non-zero if the *total* wall clock
 //! of the selected experiments exceeds the budget — the CI guard that keeps the quick
 //! experiment suite inside its stated time budget (see `EXPERIMENTS.md`), so a
 //! performance regression in the simulator or a protocol hot path fails the build
 //! instead of quietly making every future benchmark run slower.
 
-use leopard_harness::experiments::{run_experiment, EXPERIMENT_IDS};
+use leopard_harness::chaos::ChaosOverrides;
+use leopard_harness::experiments::{run_experiment_with, EXPERIMENT_IDS};
 use leopard_harness::report::{bench_records_to_json, BenchRecord};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -35,6 +41,7 @@ fn main() {
     let mut bench_json: Option<PathBuf> = None;
     let mut require_nonzero: Option<String> = None;
     let mut max_wall_clock: Option<f64> = None;
+    let mut chaos = ChaosOverrides::default();
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -61,6 +68,27 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--schedules" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(count) => chaos.schedules = Some(count),
+                None => {
+                    eprintln!("--schedules requires a count argument");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos-seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => chaos.seed = Some(seed),
+                None => {
+                    eprintln!("--chaos-seed requires a seed argument");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos-case" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(case) => chaos.case = Some(case),
+                None => {
+                    eprintln!("--chaos-case requires a case-index argument");
+                    std::process::exit(2);
+                }
+            },
             _ => requested.push(arg),
         }
     }
@@ -76,7 +104,7 @@ fn main() {
     for id in ids {
         eprintln!("running experiment {id} ({}) ...", if full { "full" } else { "quick" });
         let start = Instant::now();
-        match run_experiment(id, !full) {
+        match run_experiment_with(id, !full, &chaos) {
             Some(table) => {
                 let wall_clock_secs = start.elapsed().as_secs_f64();
                 println!("{}", table.to_text());

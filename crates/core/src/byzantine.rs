@@ -21,6 +21,17 @@ pub enum ByzantineBehavior {
     WithholdVotes,
     /// Produce datablocks but never respond to retrieval queries.
     IgnoreQueries,
+    /// Answer state-transfer requests with a corrupted checkpoint proof and tampered
+    /// confirmed entries. Honest requesters must reject every lie and still catch up
+    /// from the remaining (honest) responders.
+    LyingStateResponder,
+    /// At every checkpoint height, send the leader a share over a divergent state
+    /// digest instead of the honest one. The honest 2f+1 quorum must still form.
+    EquivocatingCheckpointer,
+    /// Never answer state-transfer requests at all (the recovery-plane analogue of
+    /// [`ByzantineBehavior::IgnoreQueries`]). Requesters fan out to f+1 responders,
+    /// so at least one honest answer always arrives.
+    SilentStateResponder,
 }
 
 impl ByzantineBehavior {
@@ -48,6 +59,34 @@ impl ByzantineBehavior {
     pub fn ignores_queries(&self) -> bool {
         matches!(self, ByzantineBehavior::IgnoreQueries)
     }
+
+    /// True if the replica sends corrupted state-transfer responses.
+    pub fn lies_in_state_transfer(&self) -> bool {
+        matches!(self, ByzantineBehavior::LyingStateResponder)
+    }
+
+    /// True if the replica equivocates on its checkpoint state digest.
+    pub fn equivocates_checkpoints(&self) -> bool {
+        matches!(self, ByzantineBehavior::EquivocatingCheckpointer)
+    }
+
+    /// True if the replica never answers state-transfer requests.
+    pub fn silent_in_state_transfer(&self) -> bool {
+        matches!(self, ByzantineBehavior::SilentStateResponder)
+    }
+
+    /// Every non-honest behaviour, in a fixed order the chaos generator draws from.
+    pub fn all_byzantine() -> &'static [ByzantineBehavior] {
+        &[
+            ByzantineBehavior::SilentLeader,
+            ByzantineBehavior::EquivocatingLeader,
+            ByzantineBehavior::WithholdVotes,
+            ByzantineBehavior::IgnoreQueries,
+            ByzantineBehavior::LyingStateResponder,
+            ByzantineBehavior::EquivocatingCheckpointer,
+            ByzantineBehavior::SilentStateResponder,
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +108,22 @@ mod tests {
         assert!(ByzantineBehavior::IgnoreQueries.ignores_queries());
         assert!(!ByzantineBehavior::Honest.silent_as_leader());
         assert!(!ByzantineBehavior::Honest.equivocates());
+    }
+
+    #[test]
+    fn recovery_plane_predicates_match_variants() {
+        assert!(ByzantineBehavior::LyingStateResponder.lies_in_state_transfer());
+        assert!(ByzantineBehavior::LyingStateResponder.is_byzantine());
+        assert!(ByzantineBehavior::EquivocatingCheckpointer.equivocates_checkpoints());
+        assert!(ByzantineBehavior::SilentStateResponder.silent_in_state_transfer());
+        assert!(!ByzantineBehavior::Honest.lies_in_state_transfer());
+        assert!(!ByzantineBehavior::IgnoreQueries.silent_in_state_transfer());
+    }
+
+    #[test]
+    fn all_byzantine_lists_every_non_honest_variant() {
+        let all = ByzantineBehavior::all_byzantine();
+        assert_eq!(all.len(), 7);
+        assert!(all.iter().all(|b| b.is_byzantine()));
     }
 }

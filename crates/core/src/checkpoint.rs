@@ -27,8 +27,10 @@ pub struct CheckpointState {
     /// can serve state-transfer requests (`None` only at the genesis checkpoint, which
     /// needs no proof).
     stable_proof: Option<(Digest, CombinedSignature)>,
-    /// Leader-side share collection per candidate checkpoint.
-    collecting: HashMap<SeqNum, (Digest, ShareCollector)>,
+    /// Leader-side share collection per candidate checkpoint, keyed by the full
+    /// `(seq, state)` claim so an equivocating replica's divergent digest collects in
+    /// its own (never-completing) bucket instead of blocking the honest quorum.
+    collecting: HashMap<(SeqNum, Digest), ShareCollector>,
 }
 
 impl CheckpointState {
@@ -65,17 +67,10 @@ impl CheckpointState {
         if seq <= self.stable {
             return None;
         }
-        let entry = self
-            .collecting
-            .entry(seq)
-            .or_insert_with(|| (state, ShareCollector::new()));
-        if entry.0 != state {
-            // Divergent state digests for the same height; ignore the minority report.
-            return None;
-        }
-        let count = entry.1.add(share);
+        let entry = self.collecting.entry((seq, state)).or_insert_with(ShareCollector::new);
+        let count = entry.add(share);
         if count == quorum {
-            Some(entry.1.shares().to_vec())
+            Some(entry.shares().to_vec())
         } else {
             None
         }
@@ -86,7 +81,7 @@ impl CheckpointState {
     pub fn advance(&mut self, seq: SeqNum) -> bool {
         if seq > self.stable {
             self.stable = seq;
-            self.collecting.retain(|&s, _| s > seq);
+            self.collecting.retain(|&(s, _), _| s > seq);
             true
         } else {
             false
@@ -160,18 +155,25 @@ mod tests {
     }
 
     #[test]
-    fn divergent_state_digests_are_ignored() {
+    fn divergent_state_digests_collect_separately() {
         let mut rng = StdRng::seed_from_u64(9);
         let (scheme, keys) = ThresholdScheme::trusted_setup(3, 4, &mut rng);
         let state_a = hash_bytes(b"a");
         let state_b = hash_bytes(b"b");
         let digest_a = checkpoint_digest(SeqNum(8), &state_a);
+        let digest_b = checkpoint_digest(SeqNum(8), &state_b);
         let mut checkpoints = CheckpointState::new();
-        checkpoints.record_share(SeqNum(8), state_a, scheme.sign_share(&keys[0], &digest_a), 3);
-        // A share claiming a different execution state for the same height is dropped.
+        // The equivocating share arrives FIRST — it must not poison the height.
         assert!(checkpoints
-            .record_share(SeqNum(8), state_b, scheme.sign_share(&keys[1], &digest_a), 3)
+            .record_share(SeqNum(8), state_b, scheme.sign_share(&keys[3], &digest_b), 3)
             .is_none());
+        let mut reached = None;
+        for key in &keys[..3] {
+            reached =
+                checkpoints.record_share(SeqNum(8), state_a, scheme.sign_share(key, &digest_a), 3);
+        }
+        let shares = reached.expect("the honest quorum still forms");
+        assert!(scheme.combine(&shares, &digest_a).is_ok());
     }
 
     #[test]

@@ -127,6 +127,14 @@ pub struct ReplicaInstance {
     pub confirmation: Option<CombinedSignature>,
     /// When the block was first received.
     pub received_at: Option<SimTime>,
+    /// Digest of a later view's re-proposal of the *same content* this instance
+    /// already confirmed, endorsed with a prepare vote (a commit vote follows its
+    /// notarization, then this clears). A view change re-stamps surviving blocks
+    /// with the new view, which changes the digest; replicas that already confirmed
+    /// the block must still vote for the identical-content twin or replicas that
+    /// missed the original confirmation could never assemble a quorum for the serial
+    /// number again. The confirmed state above is never touched by an endorsement.
+    pub endorsed_repropose: Option<Digest>,
 }
 
 impl Default for ReplicaInstance {
@@ -149,6 +157,7 @@ impl ReplicaInstance {
             notarization_digest: None,
             confirmation: None,
             received_at: None,
+            endorsed_repropose: None,
         }
     }
 

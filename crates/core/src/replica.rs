@@ -38,6 +38,12 @@ const TOKEN_PROPOSE: u64 = 3;
 const TOKEN_PROGRESS: u64 = 4;
 const TOKEN_RETRIEVAL: u64 = 5;
 
+/// Bound on buffered future-view PrePrepares (see `deferred_pre_prepares`). A full
+/// re-proposal sweep is at most `max_parallel_instances` blocks; the slack covers a
+/// couple of view transitions arriving back-to-back. Beyond the cap, entries are
+/// dropped — the view-change stall path recovers the loss, just more slowly.
+const DEFERRED_PRE_PREPARE_CAP: usize = 256;
+
 /// Interval of the client-stub injection timer in the open-loop workload.
 const WORKLOAD_TICK: SimDuration = SimDuration(10_000_000); // 10 ms
 
@@ -81,12 +87,39 @@ pub struct LeopardReplica {
     view_changes: ViewChangeState,
     in_view_change: bool,
     view_change_started_at: Option<SimTime>,
+    // PBFT's "prepared set": notarized evidence retained until a quorum checkpoint
+    // covers it. `enter_view` resets live instances so replicas can vote on the
+    // re-proposed blocks, but a block that may have confirmed elsewhere must keep
+    // appearing in this replica's future view-change messages — dropping it would
+    // let a second view change replace a confirmed block with a dummy.
+    prepared: BTreeMap<u64, NotarizedEntry>,
+    // PrePrepares for views ahead of this replica. The new leader's re-proposals
+    // race the NewView announcement through the network; a re-proposal delivered
+    // first used to be silently dropped — and PrePrepares are never re-sent, so a
+    // straggler could permanently miss the re-proposed block and the serial number
+    // would never regain a quorum. Buffered (bounded) and replayed on `enter_view`.
+    deferred_pre_prepares: Vec<(NodeId, Arc<BftBlock>, SignatureShare)>,
+    // Confirmation proofs that arrived before the notarization that binds them to a
+    // block. A proof is a quorum signature over a *notarization digest*; without the
+    // notarization the replica cannot tell which block was confirmed, and accepting
+    // the proof blind would attach whatever block shows up next at that serial
+    // number — under a view-change race, different content than the quorum signed.
+    // Held (keyed by serial number) until the matching notarization arrives.
+    pending_confirmations: BTreeMap<u64, (Digest, CombinedSignature)>,
+    // Consecutive view changes without progress double the effective progress
+    // timeout (capped at 8x). A configured timeout below the network's agreement
+    // round otherwise fires mid-agreement forever: every view is abandoned before
+    // its re-proposals can confirm, and the system thrashes into a permanent stall.
+    progress_backoff: u32,
 
     // --- watchdog ---
     confirmed_at_last_check: u64,
 
     // --- state transfer (catch-up after a crash-restart or partition heal) ---
     state_sync_at: Option<SimTime>,
+    state_sync_peers: Vec<NodeId>,
+    state_sync_view_claims: Vec<(NodeId, u64)>,
+    state_sync_round: u64,
 
     // --- client-stub pacing ---
     injection_carry: f64,
@@ -166,8 +199,15 @@ impl LeopardReplica {
             view_changes: ViewChangeState::new(),
             in_view_change: false,
             view_change_started_at: None,
+            prepared: BTreeMap::new(),
+            deferred_pre_prepares: Vec::new(),
+            pending_confirmations: BTreeMap::new(),
+            progress_backoff: 0,
             confirmed_at_last_check: 0,
             state_sync_at: None,
+            state_sync_peers: Vec::new(),
+            state_sync_view_claims: Vec::new(),
+            state_sync_round: 0,
             injection_carry: 0.0,
             view: View::initial(),
             config,
@@ -531,6 +571,16 @@ impl LeopardReplica {
         ctx: &mut Ctx<'_>,
     ) {
         // VRFBFTBLOCK checks (Algorithm 2, line 37).
+        if block.id.view.0 > self.view.0 {
+            // The proposal is from a view this replica has not entered yet: the new
+            // leader's re-proposals race the NewView that announces the view. Hold
+            // the proposal and replay it from `enter_view` — leader identity and the
+            // share are validated then, against the entered view.
+            if self.deferred_pre_prepares.len() < DEFERRED_PRE_PREPARE_CAP {
+                self.deferred_pre_prepares.push((from, block, share));
+            }
+            return;
+        }
         if block.id.view != self.view || self.in_view_change {
             return;
         }
@@ -552,8 +602,35 @@ impl LeopardReplica {
         let instance = self.replica_instances.entry(seq.0).or_default();
         if let Some(existing) = instance.block_digest {
             if existing != digest {
-                // Equivocation: refuse to adopt a second block for the same serial
-                // number in the same view.
+                // A later view legitimately re-proposes a block this replica already
+                // confirmed: same links, new view stamp, hence a new digest. Endorse
+                // the identical-content twin with a prepare vote (without touching the
+                // confirmed state) — replicas that missed the original confirmation
+                // can only assemble a quorum for this serial number if the replicas
+                // that *did* confirm it keep voting. Anything else — a conflicting
+                // block in the same view, or different content — is equivocation and
+                // is refused.
+                let same_content = instance.is_confirmed()
+                    && instance
+                        .block
+                        .as_ref()
+                        .map_or(false, |held| held.links == block.links && held.dummy == block.dummy);
+                if !same_content || instance.endorsed_repropose == Some(digest) {
+                    return;
+                }
+                instance.endorsed_repropose = Some(digest);
+                if self.behaviour().withholds_votes() {
+                    return;
+                }
+                let share = self.sign(&digest, ctx);
+                ctx.send(
+                    from,
+                    LeopardMessage::PrepareVote {
+                        seq,
+                        block_digest: digest,
+                        share,
+                    },
+                );
                 return;
             }
         }
@@ -561,6 +638,15 @@ impl LeopardReplica {
         instance.block_digest = Some(digest);
         if instance.received_at.is_none() {
             instance.received_at = Some(ctx.now());
+        }
+        if instance.is_confirmed() {
+            // The instance confirmed while block-less (notarization then proof arrived
+            // ahead of the proposal). The digest equality above bound this block to the
+            // confirmed notarization; log it and resume in-order execution — no votes
+            // are owed for an already-confirmed instance.
+            self.log.insert(seq.0, block);
+            self.try_execute(ctx);
+            return;
         }
 
         // Record the link time of our own datablocks (latency breakdown).
@@ -588,10 +674,21 @@ impl LeopardReplica {
             return;
         }
         self.cast_prepare_vote(seq, ctx);
+        // The block may have arrived after its notarization (reordered delivery, or a
+        // partition that dropped the PrePrepare): the commit vote waits for the block.
+        self.maybe_commit_vote(seq, ctx);
     }
 
     fn cast_prepare_vote(&mut self, seq: SeqNum, ctx: &mut Ctx<'_>) {
         if self.behaviour().withholds_votes() {
+            return;
+        }
+        // PBFT participation rule: a replica that has complained stops voting in the
+        // abandoned view. Its Timeout/ViewChange evidence snapshot must dominate every
+        // vote it ever cast — a vote slipped in *after* the complaint could complete a
+        // quorum whose existence the new leader's evidence cannot see, letting a later
+        // view confirm different content at the same serial number (a fork).
+        if self.in_view_change {
             return;
         }
         let leader = self.leader();
@@ -627,6 +724,7 @@ impl LeopardReplica {
         instance.missing_links.remove(&digest);
         if instance.links_complete() && !instance.prepare_voted {
             self.cast_prepare_vote(seq, ctx);
+            self.maybe_commit_vote(seq, ctx);
         }
         // A confirmed block may have been waiting for this datablock to execute.
         self.try_execute(ctx);
@@ -698,8 +796,29 @@ impl LeopardReplica {
             return;
         }
         let withholds = self.behaviour().withholds_votes();
+        let in_view_change = self.in_view_change;
         let instance = self.replica_instances.entry(seq.0).or_default();
         if instance.block_digest.is_some() && instance.block_digest != Some(block_digest) {
+            // Notarization of an endorsed re-proposal — the same content this replica
+            // already confirmed, re-stamped by a later view. Cast the commit vote for
+            // the twin without touching the confirmed state (see `endorsed_repropose`).
+            if instance.endorsed_repropose == Some(block_digest) && !withholds && !in_view_change {
+                instance.endorsed_repropose = None;
+                let notarization_digest = Self::notarization_digest(seq, &block_digest, &proof);
+                let (share, cost) = self
+                    .keys
+                    .provider
+                    .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
+                charge(ctx, cost);
+                ctx.send(
+                    self.leader(),
+                    LeopardMessage::CommitVote {
+                        seq,
+                        proof_digest: notarization_digest,
+                        share,
+                    },
+                );
+            }
             return;
         }
         if instance.state < BlockState::Notarized {
@@ -709,10 +828,52 @@ impl LeopardReplica {
         instance.notarization = Some(proof);
         let notarization_digest = Self::notarization_digest(seq, &block_digest, &proof);
         instance.notarization_digest = Some(notarization_digest);
+        // A confirmation proof may have raced ahead of this notarization; now that
+        // the binding digest is known, a held proof that matches can be applied.
+        if self
+            .pending_confirmations
+            .get(&seq.0)
+            .map_or(false, |(held, _)| *held == notarization_digest)
+        {
+            let (held_digest, held_proof) =
+                self.pending_confirmations.remove(&seq.0).expect("just checked");
+            self.handle_confirmation(seq, held_digest, held_proof, ctx);
+        }
+        self.stash_prepared(seq);
+        self.maybe_commit_vote(seq, ctx);
+    }
 
-        if instance.commit_voted || withholds {
+    /// Casts the second-round (commit) vote for `seq` once every precondition holds:
+    /// a notarization is present, the replica actually *holds the block*, and it has
+    /// not commit-voted yet. Requiring the block before the commit
+    /// vote keeps the prepared set sound: every member of a confirmation's commit
+    /// quorum can carry the notarized block through a view change, so a possibly-
+    /// confirmed block can never be replaced by different content in a later view. A
+    /// replica that learns the notarization before the block (reordered delivery, or
+    /// a partition that dropped the PrePrepare) votes when the block arrives.
+    fn maybe_commit_vote(&mut self, seq: SeqNum, ctx: &mut Ctx<'_>) {
+        // Wherever a commit vote could fire, the evidence may have just become
+        // stashable too (block and notarization both present).
+        self.stash_prepared(seq);
+        if self.behaviour().withholds_votes() {
             return;
         }
+        // Same participation rule as `cast_prepare_vote`: no votes after complaining.
+        // (The stash above still happens — evidence collection is passive and only
+        // strengthens future view changes.)
+        if self.in_view_change {
+            return;
+        }
+        let leader = self.leader();
+        let Some(instance) = self.replica_instances.get_mut(&seq.0) else {
+            return;
+        };
+        if instance.commit_voted || instance.block.is_none() {
+            return;
+        }
+        let Some(notarization_digest) = instance.notarization_digest else {
+            return;
+        };
         instance.commit_voted = true;
         let (share, cost) = self
             .keys
@@ -720,7 +881,7 @@ impl LeopardReplica {
             .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
         charge(ctx, cost);
         ctx.send(
-            self.leader(),
+            leader,
             LeopardMessage::CommitVote {
                 seq,
                 proof_digest: notarization_digest,
@@ -783,14 +944,20 @@ impl LeopardReplica {
             return;
         }
         let instance = self.replica_instances.entry(seq.0).or_default();
-        if let Some(expected) = instance.notarization_digest {
-            if expected != proof_digest {
-                return;
-            }
-        }
         if instance.is_confirmed() {
             return;
         }
+        match instance.notarization_digest {
+            Some(expected) if expected == proof_digest => {}
+            Some(_) => return,
+            // No notarization yet: the proof cannot be bound to a block (see
+            // `pending_confirmations`). Hold it; `handle_notarization` replays it.
+            None => {
+                self.pending_confirmations.insert(seq.0, (proof_digest, proof));
+                return;
+            }
+        }
+        self.pending_confirmations.remove(&seq.0);
         instance.state = BlockState::Confirmed;
         instance.confirmation = Some(proof);
         if let Some(block) = instance.block.clone() {
@@ -880,7 +1047,15 @@ impl LeopardReplica {
             if CheckpointState::is_checkpoint_height(next, self.config.checkpoint_interval)
                 && !self.behaviour().withholds_votes()
             {
-                let state_digest = hash_parts([b"state".as_slice(), &next.0.to_le_bytes()]);
+                // An equivocating checkpointer claims a divergent execution state. The
+                // share itself is properly signed (over the divergent digest), so it
+                // passes the leader's share verification — it must be the per-state
+                // collection buckets that keep it away from the honest quorum.
+                let state_digest = if self.behaviour().equivocates_checkpoints() {
+                    hash_parts([b"equivocated-state".as_slice(), &next.0.to_le_bytes()])
+                } else {
+                    hash_parts([b"state".as_slice(), &next.0.to_le_bytes()])
+                };
                 let digest = checkpoint_digest(next, &state_digest);
                 let share = self.sign(&digest, ctx);
                 ctx.send(
@@ -956,12 +1131,16 @@ impl LeopardReplica {
         self.ready.prune(executed_links);
         self.pipeline.prune_through(SeqNum(watermark));
         self.replica_instances.retain(|&s, _| s > watermark);
-        if watermark > self.last_executed.0 {
-            // The system checkpointed past this replica's execution point: it missed
-            // confirmations (partition, crash) and can no longer execute forward on its
-            // own — catch up via state transfer.
-            self.maybe_state_sync(ctx);
-        }
+        self.prepared.retain(|&s, _| s > watermark);
+        self.pending_confirmations.retain(|&s, _| s > watermark);
+        // The system checkpointed past this replica's execution point: it missed
+        // confirmations (partition, crash) and can never replay them — the blocks
+        // below the watermark are being garbage-collected cluster-wide right now
+        // (including any instance this GC just dropped while its datablocks were
+        // still in retrieval). The quorum-signed proof summarises everything below
+        // the watermark, so jump execution to it directly.
+        self.jump_to_stable_watermark(ctx);
+        self.try_execute(ctx);
         // Event-driven pipeline: the watermark advance may have cleared the
         // `WatermarkFull` guard.
         self.propose(ctx, false);
@@ -972,18 +1151,27 @@ impl LeopardReplica {
     // ------------------------------------------------------------------
 
     /// Asks `f + 1` peers (guaranteeing at least one honest responder) for everything
-    /// confirmed past this replica's execution point.
+    /// confirmed past this replica's execution point. The responder set rotates one
+    /// position per round, so a recovery-plane adversary that happens to sit among the
+    /// first `f + 1` ids (a silent or lying state responder) cannot starve every
+    /// retry of its honest majority forever.
     fn begin_state_sync(&mut self, ctx: &mut Ctx<'_>) {
         self.state_sync_at = Some(ctx.now());
+        self.state_sync_peers.clear();
+        self.state_sync_view_claims.clear();
         let request = LeopardMessage::StateRequest {
             last_executed: self.last_executed,
         };
+        let n = self.n();
+        let offset = (self.state_sync_round as usize) % n;
+        self.state_sync_round += 1;
         let mut remaining = self.f() + 1;
-        for index in 0..self.n() {
-            let peer = NodeId(index as u32);
+        for index in 0..n {
+            let peer = NodeId(((index + offset) % n) as u32);
             if peer == self.id {
                 continue;
             }
+            self.state_sync_peers.push(peer);
             ctx.send(peer, request.clone());
             remaining -= 1;
             if remaining == 0 {
@@ -1006,11 +1194,35 @@ impl LeopardReplica {
         self.begin_state_sync(ctx);
     }
 
-    fn handle_state_request(&mut self, from: NodeId, last_executed: SeqNum, ctx: &mut Ctx<'_>) {
-        if self.behaviour().ignores_queries() {
+    /// Jumps execution to the stable checkpoint watermark when a quorum-signed proof
+    /// covers sequence numbers this replica never executed. Everything at or below a
+    /// stable checkpoint is summarised by its quorum-signed state digest, and the
+    /// blocks (and their datablocks) below the cluster-wide watermark are
+    /// garbage-collected at the peers, so replaying them is impossible anyway.
+    /// Retrievals whose only waiters sit below the watermark are abandoned with it —
+    /// their datablocks are pruned cluster-wide and no longer gate execution.
+    fn jump_to_stable_watermark(&mut self, ctx: &mut Ctx<'_>) {
+        if self.checkpoints.stable_proof().is_none() {
             return;
         }
-        let (checkpoint_seq, checkpoint_state, checkpoint_proof) =
+        let watermark = self.checkpoints.low_watermark();
+        if watermark <= self.last_executed {
+            return;
+        }
+        self.last_executed = watermark;
+        self.last_confirmation_at = Some(ctx.now());
+        self.replica_instances.retain(|&s, _| s > watermark.0);
+        self.prepared.retain(|&s, _| s > watermark.0);
+        self.pending_confirmations.retain(|&s, _| s > watermark.0);
+        self.pipeline.prune_through(watermark);
+        self.retrieval.abandon_waiting_through(watermark);
+    }
+
+    fn handle_state_request(&mut self, from: NodeId, last_executed: SeqNum, ctx: &mut Ctx<'_>) {
+        if self.behaviour().ignores_queries() || self.behaviour().silent_in_state_transfer() {
+            return;
+        }
+        let (checkpoint_seq, mut checkpoint_state, checkpoint_proof) =
             match self.checkpoints.stable_proof() {
                 Some((state, proof)) => (self.checkpoints.low_watermark(), *state, Some(*proof)),
                 None => (
@@ -1037,10 +1249,24 @@ impl LeopardReplica {
                 });
             }
         }
+        let mut view = self.view;
+        if self.behaviour().lies_in_state_transfer() {
+            // Every lie is detectable by an honest verifier: the checkpoint proof is a
+            // genuine signature but over a different state digest than the one claimed;
+            // each entry's notarization and confirmation are swapped (valid signatures
+            // over the wrong statements); and the view claim is wildly inflated, which
+            // the requester must refuse to adopt without f+1 corroborating responders.
+            checkpoint_state =
+                hash_parts([b"forged-state".as_slice(), &checkpoint_seq.0.to_le_bytes()]);
+            for entry in &mut entries {
+                std::mem::swap(&mut entry.notarization, &mut entry.confirmation);
+            }
+            view = View(self.view.0 + 64);
+        }
         ctx.send(
             from,
             LeopardMessage::StateResponse {
-                view: self.view,
+                view,
                 checkpoint_seq,
                 checkpoint_state,
                 checkpoint_proof,
@@ -1051,6 +1277,7 @@ impl LeopardReplica {
 
     fn handle_state_response(
         &mut self,
+        from: NodeId,
         view: View,
         checkpoint_seq: SeqNum,
         checkpoint_state: Digest,
@@ -1058,6 +1285,12 @@ impl LeopardReplica {
         entries: Vec<ConfirmedEntry>,
         ctx: &mut Ctx<'_>,
     ) {
+        // Only solicited responses are processed: a sync round must be in flight and
+        // the sender must be one of the peers that round actually asked. Anything else
+        // is an unsolicited push from an arbitrary (possibly Byzantine) replica.
+        if self.state_sync_at.is_none() || !self.state_sync_peers.contains(&from) {
+            return;
+        }
         // Adopt the responder's stable checkpoint if its proof verifies.
         if let Some(proof) = checkpoint_proof {
             let digest = checkpoint_digest(checkpoint_seq, &checkpoint_state);
@@ -1066,28 +1299,30 @@ impl LeopardReplica {
             }
         }
         // Jump execution to the stable watermark — whether it came from this response
-        // or from a `CheckpointProof` multicast that raced ahead of it. Everything at
-        // or below a stable checkpoint is summarised by its quorum-signed state digest,
-        // and blocks below the cluster-wide watermark are garbage-collected at the
-        // peers, so replaying them is impossible anyway.
-        if self.checkpoints.stable_proof().is_some() {
-            let watermark = self.checkpoints.low_watermark();
-            if watermark > self.last_executed {
-                self.last_executed = watermark;
-                self.last_confirmation_at = Some(ctx.now());
-                self.replica_instances.retain(|&s, _| s > watermark.0);
-                self.pipeline.prune_through(watermark);
-            }
-        }
+        // or from a `CheckpointProof` multicast that raced ahead of it.
+        self.jump_to_stable_watermark(ctx);
         for entry in entries {
             self.install_confirmed_entry(entry, ctx);
         }
-        // Rejoin the responder's view if this replica missed a view change while down.
-        // Like `handle_new_view`, this trusts view metadata from a single peer: a lying
-        // responder can only delay this one replica until the next genuine view change,
-        // never affect safety (votes are bound to their view).
-        if view.0 > self.view.0 {
-            self.enter_view(view, ctx);
+        // Rejoin a view this replica missed while down — but never on the word of a
+        // single responder. View claims are unsigned metadata, so a lying responder
+        // could inflate one and wedge this replica in a view nobody else is in (it
+        // would neither vote nor complain usefully until the next genuine view
+        // change). Instead, adopt the highest view that all f+1 responders of this
+        // sync round corroborate: at least one of them is honest, so the adopted view
+        // is at most one an honest replica has genuinely entered.
+        if self.state_sync_view_claims.iter().all(|(peer, _)| *peer != from) {
+            self.state_sync_view_claims.push((from, view.0));
+        }
+        let needed = self.f() + 1;
+        if self.state_sync_view_claims.len() >= needed {
+            let mut claims: Vec<u64> =
+                self.state_sync_view_claims.iter().map(|&(_, v)| v).collect();
+            claims.sort_unstable_by(|a, b| b.cmp(a));
+            let corroborated = claims[needed - 1];
+            if corroborated > self.view.0 {
+                self.enter_view(View(corroborated), ctx);
+            }
         }
         self.try_execute(ctx);
     }
@@ -1109,7 +1344,11 @@ impl LeopardReplica {
             return;
         }
         let instance = self.replica_instances.entry(seq.0).or_default();
-        if instance.is_confirmed() {
+        // An instance that confirmed block-less (the proof arrived but the PrePrepare
+        // was lost to a crash or partition) still needs the entry — the block is
+        // exactly what state transfer exists to deliver. Only a fully-populated
+        // confirmed instance has nothing to gain.
+        if instance.is_confirmed() && instance.block.is_some() {
             return;
         }
         instance.block = Some(entry.block.clone());
@@ -1141,9 +1380,6 @@ impl LeopardReplica {
         }
         let (f, n) = (self.f(), self.n());
         for digest in digests {
-            if !self.retrieval.should_serve(digest, from) {
-                continue;
-            }
             let Some(datablock) = self.pool.get(&digest).cloned() else {
                 continue;
             };
@@ -1209,7 +1445,9 @@ impl LeopardReplica {
     }
 
     fn fire_retrieval_timer(&mut self, ctx: &mut Ctx<'_>) {
-        let digests = self.retrieval.digests_to_query();
+        let digests = self
+            .retrieval
+            .digests_to_query(ctx.now(), self.config.retrieval_timeout);
         if !digests.is_empty() {
             ctx.multicast(LeopardMessage::Query { digests });
         }
@@ -1219,12 +1457,44 @@ impl LeopardReplica {
     // View-change (Appendix A)
     // ------------------------------------------------------------------
 
+    /// Records `seq`'s notarized block + proof in the prepared set, the evidence this
+    /// replica's future view-change messages carry even after [`Self::enter_view`]
+    /// resets the live instance (garbage-collected once a quorum checkpoint covers it).
+    fn stash_prepared(&mut self, seq: SeqNum) {
+        if seq <= self.checkpoints.low_watermark() {
+            return;
+        }
+        if let Some(instance) = self.replica_instances.get(&seq.0) {
+            if instance.state >= BlockState::Notarized {
+                if let (Some(block), Some(proof)) = (&instance.block, instance.notarization) {
+                    self.prepared.insert(
+                        seq.0,
+                        NotarizedEntry {
+                            block: block.clone(),
+                            proof,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The progress timeout with the current view-change back-off applied.
+    fn current_progress_timeout(&self) -> SimDuration {
+        self.config
+            .progress_timeout
+            .saturating_mul(1u64 << self.progress_backoff.min(3))
+    }
+
     fn outstanding_work(&self) -> bool {
+        // A confirmed instance whose block never arrived still owes work: execution
+        // is stuck at it, and only a state sync can fill it. Without counting it the
+        // replica believes it is idle and never repairs the gap.
         self.mempool.outstanding() > 0
             || self
                 .replica_instances
                 .values()
-                .any(|instance| !instance.is_confirmed())
+                .any(|instance| !instance.is_confirmed() || instance.block.is_none())
     }
 
     fn fire_progress_timer(&mut self, ctx: &mut Ctx<'_>) {
@@ -1232,16 +1502,54 @@ impl LeopardReplica {
             || self.last_executed.0 > 0 && self.confirmed_requests == self.confirmed_at_last_check && !self.outstanding_work();
         let stalled = !progressed && self.outstanding_work();
         self.confirmed_at_last_check = self.confirmed_requests;
-        if stalled && !self.in_view_change {
+        if progressed {
+            self.progress_backoff = 0;
+            return;
+        }
+        if self.in_view_change {
+            // The view change itself stalled: the incoming leader never produced a
+            // NewView (crashed or Byzantine). Give it one full (backed-off) timeout,
+            // then advance locally and complain in the next view so the cluster can
+            // rotate past a run of bad leaders.
+            let waited = self
+                .view_change_started_at
+                .map_or(SimDuration::ZERO, |started| ctx.now().saturating_since(started));
+            if waited >= self.current_progress_timeout() {
+                let next = self.view.next();
+                self.enter_view(next, ctx);
+                self.complain(ctx);
+            }
+            return;
+        }
+        if stalled {
+            // A stall caused by an execution gap the replica can repair on its own is
+            // not the leader's fault: the instance at the gap already confirmed, but
+            // this replica never received the block (the PrePrepare was lost to a
+            // partition or a crash window, and nobody re-sends PrePrepares). A view
+            // change cannot fill it — confirmed instances are not re-proposed, and the
+            // endorsement path needs the held block — so fetch the confirmed entry
+            // from peers instead of dragging the whole cluster through a view change.
+            let gap = self.last_executed.0 + 1;
+            let confirmed_blockless = self
+                .replica_instances
+                .get(&gap)
+                .map_or(false, |instance| instance.is_confirmed() && instance.block.is_none());
+            if confirmed_blockless {
+                self.maybe_state_sync(ctx);
+                return;
+            }
+            // Re-broadcast on every fire while the stall lasts: replicas enter a view
+            // at different instants, and a Timeout share delivered before the receiver
+            // entered the view is dropped — the periodic re-send makes the 2f+1
+            // complaint quorum assemble regardless of entry order (receivers
+            // deduplicate by sender).
             self.complain(ctx);
         }
     }
 
     fn complain(&mut self, ctx: &mut Ctx<'_>) {
         let view = self.view;
-        if !self.view_changes.mark_complained(view) {
-            return;
-        }
+        self.view_changes.mark_complained(view);
         let digest = timeout_digest(view);
         let share = self.sign(&digest, ctx);
         ctx.broadcast(LeopardMessage::Timeout { view, share });
@@ -1254,7 +1562,7 @@ impl LeopardReplica {
         share: leopard_crypto::threshold::SignatureShare,
         ctx: &mut Ctx<'_>,
     ) {
-        if view != self.view {
+        if view.0 < self.view.0 {
             return;
         }
         if share.signer != from.signer_index()
@@ -1263,6 +1571,18 @@ impl LeopardReplica {
             return;
         }
         let count = self.view_changes.record_timeout(view, from);
+        if view.0 > self.view.0 {
+            // View synchronization (the PBFT f+1 rule): once f+1 replicas complain in
+            // a view ahead of ours, at least one of them is honest and the cluster has
+            // moved on — jump to that view and join the complaint. Without this,
+            // replicas that advanced locally past a stalled view change would be
+            // split across views, each complaining where nobody listens.
+            if count <= self.f() {
+                return;
+            }
+            self.enter_view(view, ctx);
+            self.complain(ctx);
+        }
         // Join the complaint once f+1 replicas complained.
         if count > self.f() && !self.view_changes.has_complained(view) {
             self.complain(ctx);
@@ -1280,21 +1600,33 @@ impl LeopardReplica {
         let new_view = old_view.next();
         let next_leader = new_view.leader(self.n());
 
-        // Collect every notarized-or-better block above the stable checkpoint.
-        let mut notarized = Vec::new();
+        // Collect every notarized-or-better block above the stable checkpoint: the
+        // prepared set (evidence that survived earlier view entries) merged with the
+        // live instances (which may have re-notarized under a newer view).
+        let lw = self.checkpoints.low_watermark().0;
+        let mut evidence: BTreeMap<u64, NotarizedEntry> = BTreeMap::new();
+        for (&seq, entry) in &self.prepared {
+            if seq > lw {
+                evidence.insert(seq, entry.clone());
+            }
+        }
         for (&seq, instance) in &self.replica_instances {
-            if seq <= self.checkpoints.low_watermark().0 {
+            if seq <= lw {
                 continue;
             }
             if let (Some(block), Some(proof)) = (&instance.block, instance.notarization) {
                 if instance.state >= BlockState::Notarized {
-                    notarized.push(NotarizedEntry {
-                        block: block.clone(),
-                        proof,
-                    });
+                    evidence.insert(
+                        seq,
+                        NotarizedEntry {
+                            block: block.clone(),
+                            proof,
+                        },
+                    );
                 }
             }
         }
+        let notarized: Vec<NotarizedEntry> = evidence.into_values().collect();
         let message = LeopardMessage::ViewChange {
             new_view,
             checkpoint_seq: self.checkpoints.low_watermark(),
@@ -1390,6 +1722,9 @@ impl LeopardReplica {
     fn enter_view(&mut self, view: View, ctx: &mut Ctx<'_>) {
         self.view = view;
         self.in_view_change = false;
+        // Each view entered without intervening progress doubles the patience before
+        // the next complaint (reset by `fire_progress_timer` once confirmations flow).
+        self.progress_backoff = (self.progress_backoff + 1).min(3);
         if let Some(started) = self.view_change_started_at.take() {
             ctx.observe(ObservationKind::Custom {
                 label: "view_change_nanos",
@@ -1412,6 +1747,19 @@ impl LeopardReplica {
             }
         }
         self.confirmed_at_last_check = self.confirmed_requests;
+        // Replay proposals that arrived for this view before we entered it (they
+        // raced the NewView). Entries for still-future views stay buffered; stale
+        // ones are dropped.
+        let deferred = std::mem::take(&mut self.deferred_pre_prepares);
+        for (from, block, share) in deferred {
+            match block.id.view.0.cmp(&self.view.0) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => self.handle_pre_prepare(from, block, share, ctx),
+                std::cmp::Ordering::Greater => {
+                    self.deferred_pre_prepares.push((from, block, share))
+                }
+            }
+        }
     }
 }
 
@@ -1530,6 +1878,7 @@ impl Protocol for LeopardReplica {
                 checkpoint_proof,
                 entries,
             } => self.handle_state_response(
+                from,
                 view,
                 checkpoint_seq,
                 checkpoint_state,
@@ -1563,7 +1912,7 @@ impl Protocol for LeopardReplica {
             }
             TOKEN_PROGRESS => {
                 self.fire_progress_timer(ctx);
-                ctx.set_timer(self.config.progress_timeout, TOKEN_PROGRESS);
+                ctx.set_timer(self.current_progress_timeout(), TOKEN_PROGRESS);
             }
             TOKEN_RETRIEVAL => {
                 self.fire_retrieval_timer(ctx);

@@ -1,18 +1,26 @@
 //! The datablock retrieval mechanism (Algorithm 3).
 //!
 //! A replica that receives a BFTblock linking a datablock it never got starts a timer;
-//! on expiry it multicasts a `Query`. Every replica that holds the datablock (and has
-//! not served this querier before) erasure-codes it with the `(f+1, n)` code, builds a
-//! Merkle tree over the `n` chunks, and sends back *its own* chunk plus the Merkle
-//! proof. The querier validates chunks individually and decodes as soon as `f+1` chunks
-//! under the same root are available, then checks that the decoded datablock really
-//! hashes to the queried digest.
+//! on expiry it multicasts a `Query`. Every replica that holds the datablock
+//! erasure-codes it with the `(f+1, n)` code, builds a Merkle tree over the `n`
+//! chunks, and sends back *its own* chunk plus the Merkle proof. The querier validates
+//! chunks individually and decodes as soon as `f+1` chunks under the same root are
+//! available, then checks that the decoded datablock really hashes to the queried
+//! digest.
+//!
+//! A retrieval that stays pending is re-queried after [`REQUERY_TIMEOUTS`] retrieval
+//! timeouts: a partition can drop the first `Query` (or its responses) outright, and a
+//! one-shot query would then leave the replica unable to vote on any BFTblock linking
+//! the lost datablock — permanently, across every view change, because re-proposals
+//! carry the same links. Responders answer each received `Query` (the per-datablock
+//! encoding cache makes repeat serves free), so a re-query recovers no matter which
+//! direction the partition dropped.
 
 use crate::messages::RetrievalPayload;
 use leopard_crypto::provider::{ComputeCost, CryptoProvider};
 use leopard_crypto::{Digest, MerkleProof, MerkleTree};
 use leopard_erasure::ReedSolomon;
-use leopard_simnet::SimTime;
+use leopard_simnet::{SimDuration, SimTime};
 use leopard_types::{Datablock, Decode, Encode, NodeId, SeqNum};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -119,18 +127,24 @@ struct PendingRetrieval {
     metered_datablock: Option<Arc<Datablock>>,
     /// When the datablock was first discovered missing.
     started_at: SimTime,
-    /// Whether the query has been multicast already.
-    queried: bool,
+    /// When the query was last multicast (`None` until the first query).
+    last_query: Option<SimTime>,
     /// Bytes received for this retrieval (for the Fig. 12 cost accounting).
     received_bytes: u64,
 }
 
+/// How many retrieval timeouts a pending retrieval waits before querying again. The
+/// interval is far above any fault-free query-to-response round trip (even across the
+/// widest WAN pairing), so healthy runs query exactly once and the simulation's event
+/// stream is unchanged; only a retrieval whose query or responses were lost to a
+/// partition or crash ever reaches the re-query.
+pub const REQUERY_TIMEOUTS: u64 = 8;
+
 /// The querier-side manager of all in-progress retrievals, plus the responder-side
-/// "serve each querier at most once" bookkeeping.
+/// encoding cache.
 #[derive(Debug, Default)]
 pub struct RetrievalManager {
     pending: HashMap<Digest, PendingRetrieval>,
-    served: HashSet<(Digest, NodeId)>,
     /// Reed–Solomon codes by `(data_shards, total_shards)`; the parameters are fixed
     /// per run, so the Vandermonde construction happens once per replica, not once per
     /// response or decode.
@@ -214,7 +228,7 @@ impl RetrievalManager {
                         payload_len: HashMap::new(),
                         metered_datablock: None,
                         started_at: now,
-                        queried: false,
+                        last_query: None,
                         received_bytes: 0,
                     },
                 );
@@ -228,19 +242,24 @@ impl RetrievalManager {
         self.pending.contains_key(digest)
     }
 
-    /// Called when the retrieval timer fires: returns the digests that still need to be
-    /// queried (and marks them as queried).
-    pub fn digests_to_query(&mut self) -> Vec<Digest> {
+    /// Called when the retrieval timer fires: returns the digests that need to be
+    /// queried — never queried before, or still pending [`REQUERY_TIMEOUTS`] retrieval
+    /// timeouts after the last query (the loss-recovery path) — and stamps them.
+    pub fn digests_to_query(&mut self, now: SimTime, retrieval_timeout: SimDuration) -> Vec<Digest> {
+        let requery_after = retrieval_timeout.saturating_mul(REQUERY_TIMEOUTS);
         let mut digests: Vec<Digest> = self
             .pending
             .iter()
-            .filter(|(_, p)| !p.queried)
+            .filter(|(_, p)| {
+                p.last_query
+                    .map_or(true, |at| now.saturating_since(at) >= requery_after)
+            })
             .map(|(d, _)| *d)
             .collect();
         digests.sort_unstable();
         for digest in &digests {
             if let Some(pending) = self.pending.get_mut(digest) {
-                pending.queried = true;
+                pending.last_query = Some(now);
             }
         }
         digests
@@ -256,22 +275,27 @@ impl RetrievalManager {
             .unwrap_or_default()
     }
 
-    /// Responder-side: should this replica answer a query for `digest` from `querier`?
-    /// (At most one response per datablock per querier — Algorithm 3.)
-    pub fn should_serve(&mut self, digest: Digest, querier: NodeId) -> bool {
-        self.served.insert((digest, querier))
+    /// Abandons pending retrievals that only gate sequence numbers at or below a
+    /// stable checkpoint watermark. Those blocks are summarised by the quorum-signed
+    /// checkpoint and their datablocks are pruned cluster-wide, so the queries can
+    /// never be answered — without this, a straggler that jumped its execution point
+    /// to the watermark would keep re-querying the dead digests forever.
+    pub fn abandon_waiting_through(&mut self, watermark: SeqNum) {
+        self.pending.retain(|_, p| {
+            p.waiting.retain(|&seq| seq > watermark);
+            !p.waiting.is_empty()
+        });
     }
 
     /// Drops responder-side state for datablocks garbage-collected at a checkpoint:
     /// the cached responses (whose metered variant pins an `Arc<Datablock>` that must
-    /// not outlive the pool's copy) and the served-querier marks.
+    /// not outlive the pool's copy).
     pub fn prune(&mut self, executed: impl IntoIterator<Item = Digest>) {
         let executed: HashSet<Digest> = executed.into_iter().collect();
         if executed.is_empty() {
             return;
         }
         self.chunks_served.retain(|digest, _| !executed.contains(digest));
-        self.served.retain(|(digest, _)| !executed.contains(digest));
     }
 
     /// The `(data_shards, total_shards)` code, constructed on first use.
@@ -640,11 +664,12 @@ mod tests {
         let (f, n) = (1, 4);
         let mut manager = RetrievalManager::new();
 
+        let timeout = SimDuration::from_millis(100);
         assert!(manager.note_missing(digest, SeqNum(3), SimTime(1_000)));
         assert!(!manager.note_missing(digest, SeqNum(4), SimTime(2_000)));
-        assert_eq!(manager.digests_to_query(), vec![digest]);
-        // Second call does not re-query.
-        assert!(manager.digests_to_query().is_empty());
+        assert_eq!(manager.digests_to_query(SimTime(3_000), timeout), vec![digest]);
+        // Subsequent fires inside the re-query window do not re-query.
+        assert!(manager.digests_to_query(SimTime(100_003_000), timeout).is_empty());
 
         let provider = provider(CryptoMode::Real);
         let mut outcome = ChunkOutcome::Stored;
@@ -786,15 +811,27 @@ mod tests {
         assert!(manager.cancel(&digest).is_empty());
     }
 
+    /// A retrieval whose first query (or its responses) was lost — e.g. to a
+    /// partition window — is queried again after the re-query interval; recovery or
+    /// cancellation stops the cycle.
     #[test]
-    fn responders_serve_each_querier_once() {
+    fn pending_retrievals_are_requeried_after_message_loss() {
         let digest = sample_datablock(5).digest();
+        let timeout = SimDuration::from_millis(100);
+        let requery = timeout.saturating_mul(REQUERY_TIMEOUTS);
         let mut manager = RetrievalManager::new();
-        assert!(manager.should_serve(digest, NodeId(1)));
-        assert!(!manager.should_serve(digest, NodeId(1)));
-        assert!(manager.should_serve(digest, NodeId(2)));
-        let other = sample_datablock(6).digest();
-        assert!(manager.should_serve(other, NodeId(1)));
+        manager.note_missing(digest, SeqNum(1), SimTime(0));
+        let first = SimTime(0) + timeout;
+        assert_eq!(manager.digests_to_query(first, timeout), vec![digest]);
+        // Still pending just before the re-query interval elapses: nothing.
+        let early = SimTime(0) + timeout + timeout.saturating_mul(REQUERY_TIMEOUTS - 1);
+        assert!(manager.digests_to_query(early, timeout).is_empty());
+        // One interval after the lost query: queried again.
+        let late = first + requery;
+        assert_eq!(manager.digests_to_query(late, timeout), vec![digest]);
+        // Cancellation (the datablock arrived) ends the cycle.
+        manager.cancel(&digest);
+        assert!(manager.digests_to_query(late + requery, timeout).is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md`.
 
 use crate::analysis;
+use crate::chaos::{chaos_experiment, ChaosOptions, ChaosOverrides};
 use crate::report::Table;
 use crate::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig, ScenarioReport};
 use crate::workload::WorkloadConfig;
@@ -627,6 +628,7 @@ const FIG13_HEADERS: &[&str] = &[
     "post-recovery (Kreqs/s)",
     "recovery (s)",
     "extra comm (KB)",
+    "views",
     "violations",
 ];
 
@@ -714,6 +716,7 @@ fn fig13_matrix(quick: bool) -> Vec<(&'static str, ScenarioConfig)> {
     //    from every other region for 2 s. The majority partition keeps confirming
     //    (n/4 < f + 1 replicas cannot even force a view change); the minority catches
     //    up after the heal via checkpoint-proof-triggered state transfer.
+    let burst2 = burst.clone();
     let mut partitioned = ScenarioConfig::paper(n_wan)
         .with_workload(burst)
         .with_batches(200, 10)
@@ -731,6 +734,24 @@ fn fig13_matrix(quick: bool) -> Vec<(&'static str, ScenarioConfig)> {
     }
     matrix.push(("region partition", partitioned));
 
+    // 6. Lying state-transfer responders: a crashed replica rejoins via state transfer
+    //    while one of the peers it solicits forges its checkpoint digest, swaps the
+    //    notarization/confirmation proofs of every entry and inflates its view claim.
+    //    Honest replicas must reject the forgery (every corruption is detectable
+    //    against the threshold public key) without the catch-up wedging: the row's
+    //    post-recovery throughput must stay positive and the run clean.
+    let lying = ScenarioConfig::paper(n_base)
+        .with_workload(burst2)
+        .with_batches(200, 10)
+        .with_duration(SimDuration::from_secs(10))
+        .with_warmup(SimDuration::from_secs(5))
+        .with_liveness_bound(SimDuration::from_secs(3))
+        .with_byzantine_replica(NodeId(0), ByzantineBehavior::LyingStateResponder);
+    matrix.push((
+        "lying state responders",
+        lying.with_crash_restart(NodeId(2), SimDuration::from_secs(1), SimDuration::from_secs(3)),
+    ));
+
     matrix
 }
 
@@ -747,6 +768,7 @@ fn fig13_row(name: &str, config: &ScenarioConfig) -> Vec<String> {
             .map(|secs| format!("{secs:.3}"))
             .unwrap_or_else(|| "never".to_string()),
         format!("{:.1}", fault_handling_kb(&report, config.n)),
+        report.views_entered.to_string(),
         report.violations.len().to_string(),
     ]
 }
@@ -809,12 +831,25 @@ pub fn fig13_view_change(quick: bool) -> Table {
 /// Every experiment id understood by [`run_experiment`].
 pub const EXPERIMENT_IDS: &[&str] = &[
     "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig9cpu",
-    "fig9geo", "fig10", "tab3", "tab4", "fig11", "fig12", "fig13", "fig13smoke", "fig13vc",
+    "fig9geo", "fig10", "tab3", "tab4", "fig11", "fig12", "fig13", "fig13smoke", "fig13vc", "chaos", "chaossmoke",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
+    run_experiment_with(id, quick, &ChaosOverrides::default())
+}
+
+/// [`run_experiment`] with CLI overrides for the chaos experiments: `chaos` follows
+/// the quick/full profile split (25 schedules at n = 16 vs 200 at n ∈ {16, 32, 64}),
+/// `chaossmoke` always runs the quick profile, and `--schedules` / `--chaos-seed` /
+/// `--chaos-case` apply on top of either.
+pub fn run_experiment_with(id: &str, quick: bool, chaos: &ChaosOverrides) -> Option<Table> {
     let table = match id {
+        "chaos" => {
+            let profile = if quick { ChaosOptions::quick() } else { ChaosOptions::full() };
+            chaos_experiment(&chaos.apply(profile))
+        }
+        "chaossmoke" => chaos_experiment(&chaos.apply(ChaosOptions::quick())),
         "fig1" => fig1_prior_scalability(quick),
         "fig2" => fig2_leader_bottleneck(quick),
         "tab1" => tab1_cost_model(),

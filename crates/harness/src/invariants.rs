@@ -1,7 +1,7 @@
 //! The always-on invariant checker: every Leopard scenario run ends with a pure
 //! check over a snapshot of the replicas' states, and any violation fails the run.
 //!
-//! Three invariant families are checked (see `DESIGN.md` §8):
+//! Four invariant families are checked (see `DESIGN.md` §8):
 //!
 //! * **Safety** — no two honest replicas hold conflicting BFTblocks at the same
 //!   serial number, ever. A fork here would mean the quorum intersection argument
@@ -13,6 +13,10 @@
 //!   above a replica's low watermark is either already in that replica's pool or
 //!   still recoverable from the pools of at least `f + 1` honest live replicas
 //!   (the erasure-coded retrieval plane needs `f + 1` honest chunks to rebuild).
+//! * **View-change thrash** — the number of views honest replicas burn through is
+//!   bounded by the number of scheduled disturbances: a recovery that consumes
+//!   views far in excess of the faults that provoked them is a view-change
+//!   livelock even if requests eventually confirm.
 //!
 //! The checker is deliberately split into a *snapshot* (extracted from a live
 //! [`Simulation`]) and a *pure* [`SystemSnapshot::check`] over it, so the
@@ -69,6 +73,18 @@ pub enum Violation {
         /// How many are needed (`f + 1`).
         needed: usize,
     },
+    /// Honest replicas consumed more views than the scheduled disturbances justify —
+    /// a view-change livelock (thrash) rather than a recovery.
+    ViewChangeThrash {
+        /// The honest replica that reached the highest view.
+        node: NodeId,
+        /// Views it entered beyond the initial one.
+        views_entered: u64,
+        /// The bound it exceeded.
+        bound: u64,
+        /// The number of scheduled disturbances the bound was derived from.
+        disturbances: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -108,6 +124,17 @@ impl fmt::Display for Violation {
                  only {holders}/{needed} honest live replicas hold it",
                 node.0
             ),
+            Violation::ViewChangeThrash {
+                node,
+                views_entered,
+                bound,
+                disturbances,
+            } => write!(
+                f,
+                "view-change thrash at node {}: {views_entered} views entered > bound {bound} \
+                 for {disturbances} disturbance(s)",
+                node.0
+            ),
         }
     }
 }
@@ -126,6 +153,8 @@ pub struct ReplicaSnapshot {
     pub low_watermark: u64,
     /// When the replica last confirmed requests, if ever.
     pub last_confirmation_at: Option<SimTime>,
+    /// The view the replica ended the run in (views start at 1).
+    pub view: u64,
     /// The confirmed log: `(seq, block digest, linked datablock digests)`.
     pub log: Vec<(u64, Digest, Vec<Digest>)>,
     /// Digests of the datablocks in the replica's pool.
@@ -146,6 +175,12 @@ pub struct SystemSnapshot {
     pub quiet_after: SimTime,
     /// Longest tolerated confirmation stall after [`Self::quiet_after`].
     pub stall_bound: SimDuration,
+    /// Number of scheduled disturbances (crash/restart windows, partition windows,
+    /// Byzantine replicas, a leader crash) the run was configured with; recorded in
+    /// any thrash violation so the bound is explicable.
+    pub disturbances: usize,
+    /// Most views honest replicas may enter beyond the initial one.
+    pub view_thrash_bound: u64,
     /// Per-replica snapshots, indexed by node id.
     pub replicas: Vec<ReplicaSnapshot>,
 }
@@ -161,6 +196,8 @@ impl SystemSnapshot {
         n: usize,
         quiet_after: SimTime,
         stall_bound: SimDuration,
+        disturbances: usize,
+        view_thrash_bound: u64,
     ) -> Self {
         let end_time = sim.now();
         let f = (n - 1) / 3;
@@ -174,6 +211,7 @@ impl SystemSnapshot {
                     live: !sim.faults().is_crashed(node, end_time),
                     low_watermark: replica.low_watermark().0,
                     last_confirmation_at: replica.last_confirmation_at(),
+                    view: replica.view().0,
                     log: replica
                         .log_entries()
                         .map(|(seq, block)| (seq.0, block.digest(), block.links.clone()))
@@ -188,6 +226,8 @@ impl SystemSnapshot {
             end_time,
             quiet_after,
             stall_bound,
+            disturbances,
+            view_thrash_bound,
             replicas,
         }
     }
@@ -198,6 +238,7 @@ impl SystemSnapshot {
         self.check_safety(&mut violations);
         self.check_liveness(&mut violations);
         self.check_retrieval(&mut violations);
+        self.check_view_thrash(&mut violations);
         violations
     }
 
@@ -206,27 +247,33 @@ impl SystemSnapshot {
     }
 
     /// Safety: for every serial number, all honest replicas that hold a confirmed
-    /// block there hold the *same* block. Crashed replicas are included — a crash
-    /// must never un-confirm anything.
+    /// block there committed the *same content* (the same linked datablocks).
+    /// Crashed replicas are included — a crash must never un-confirm anything.
     fn check_safety(&self, violations: &mut Vec<Violation>) {
         use std::collections::HashMap;
-        // seq -> first (node, digest) seen; every later holder must match it.
-        let mut canonical: HashMap<u64, (NodeId, Digest)> = HashMap::new();
+        // seq -> first (node, digest, links) seen; every later holder must commit the
+        // same *content* (linked datablocks). The block digest also covers the view
+        // the block was proposed in, and a view change legitimately re-proposes the
+        // surviving blocks under the new view — same links, different digest — so
+        // comparing digests would flag every healthy re-proposal as a fork. Divergent
+        // links (including a dummy block replacing a confirmed one) are the real
+        // safety violation.
+        let mut canonical: HashMap<u64, (NodeId, Digest, &[Digest])> = HashMap::new();
         let mut forked: HashSet<u64> = HashSet::new();
         for replica in self.honest_replicas() {
-            for &(seq, digest, _) in &replica.log {
-                match canonical.get(&seq) {
+            for (seq, digest, links) in &replica.log {
+                match canonical.get(seq) {
                     None => {
-                        canonical.insert(seq, (replica.node, digest));
+                        canonical.insert(*seq, (replica.node, *digest, links));
                     }
-                    Some(&(node_a, digest_a)) => {
-                        if digest_a != digest && forked.insert(seq) {
+                    Some(&(node_a, digest_a, links_a)) => {
+                        if links_a != links.as_slice() && forked.insert(*seq) {
                             violations.push(Violation::SafetyFork {
-                                seq,
+                                seq: *seq,
                                 node_a,
                                 digest_a,
                                 node_b: replica.node,
-                                digest_b: digest,
+                                digest_b: *digest,
                             });
                         }
                     }
@@ -290,6 +337,25 @@ impl SystemSnapshot {
             }
         }
     }
+
+    /// View-change thrash: no honest replica may end the run more than
+    /// `view_thrash_bound` views past the initial one. Crashed honest replicas are
+    /// included — their view is at most stale (too low), never spuriously high, so
+    /// they can only under-report, not false-positive.
+    fn check_view_thrash(&self, violations: &mut Vec<Violation>) {
+        let Some(worst) = self.honest_replicas().max_by_key(|r| r.view) else {
+            return;
+        };
+        let views_entered = worst.view.saturating_sub(1);
+        if views_entered > self.view_thrash_bound {
+            violations.push(Violation::ViewChangeThrash {
+                node: worst.node,
+                views_entered,
+                bound: self.view_thrash_bound,
+                disturbances: self.disturbances,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +381,7 @@ mod tests {
                 live: true,
                 low_watermark: 0,
                 last_confirmation_at: Some(SimTime(4_900_000_000)),
+                view: 1,
                 log: vec![(1, block_1, vec![link_a]), (2, block_2, vec![link_b])],
                 pool: [link_a, link_b].into_iter().collect(),
             })
@@ -325,6 +392,8 @@ mod tests {
             end_time: SimTime(5_000_000_000),
             quiet_after: SimTime(1_000_000_000),
             stall_bound: SimDuration::from_secs(2),
+            disturbances: 1,
+            view_thrash_bound: 8,
             replicas,
         }
     }
@@ -337,8 +406,10 @@ mod tests {
     #[test]
     fn checker_flags_a_forked_log() {
         let mut snapshot = healthy_snapshot();
-        // Mutation: replica 3 confirmed a different block at seq 2.
+        // Mutation: replica 3 confirmed a different block at seq 2 — different
+        // digest AND different committed content.
         snapshot.replicas[3].log[1].1 = digest("evil-block-2");
+        snapshot.replicas[3].log[1].2 = vec![digest("evil-payload-2")];
         let violations = snapshot.check();
         assert!(
             violations.iter().any(|v| matches!(
@@ -389,6 +460,15 @@ mod tests {
     }
 
     #[test]
+    fn reproposed_blocks_with_identical_links_are_not_a_fork() {
+        let mut snapshot = healthy_snapshot();
+        // A view change re-proposed seq 2 under the new view at replica 3: the block
+        // digest changes (it covers the view) but the committed content is identical.
+        snapshot.replicas[3].log[1].1 = digest("block-2-view-2");
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
     fn liveness_is_not_judged_on_short_runs() {
         let mut snapshot = healthy_snapshot();
         snapshot.replicas[2].last_confirmation_at = None;
@@ -405,6 +485,7 @@ mod tests {
         assert_eq!(snapshot.check(), Vec::new());
         // ... but its confirmed log still participates in the fork check.
         snapshot.replicas[2].log[0].1 = digest("evil-block-1");
+        snapshot.replicas[2].log[0].2 = vec![digest("evil-payload-1")];
         assert!(snapshot
             .check()
             .iter()
@@ -454,6 +535,44 @@ mod tests {
     }
 
     #[test]
+    fn checker_flags_view_change_thrash() {
+        let mut snapshot = healthy_snapshot();
+        // Mutation: replica 1 ended the run 42 views in — far more than the single
+        // scheduled disturbance (bound 8) can explain.
+        snapshot.replicas[1].view = 43;
+        let violations = snapshot.check();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::ViewChangeThrash {
+                    node: NodeId(1),
+                    views_entered: 42,
+                    bound: 8,
+                    disturbances: 1,
+                }
+            )),
+            "thrash not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn views_within_the_bound_are_not_thrash() {
+        let mut snapshot = healthy_snapshot();
+        for replica in &mut snapshot.replicas {
+            replica.view = 9; // exactly bound views past the initial view
+        }
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
+    fn byzantine_views_are_excluded_from_thrash() {
+        let mut snapshot = healthy_snapshot();
+        snapshot.replicas[3].honest = false;
+        snapshot.replicas[3].view = 1000; // a Byzantine replica may claim anything
+        assert_eq!(snapshot.check(), Vec::new());
+    }
+
+    #[test]
     fn violations_render_readably() {
         let fork = Violation::SafetyFork {
             seq: 7,
@@ -479,5 +598,13 @@ mod tests {
         };
         assert!(lost.to_string().contains("unretrievable datablock"));
         assert!(lost.to_string().contains("1/2"));
+        let thrash = Violation::ViewChangeThrash {
+            node: NodeId(1),
+            views_entered: 40,
+            bound: 8,
+            disturbances: 1,
+        };
+        assert!(thrash.to_string().contains("view-change thrash at node 1"));
+        assert!(thrash.to_string().contains("40 views entered > bound 8"));
     }
 }

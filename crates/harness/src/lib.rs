@@ -4,7 +4,10 @@
 //! * [`scenario`] — end-to-end scenario runners (`n` replicas, bandwidth, faults →
 //!   throughput / latency / bandwidth report) for Leopard and HotStuff;
 //! * [`invariants`] — the always-on invariant checker (safety, liveness, retrieval
-//!   completeness) every Leopard scenario run passes through;
+//!   completeness, view-change thrash) every Leopard scenario run passes through;
+//! * [`chaos`] — the chaos engine: a seeded generator of valid adversarial fault
+//!   schedules, an auto-shrinker for violating seeds, and the `chaos` experiment
+//!   that fuzzes the invariant checker with hundreds of schedules per scale;
 //! * [`analysis`] — the closed-form cost model behind Table I and §V-B;
 //! * [`report`] — plain-text table rendering and CSV output (no external dependencies);
 //! * [`experiments`] — one function per table/figure of the evaluation section, each
@@ -14,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod experiments;
 pub mod invariants;
 pub mod report;
 pub mod scenario;
 pub mod workload;
 
+pub use chaos::{ChaosFault, ChaosOptions, ChaosSchedule, FaultScheduleGenerator};
 pub use invariants::{SystemSnapshot, Violation};
 pub use report::Table;
 pub use scenario::{

@@ -83,6 +83,15 @@ pub struct ScenarioConfig {
     /// scheduled disturbance (the liveness invariant), or `None` for the default of
     /// four progress timeouts.
     pub liveness_bound: Option<SimDuration>,
+    /// Most views honest replicas may enter beyond the initial one (the view-change
+    /// thrash invariant), or `None` for the default of
+    /// `4 + 4 × `[`Self::disturbance_count`] — generous for any genuine recovery, far
+    /// below a view-change livelock.
+    pub view_thrash_bound: Option<u64>,
+    /// Overrides the protocol's progress timeout (the view-change trigger). The chaos
+    /// engine shortens it so runs with consecutive faulty leaders recover within a
+    /// few-second schedule; `None` keeps the protocol default.
+    pub progress_timeout: Option<SimDuration>,
 }
 
 impl ScenarioConfig {
@@ -117,6 +126,8 @@ impl ScenarioConfig {
             crash_restarts: Vec::new(),
             partitions: Vec::new(),
             liveness_bound: None,
+            view_thrash_bound: None,
+            progress_timeout: None,
         }
     }
 
@@ -146,6 +157,8 @@ impl ScenarioConfig {
             crash_restarts: Vec::new(),
             partitions: Vec::new(),
             liveness_bound: None,
+            view_thrash_bound: None,
+            progress_timeout: None,
         }
     }
 
@@ -251,6 +264,94 @@ impl ScenarioConfig {
     pub fn with_liveness_bound(mut self, bound: SimDuration) -> Self {
         self.liveness_bound = Some(bound);
         self
+    }
+
+    /// Overrides the view-change-thrash bound (default:
+    /// `4 + 4 × `[`Self::disturbance_count`]).
+    pub fn with_view_thrash_bound(mut self, bound: u64) -> Self {
+        self.view_thrash_bound = Some(bound);
+        self
+    }
+
+    /// Overrides the protocol's progress timeout (the view-change trigger).
+    pub fn with_progress_timeout(mut self, timeout: SimDuration) -> Self {
+        self.progress_timeout = Some(timeout);
+        self
+    }
+
+    /// A flapping link between `region_a` and `region_b` of the scenario's
+    /// [`Self::topology`]: `cycles` partition windows starting at `start`, one per
+    /// `period`, each severed for the first `duty` fraction of its period. Composes
+    /// with [`Self::with_partition_window`] — every severed window lands in
+    /// [`Self::partitions`], so [`Self::quiet_after`] sees the final heal.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`leopard_simnet::flapping_windows`] validity rules (positive
+    /// period, at least one cycle, duty strictly between 0 and 1) or if the regions
+    /// are equal.
+    pub fn with_flapping_partition(
+        mut self,
+        region_a: usize,
+        region_b: usize,
+        start: SimDuration,
+        period: SimDuration,
+        duty: f64,
+        cycles: usize,
+    ) -> Self {
+        assert!(
+            region_a != region_b,
+            "with_flapping_partition: cannot partition region {region_a} from itself"
+        );
+        for (at, until) in leopard_simnet::flapping_windows(SimTime::ZERO + start, period, duty, cycles)
+        {
+            self.partitions.push((
+                region_a,
+                region_b,
+                at.saturating_since(SimTime::ZERO),
+                until.saturating_since(SimTime::ZERO),
+            ));
+        }
+        self
+    }
+
+    /// Number of scheduled disturbances: the leader crash, each crash-restart window,
+    /// each partition window and each Byzantine replica. The default view-change
+    /// thrash bound scales with this.
+    pub fn disturbance_count(&self) -> usize {
+        usize::from(self.leader_crash_at.is_some())
+            + self.crash_restarts.len()
+            + self.partitions.len()
+            + self.byzantine.len()
+    }
+
+    /// The view-change-thrash bound in effect: the explicit override, or
+    /// `4 + 4 × `[`Self::disturbance_count`].
+    pub fn effective_view_thrash_bound(&self) -> u64 {
+        self.view_thrash_bound
+            .unwrap_or(4 + 4 * self.disturbance_count() as u64)
+    }
+
+    /// The instants at which scheduled disturbances begin or end (crash instants,
+    /// restart instants, partition edges, the leader crash), sorted and deduplicated.
+    /// The per-disturbance view accounting buckets view entries between consecutive
+    /// instants.
+    pub fn disturbance_instants(&self) -> Vec<SimTime> {
+        let mut instants = Vec::new();
+        if let Some(at) = self.leader_crash_at {
+            instants.push(SimTime::ZERO + at);
+        }
+        for &(_, at, until) in &self.crash_restarts {
+            instants.push(SimTime::ZERO + at);
+            instants.push(SimTime::ZERO + until);
+        }
+        for &(_, _, from, until) in &self.partitions {
+            instants.push(SimTime::ZERO + from);
+            instants.push(SimTime::ZERO + until);
+        }
+        instants.sort();
+        instants.dedup();
+        instants
     }
 
     /// The instant the last scheduled disturbance acts: crash instants, restart
@@ -438,6 +539,9 @@ impl ScenarioConfig {
         };
         config.crypto_mode = self.crypto_mode;
         config.cost_model = self.cost_model;
+        if let Some(timeout) = self.progress_timeout {
+            config.progress_timeout = timeout;
+        }
         // Scale-aware retrieval timeout: disseminating one datablock to `n − 1` peers
         // serialises `(n−1)·α` bytes through the producer's uplink, which at paper
         // scale exceeds the 100 ms default (≈ 114 ms at n = 256, ≈ 250 ms at n = 600).
@@ -556,6 +660,14 @@ pub struct ScenarioReport {
     pub leader_bandwidth_bps: f64,
     /// Number of view changes observed (across all replicas).
     pub view_changes: u64,
+    /// Number of distinct views the system entered beyond the initial one (each view
+    /// counted once however many replicas entered it). The view-change thrash
+    /// invariant bounds the per-replica equivalent of this figure.
+    pub views_entered: u64,
+    /// The most distinct views entered within any one disturbance window (windows are
+    /// delimited by [`ScenarioConfig::disturbance_instants`]; with no disturbances the
+    /// whole run is one window).
+    pub max_views_per_disturbance: u64,
     /// Average view-change completion time in seconds, if any completed.
     pub average_view_change_secs: Option<f64>,
     /// Total bytes of view-change traffic (timeout + view-change + new-view messages).
@@ -622,6 +734,32 @@ impl ScenarioReport {
             .iter()
             .filter(|o| matches!(o.kind, ObservationKind::ViewChange { .. }))
             .count() as u64;
+        // Distinct views entered (with the instant the first replica entered each),
+        // and the densest disturbance window. A healthy recovery enters one or two
+        // views per disturbance; thrash shows up here long before the invariant fires.
+        let mut first_entered: std::collections::BTreeMap<u64, SimTime> =
+            std::collections::BTreeMap::new();
+        for observation in &sim.metrics.observations {
+            if let ObservationKind::ViewChange { view } = observation.kind {
+                let at = first_entered.entry(view).or_insert(observation.at);
+                *at = (*at).min(observation.at);
+            }
+        }
+        let views_entered = first_entered.len() as u64;
+        let mut instants = config.disturbance_instants();
+        instants.insert(0, SimTime::ZERO);
+        let max_views_per_disturbance = instants
+            .windows(2)
+            .map(|w| (w[0], Some(w[1])))
+            .chain(std::iter::once((*instants.last().expect("non-empty"), None)))
+            .map(|(from, until)| {
+                first_entered
+                    .values()
+                    .filter(|&&at| at >= from && until.map_or(true, |u| at < u))
+                    .count() as u64
+            })
+            .max()
+            .unwrap_or(0);
         let view_change_samples: Vec<u64> = sim.metrics.custom_samples("view_change_nanos");
         let average_view_change_secs = if view_change_samples.is_empty() {
             None
@@ -688,6 +826,8 @@ impl ScenarioReport {
             regions,
             leader_bandwidth_bps,
             view_changes,
+            views_entered,
+            max_views_per_disturbance,
             average_view_change_secs,
             view_change_bytes,
             retrievals,
@@ -795,8 +935,8 @@ impl ScenarioReport {
 }
 
 /// Runs Leopard under the given scenario and asserts the invariant checker found
-/// nothing: any safety fork, post-quiesce liveness stall or unretrievable datablock
-/// panics with the rendered violations. Every experiment goes through this runner, so
+/// nothing: any safety fork, post-quiesce liveness stall, unretrievable datablock or
+/// view-change thrash panics with the rendered violations. Every experiment goes through this runner, so
 /// all published figures come from runs that passed the checker.
 ///
 /// # Panics
@@ -833,7 +973,14 @@ pub fn run_leopard_scenario_unchecked(config: &ScenarioConfig) -> ScenarioReport
         LeopardReplica::new(id, replica_config, shared.clone())
     });
     sim.run_until(SimTime::ZERO + config.duration, config.max_events);
-    let snapshot = SystemSnapshot::capture(&sim, config.n, config.quiet_after(), stall_bound);
+    let snapshot = SystemSnapshot::capture(
+        &sim,
+        config.n,
+        config.quiet_after(),
+        stall_bound,
+        config.disturbance_count(),
+        config.effective_view_thrash_bound(),
+    );
     let violations: Vec<String> = snapshot.check().iter().map(ToString::to_string).collect();
     let report = sim.into_report();
     let mut report = ScenarioReport::from_sim("leopard", config, report);
@@ -952,6 +1099,68 @@ mod tests {
         let plan = config.faults();
         assert_eq!(plan.crash_windows().len(), 1);
         assert_eq!(plan.partitions().len(), 1);
+    }
+
+    #[test]
+    fn flapping_partition_builder_expands_to_cycle_windows() {
+        let config = ScenarioConfig::small(8)
+            .with_wan_regions(&["us-east", "eu-west"])
+            .with_flapping_partition(
+                0,
+                1,
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(400),
+                0.5,
+                3,
+            );
+        assert_eq!(config.partitions.len(), 3);
+        assert_eq!(
+            config.partitions[0],
+            (0, 1, SimDuration::from_millis(500), SimDuration::from_millis(700))
+        );
+        assert_eq!(
+            config.partitions[2],
+            (0, 1, SimDuration::from_millis(1300), SimDuration::from_millis(1500))
+        );
+        // quiet_after is the LAST heal of the flap.
+        assert_eq!(config.quiet_after(), SimTime::ZERO + SimDuration::from_millis(1500));
+        // 3 partition windows = 3 disturbances; default thrash bound scales with them.
+        assert_eq!(config.disturbance_count(), 3);
+        assert_eq!(config.effective_view_thrash_bound(), 16);
+        assert_eq!(config.disturbance_instants().len(), 6);
+        let plan = config.faults();
+        assert_eq!(plan.partitions().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_flapping_partition: cannot partition region 0 from itself")]
+    fn flapping_partition_builder_rejects_self_region() {
+        let _ = ScenarioConfig::small(8).with_flapping_partition(
+            0,
+            0,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(400),
+            0.5,
+            3,
+        );
+    }
+
+    #[test]
+    fn leader_crash_reports_views_entered() {
+        let config = ScenarioConfig::small(4)
+            .with_leader_crash_at(SimDuration::from_millis(300))
+            .with_duration(SimDuration::from_secs(5));
+        let report = run_leopard_scenario(&config);
+        // One leader crash consumes exactly one view (view 1 -> view 2).
+        assert_eq!(report.views_entered, 1, "views entered: {}", report.views_entered);
+        assert_eq!(report.max_views_per_disturbance, 1);
+    }
+
+    #[test]
+    fn healthy_run_enters_no_views() {
+        let report = run_leopard_scenario(&ScenarioConfig::small(4));
+        assert_eq!(report.views_entered, 0);
+        assert_eq!(report.max_views_per_disturbance, 0);
     }
 
     #[test]

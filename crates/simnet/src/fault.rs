@@ -10,8 +10,46 @@
 //! withholding) is implemented inside the protocol crates; this module only interferes
 //! with message delivery.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use leopard_types::NodeId;
+
+/// The severed windows of a flapping partition: `cycles` repetitions of
+/// `period`, each severed for the first `duty` fraction and healed for the rest.
+/// Cycle `k` is severed over `[start + k·period, start + k·period + duty·period)`.
+/// Shared by [`FaultPlan::with_flapping_partition`] and the harness scenario builder
+/// so both validate identically.
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero, `period` is zero, or `duty` is outside `(0, 1)`
+/// (a full-duty cycle would fuse adjacent windows into one long partition and a
+/// zero-duty cycle would sever nothing — both are almost certainly configuration
+/// mistakes).
+pub fn flapping_windows(
+    start: SimTime,
+    period: SimDuration,
+    duty: f64,
+    cycles: usize,
+) -> Vec<(SimTime, SimTime)> {
+    assert!(cycles > 0, "flapping_windows: need at least one cycle");
+    assert!(period.as_nanos() > 0, "flapping_windows: period must be positive");
+    assert!(
+        duty > 0.0 && duty < 1.0,
+        "flapping_windows: duty fraction {duty} must lie strictly between 0 and 1"
+    );
+    let severed = (period.as_nanos() as f64 * duty) as u64;
+    assert!(
+        severed > 0 && severed < period.as_nanos(),
+        "flapping_windows: duty fraction {duty} of period {period:?} leaves no whole \
+         nanosecond severed or healed"
+    );
+    (0..cycles)
+        .map(|k| {
+            let at = start + SimDuration::from_nanos(k as u64 * period.as_nanos());
+            (at, at + SimDuration::from_nanos(severed))
+        })
+        .collect()
+}
 
 /// The fate of a message decided by a [`FaultPlan`] filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +210,32 @@ impl FaultPlan {
             at: from,
             until,
         });
+        self
+    }
+
+    /// A flapping link: `cycles` repeated partition/heal windows between `region_a`
+    /// and `region_b`, starting at `start`, one per `period`, each severed for the
+    /// first `duty` fraction of its period (see [`flapping_windows`]). Repeated
+    /// partition/heal cycles stress the state-sync cooldown far harder than one long
+    /// partition healed once.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`flapping_windows`] validity rules, plus the usual
+    /// [`Self::with_partition`] rules for each generated window (distinct regions;
+    /// region-range validation happens in [`crate::Simulation::new`]).
+    pub fn with_flapping_partition(
+        mut self,
+        region_a: usize,
+        region_b: usize,
+        start: SimTime,
+        period: SimDuration,
+        duty: f64,
+        cycles: usize,
+    ) -> Self {
+        for (at, until) in flapping_windows(start, period, duty, cycles) {
+            self = self.with_partition(region_a, region_b, at, until);
+        }
         self
     }
 
@@ -343,6 +407,76 @@ mod tests {
     #[should_panic(expected = "with_partition: cannot partition region 1 from itself")]
     fn self_partition_panics() {
         let _ = FaultPlan::none().with_partition(1, 1, SimTime(0), SimTime(100));
+    }
+
+    #[test]
+    fn flapping_partition_severs_and_heals_each_cycle() {
+        // 3 cycles of 1000 ns, severed for the first 400 ns of each.
+        let plan = FaultPlan::none().with_flapping_partition(
+            0,
+            1,
+            SimTime(2000),
+            SimDuration::from_nanos(1000),
+            0.4,
+            3,
+        );
+        assert_eq!(plan.partitions().len(), 3);
+        for k in 0..3u64 {
+            let base = 2000 + k * 1000;
+            assert!(!plan.is_partitioned(SimTime(base - 1), 0, 1), "cycle {k} starts early");
+            assert!(plan.is_partitioned(SimTime(base), 0, 1), "cycle {k} not severed");
+            assert!(plan.is_partitioned(SimTime(base + 399), 0, 1), "cycle {k} healed early");
+            assert!(!plan.is_partitioned(SimTime(base + 400), 0, 1), "cycle {k} healed late");
+            assert!(!plan.is_partitioned(SimTime(base + 999), 0, 1), "cycle {k} gap severed");
+        }
+        // Nothing flaps after the last cycle.
+        assert!(!plan.is_partitioned(SimTime(5000), 0, 1));
+    }
+
+    #[test]
+    fn flapping_windows_are_disjoint_and_ordered() {
+        // Adjacent windows must never touch: each cycle keeps a healed gap, so the
+        // state-sync path genuinely observes a heal edge between severed spans.
+        let windows =
+            flapping_windows(SimTime(0), SimDuration::from_nanos(10), 0.9, 5);
+        assert_eq!(windows.len(), 5);
+        for pair in windows.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "windows {pair:?} overlap or touch");
+        }
+        // Duty 0.9 of 10 ns severs 9 ns and heals 1 ns.
+        assert_eq!(windows[0], (SimTime(0), SimTime(9)));
+        assert_eq!(windows[4], (SimTime(40), SimTime(49)));
+    }
+
+    #[test]
+    #[should_panic(expected = "flapping_windows: duty fraction")]
+    fn full_duty_flapping_panics() {
+        let _ = flapping_windows(SimTime(0), SimDuration::from_nanos(1000), 1.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flapping_windows: duty fraction")]
+    fn zero_duty_flapping_panics() {
+        let _ = flapping_windows(SimTime(0), SimDuration::from_nanos(1000), 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flapping_windows: need at least one cycle")]
+    fn zero_cycle_flapping_panics() {
+        let _ = flapping_windows(SimTime(0), SimDuration::from_nanos(1000), 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_partition: cannot partition region 2 from itself")]
+    fn self_region_flapping_panics() {
+        let _ = FaultPlan::none().with_flapping_partition(
+            2,
+            2,
+            SimTime(0),
+            SimDuration::from_nanos(1000),
+            0.5,
+            2,
+        );
     }
 
     #[test]

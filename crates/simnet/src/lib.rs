@@ -37,7 +37,7 @@ pub mod runtime;
 pub mod sim;
 pub mod time;
 
-pub use fault::{CrashWindow, FaultPlan, MessageFate, PartitionWindow};
+pub use fault::{flapping_windows, CrashWindow, FaultPlan, MessageFate, PartitionWindow};
 pub use metrics::{LatencyHistogram, MetricsSink, Observation, ObservationKind, TrafficMatrix};
 pub use network::{LinkConfig, NetworkConfig, ResolvedTopology, StragglerProfile, Topology};
 pub use protocol::{Context, ProgressProbe, Protocol, SimMessage};

@@ -18,7 +18,10 @@
 //! jitter values in the same order as the old scalar model. The `fig9geo` golden below
 //! was captured once when the geo-distributed path landed.
 
-use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use leopard::harness::chaos::FaultScheduleGenerator;
+use leopard::harness::scenario::{
+    run_hotstuff_scenario, run_leopard_scenario, run_leopard_scenario_unchecked, ScenarioConfig,
+};
 use leopard::harness::experiments::FIG9GEO_REGIONS;
 
 struct Golden {
@@ -131,6 +134,53 @@ fn leopard_fig9geo_point_matches_captured_golden() {
             recv_bytes: 844_733_759,
         },
     );
+}
+
+/// One chaos-engine case: seed 7, case 142 at n = 16 — the schedule (two overlapping
+/// crash-restart windows plus a flapping region partition on a 4-region WAN) that
+/// historically wedged recovery hardest. Captured when the chaos engine landed (PR 7);
+/// pins the fault-schedule generator's draws, the crash/partition delivery model and
+/// every recovery path the schedule exercises (state transfer, re-proposal
+/// endorsement, deferred PrePrepares, the checkpoint watermark jump) all at once.
+/// Sent and received totals differ here by design: crashes and partition windows drop
+/// in-flight bytes.
+#[test]
+fn chaos_case_matches_captured_golden() {
+    let schedule = FaultScheduleGenerator::new(16, 7).schedule(142);
+    let report = run_leopard_scenario_unchecked(&schedule.to_config());
+    assert_eq!(report.violations, Vec::<String>::new(), "chaos case 142 regressed");
+    assert_eq!(report.sim.events, 86_385, "chaos golden: events drifted");
+    assert_eq!(report.confirmed_requests, 42_800, "chaos golden: confirmed drifted");
+    assert_eq!(
+        report.sim.metrics.traffic.total_sent_bytes(),
+        245_403_695,
+        "chaos golden: sent bytes drifted"
+    );
+    assert_eq!(
+        report.sim.metrics.traffic.total_received_bytes(),
+        237_660_959,
+        "chaos golden: received bytes drifted"
+    );
+    assert_eq!(report.views_entered, 2);
+    assert_eq!(report.max_views_per_disturbance, 2);
+}
+
+/// Two chaos runs of the same seeded schedule are bit-identical — the property the
+/// one-line reproducer printed for a violating case depends on.
+#[test]
+fn repeated_chaos_runs_are_bit_identical() {
+    let run = || {
+        let schedule = FaultScheduleGenerator::new(16, 7).schedule(17);
+        let report = run_leopard_scenario_unchecked(&schedule.to_config());
+        (
+            report.sim.events,
+            report.confirmed_requests,
+            report.views_entered,
+            report.violations.clone(),
+            report.sim.metrics.traffic.total_sent_bytes(),
+        )
+    };
+    assert_eq!(run(), run());
 }
 
 /// Two runs with the same seed agree on everything the golden constants pin down, at a
