@@ -28,10 +28,16 @@
 //! experiment suite inside its stated time budget (see `EXPERIMENTS.md`), so a
 //! performance regression in the simulator or a protocol hot path fails the build
 //! instead of quietly making every future benchmark run slower.
+//!
+//! `--parallel` runs every scenario on the parallel engine (same-instant event batches
+//! on worker threads; see `DESIGN.md` §10). Results are bit-identical to the default
+//! sequential engine — the flag is purely a wall-clock knob for large-`n` sweeps.
 
 use leopard_harness::chaos::ChaosOverrides;
 use leopard_harness::experiments::{run_experiment_with, EXPERIMENT_IDS};
-use leopard_harness::report::{bench_records_to_json, BenchRecord};
+use leopard_harness::report::{bench_records_to_json, peak_rss_bytes, BenchRecord};
+use leopard_harness::scenario::set_default_parallel;
+use leopard_simnet::global_events_processed;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -47,6 +53,7 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => {}
+            "--parallel" => set_default_parallel(true),
             "--bench-json" => match iter.next() {
                 Some(path) => bench_json = Some(PathBuf::from(path)),
                 None => {
@@ -103,10 +110,18 @@ fn main() {
     let mut failures = 0usize;
     for id in ids {
         eprintln!("running experiment {id} ({}) ...", if full { "full" } else { "quick" });
+        let events_before = global_events_processed();
         let start = Instant::now();
         match run_experiment_with(id, !full, &chaos) {
             Some(table) => {
                 let wall_clock_secs = start.elapsed().as_secs_f64();
+                let events = global_events_processed() - events_before;
+                let events_per_sec = if wall_clock_secs > 0.0 {
+                    events as f64 / wall_clock_secs
+                } else {
+                    0.0
+                };
+                let peak_memory_bytes = peak_rss_bytes();
                 println!("{}", table.to_text());
                 if let Some(substr) = &require_nonzero {
                     failures += check_nonzero_columns(&table, substr);
@@ -115,10 +130,16 @@ fn main() {
                     Ok(path) => eprintln!("  wrote {}", path.display()),
                     Err(error) => eprintln!("  could not write CSV: {error}"),
                 }
-                eprintln!("  wall clock: {wall_clock_secs:.3}s");
+                eprintln!(
+                    "  wall clock: {wall_clock_secs:.3}s ({:.2} Mev/s, peak RSS {} MB)",
+                    events_per_sec / 1e6,
+                    peak_memory_bytes / 1_000_000
+                );
                 records.push(BenchRecord {
                     id: id.to_string(),
                     wall_clock_secs,
+                    events_per_sec,
+                    peak_memory_bytes,
                     table,
                 });
             }

@@ -9,8 +9,7 @@
 use crate::instance::ShareCollector;
 use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
 use leopard_crypto::{hash_parts, Digest};
-use leopard_types::SeqNum;
-use std::collections::HashMap;
+use leopard_types::{FastMap, SeqNum};
 
 /// The digest replicas sign for a checkpoint at `seq` with execution-state digest
 /// `state`.
@@ -30,7 +29,7 @@ pub struct CheckpointState {
     /// Leader-side share collection per candidate checkpoint, keyed by the full
     /// `(seq, state)` claim so an equivocating replica's divergent digest collects in
     /// its own (never-completing) bucket instead of blocking the honest quorum.
-    collecting: HashMap<(SeqNum, Digest), ShareCollector>,
+    collecting: FastMap<(SeqNum, Digest), ShareCollector>,
 }
 
 impl CheckpointState {

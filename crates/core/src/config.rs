@@ -54,6 +54,12 @@ pub struct LeopardConfig {
     /// Confirmation-progress watchdog: if no BFTblock is confirmed for this long while
     /// work is outstanding, the replica complains (timeout message → view-change).
     pub progress_timeout: SimDuration,
+    /// Stop generating client traffic at this offset from the start of the run, or
+    /// `None` to offer load for the whole run. The large-scale sweeps (`fig9xl`) use
+    /// this as a drain window: at n ≥ 2000 disseminating one datablock takes a large
+    /// fraction of the run, so load must stop early enough that in-flight datablocks
+    /// land before the end-of-run invariant snapshot judges availability.
+    pub workload_stop: Option<SimDuration>,
     /// Checkpoint period in BFTblocks (the paper uses `k / 2`).
     pub checkpoint_interval: u64,
     /// Byzantine behaviour injected into this replica (honest by default).
@@ -78,6 +84,7 @@ impl LeopardConfig {
             propose_interval: SimDuration::from_millis(20),
             retrieval_timeout: SimDuration::from_millis(100),
             progress_timeout: SimDuration::from_secs(2),
+            workload_stop: None,
             byzantine: ByzantineBehavior::Honest,
             crypto_mode: CryptoMode::Real,
             cost_model: CostModelKind::Calibrated,
@@ -97,6 +104,7 @@ impl LeopardConfig {
             propose_interval: SimDuration::from_millis(10),
             retrieval_timeout: SimDuration::from_millis(50),
             progress_timeout: SimDuration::from_millis(500),
+            workload_stop: None,
             checkpoint_interval: 8,
             byzantine: ByzantineBehavior::Honest,
             crypto_mode: CryptoMode::Real,

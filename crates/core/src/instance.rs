@@ -4,15 +4,14 @@
 use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
 use leopard_crypto::Digest;
 use leopard_simnet::SimTime;
-use leopard_types::{BftBlock, BlockState};
-use std::collections::HashSet;
+use leopard_types::{BftBlock, BlockState, FastSet};
 use std::sync::Arc;
 
 /// A set of signature shares with signer de-duplication.
 #[derive(Debug, Default, Clone)]
 pub struct ShareCollector {
     shares: Vec<SignatureShare>,
-    signers: HashSet<usize>,
+    signers: FastSet<usize>,
 }
 
 impl ShareCollector {
@@ -118,7 +117,7 @@ pub struct ReplicaInstance {
     /// True once the second-round vote was cast.
     pub commit_voted: bool,
     /// Digests of linked datablocks this replica has not received yet.
-    pub missing_links: HashSet<Digest>,
+    pub missing_links: FastSet<Digest>,
     /// The notarization proof once received.
     pub notarization: Option<CombinedSignature>,
     /// Digest of the notarization proof.
@@ -152,7 +151,7 @@ impl ReplicaInstance {
             state: BlockState::Proposed,
             prepare_voted: false,
             commit_voted: false,
-            missing_links: HashSet::new(),
+            missing_links: FastSet::default(),
             notarization: None,
             notarization_digest: None,
             confirmation: None,

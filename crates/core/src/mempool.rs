@@ -7,8 +7,8 @@
 //! submission → execution latency of exactly the requests it injected.
 
 use leopard_simnet::SimTime;
-use leopard_types::{ClientId, Request, RequestId};
-use std::collections::{HashMap, VecDeque};
+use leopard_types::{ClientId, FastMap, Request, RequestId};
+use std::collections::VecDeque;
 
 /// Pending-request buffer plus the client stub's latency bookkeeping.
 #[derive(Debug)]
@@ -19,7 +19,7 @@ pub struct Mempool {
     queue: VecDeque<Request>,
     /// Requests injected by the local client stub that have not been executed yet,
     /// keyed by id, with their submission time.
-    outstanding: HashMap<RequestId, SimTime>,
+    outstanding: FastMap<RequestId, SimTime>,
 }
 
 impl Mempool {
@@ -30,7 +30,7 @@ impl Mempool {
             payload_size,
             next_seq: 0,
             queue: VecDeque::new(),
-            outstanding: HashMap::new(),
+            outstanding: FastMap::default(),
         }
     }
 

@@ -2,8 +2,8 @@
 //! bookkeeping (`readyblockPool`).
 
 use leopard_crypto::Digest;
-use leopard_types::{Datablock, NodeId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use leopard_types::{Datablock, FastMap, FastSet, NodeId};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Storage of received datablocks, indexed by digest, with per-producer counter
@@ -11,8 +11,8 @@ use std::sync::Arc;
 /// Algorithm 1).
 #[derive(Debug, Default)]
 pub struct DatablockPool {
-    by_digest: HashMap<Digest, Arc<Datablock>>,
-    seen_counters: HashMap<NodeId, HashSet<u64>>,
+    by_digest: FastMap<Digest, Arc<Datablock>>,
+    seen_counters: FastMap<NodeId, FastSet<u64>>,
 }
 
 impl DatablockPool {
@@ -75,10 +75,10 @@ impl DatablockPool {
 /// by a BFTblock yet.
 #[derive(Debug, Default)]
 pub struct ReadyTracker {
-    acks: HashMap<Digest, HashSet<NodeId>>,
+    acks: FastMap<Digest, FastSet<NodeId>>,
     ready_queue: VecDeque<Digest>,
-    queued: HashSet<Digest>,
-    linked: HashSet<Digest>,
+    queued: FastSet<Digest>,
+    linked: FastSet<Digest>,
 }
 
 impl ReadyTracker {
@@ -133,12 +133,12 @@ impl ReadyTracker {
 
     /// How many distinct replicas acknowledged `digest`.
     pub fn ack_count(&self, digest: &Digest) -> usize {
-        self.acks.get(digest).map_or(0, HashSet::len)
+        self.acks.get(digest).map_or(0, FastSet::len)
     }
 
     /// Drops bookkeeping for the given digests (after checkpointing).
     pub fn prune(&mut self, digests: impl IntoIterator<Item = Digest>) {
-        let mut dropped = HashSet::new();
+        let mut dropped = FastSet::default();
         for digest in digests {
             self.acks.remove(&digest);
             self.linked.remove(&digest);

@@ -26,9 +26,9 @@ use leopard_crypto::provider::{BatchOutcome, ComputeCost};
 use leopard_crypto::threshold::{CombinedSignature, SignatureShare};
 use leopard_crypto::{hash_parts, Digest};
 use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
-use leopard_types::{BftBlock, BlockState, ClientId, Datablock, NodeId, SeqNum, View, WireSize};
+use leopard_types::{BftBlock, BlockState, ClientId, Datablock, FastMap, NodeId, SeqNum, View, WireSize};
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Periodic timer tokens.
@@ -71,7 +71,7 @@ pub struct LeopardReplica {
     checkpoints: CheckpointState,
     retrieval: RetrievalManager,
     datablock_counter: u64,
-    own_datablocks: HashMap<Digest, DatablockTiming>,
+    own_datablocks: FastMap<Digest, DatablockTiming>,
 
     // --- log / execution ---
     log: BTreeMap<u64, Arc<BftBlock>>,
@@ -189,7 +189,7 @@ impl LeopardReplica {
             checkpoints: CheckpointState::new(),
             retrieval: RetrievalManager::new(),
             datablock_counter: 1,
-            own_datablocks: HashMap::new(),
+            own_datablocks: FastMap::default(),
             log: BTreeMap::new(),
             last_executed: SeqNum(0),
             confirmed_requests: 0,
@@ -369,6 +369,13 @@ impl LeopardReplica {
     fn generate_datablocks(&mut self, ctx: &mut Ctx<'_>) {
         if self.is_leader() || self.in_view_change {
             return;
+        }
+        if let Some(stop) = self.config.workload_stop {
+            // Drain window: past the stop offset no new datablocks enter the system,
+            // so everything already in flight can land before the run ends.
+            if ctx.now().saturating_since(SimTime::ZERO) >= stop {
+                return;
+            }
         }
         if let WorkloadMode::Saturated { .. } = self.config.workload {
             // Saturated clients always have a full datablock's worth of requests ready.

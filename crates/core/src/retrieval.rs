@@ -21,8 +21,8 @@ use leopard_crypto::provider::{ComputeCost, CryptoProvider};
 use leopard_crypto::{Digest, MerkleProof, MerkleTree};
 use leopard_erasure::ReedSolomon;
 use leopard_simnet::{SimDuration, SimTime};
-use leopard_types::{Datablock, Decode, Encode, NodeId, SeqNum};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use leopard_types::{Datablock, Decode, Encode, FastMap, FastSet, NodeId, SeqNum};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A chunk of an erasure-coded datablock, as produced by [`encode_response`].
@@ -118,11 +118,11 @@ impl CachedEncoding {
 #[derive(Debug)]
 struct PendingRetrieval {
     /// Serial numbers of BFTblocks waiting for this datablock.
-    waiting: HashSet<SeqNum>,
+    waiting: FastSet<SeqNum>,
     /// Valid chunks collected so far, grouped by Merkle root.
-    chunks: HashMap<Digest, BTreeMap<u32, Vec<u8>>>,
+    chunks: FastMap<Digest, BTreeMap<u32, Vec<u8>>>,
     /// Declared encoded length per root.
-    payload_len: HashMap<Digest, u64>,
+    payload_len: FastMap<Digest, u64>,
     /// The datablock itself, carried by reference in metered responses.
     metered_datablock: Option<Arc<Datablock>>,
     /// When the datablock was first discovered missing.
@@ -144,18 +144,18 @@ pub const REQUERY_TIMEOUTS: u64 = 8;
 /// encoding cache.
 #[derive(Debug, Default)]
 pub struct RetrievalManager {
-    pending: HashMap<Digest, PendingRetrieval>,
+    pending: FastMap<Digest, PendingRetrieval>,
     /// Reed–Solomon codes by `(data_shards, total_shards)`; the parameters are fixed
     /// per run, so the Vandermonde construction happens once per replica, not once per
     /// response or decode.
-    codes: HashMap<(usize, usize), ReedSolomon>,
+    codes: FastMap<(usize, usize), ReedSolomon>,
     /// Responder-side responses by datablock digest, so serving `k` queriers encodes
     /// and Merkle-hashes the datablock once instead of `k` times (in metered mode, so
     /// the *charged* encoding cost is paid once, mirroring the real cache). Only the
     /// chunk actually served is retained (a replica always responds with its own
     /// shard), not the full shard set; the cached `(responder, data_shards,
     /// total_shards)` guards against a mismatched lookup.
-    chunks_served: HashMap<Digest, ((NodeId, usize, usize), CachedServe)>,
+    chunks_served: FastMap<Digest, ((NodeId, usize, usize), CachedServe)>,
 }
 
 /// A cached, ready-to-send retrieval response (real or metered).
@@ -218,14 +218,14 @@ impl RetrievalManager {
                 false
             }
             None => {
-                let mut waiting = HashSet::new();
+                let mut waiting = FastSet::default();
                 waiting.insert(seq);
                 self.pending.insert(
                     digest,
                     PendingRetrieval {
                         waiting,
-                        chunks: HashMap::new(),
-                        payload_len: HashMap::new(),
+                        chunks: FastMap::default(),
+                        payload_len: FastMap::default(),
                         metered_datablock: None,
                         started_at: now,
                         last_query: None,
@@ -291,7 +291,7 @@ impl RetrievalManager {
     /// the cached responses (whose metered variant pins an `Arc<Datablock>` that must
     /// not outlive the pool's copy).
     pub fn prune(&mut self, executed: impl IntoIterator<Item = Digest>) {
-        let executed: HashSet<Digest> = executed.into_iter().collect();
+        let executed: FastSet<Digest> = executed.into_iter().collect();
         if executed.is_empty() {
             return;
         }
@@ -300,7 +300,7 @@ impl RetrievalManager {
 
     /// The `(data_shards, total_shards)` code, constructed on first use.
     fn code_for(
-        codes: &mut HashMap<(usize, usize), ReedSolomon>,
+        codes: &mut FastMap<(usize, usize), ReedSolomon>,
         data_shards: usize,
         total_shards: usize,
     ) -> Option<&ReedSolomon> {

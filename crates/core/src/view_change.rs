@@ -8,8 +8,8 @@
 
 use crate::messages::NotarizedEntry;
 use leopard_crypto::{hash_parts, Digest};
-use leopard_types::{NodeId, SeqNum, View, WireSize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use leopard_types::{FastMap, FastSet, NodeId, SeqNum, View, WireSize};
+use std::collections::BTreeMap;
 
 /// The digest a replica signs when complaining that `view` made no progress.
 pub fn timeout_digest(view: View) -> Digest {
@@ -20,15 +20,15 @@ pub fn timeout_digest(view: View) -> Digest {
 #[derive(Debug, Default)]
 pub struct ViewChangeState {
     /// Which replicas sent a timeout for each view.
-    timeouts: HashMap<u64, HashSet<NodeId>>,
+    timeouts: FastMap<u64, FastSet<NodeId>>,
     /// Views for which this replica already multicast its own timeout.
-    complained: HashSet<u64>,
+    complained: FastSet<u64>,
     /// Views this replica has already abandoned (sent its view-change message for).
-    abandoned: HashSet<u64>,
+    abandoned: FastSet<u64>,
     /// View-change messages received by the prospective leader of each view.
-    view_changes: HashMap<u64, BTreeMap<u32, (SeqNum, Vec<NotarizedEntry>, usize)>>,
+    view_changes: FastMap<u64, BTreeMap<u32, (SeqNum, Vec<NotarizedEntry>, usize)>>,
     /// Views for which this replica (as next leader) already sent a new-view.
-    new_view_sent: HashSet<u64>,
+    new_view_sent: FastSet<u64>,
 }
 
 impl ViewChangeState {
@@ -47,7 +47,7 @@ impl ViewChangeState {
 
     /// Number of distinct timeout complaints recorded for `view`.
     pub fn timeout_count(&self, view: View) -> usize {
-        self.timeouts.get(&view.0).map_or(0, HashSet::len)
+        self.timeouts.get(&view.0).map_or(0, FastSet::len)
     }
 
     /// Returns true the first time this replica decides to complain about `view`

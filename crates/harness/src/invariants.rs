@@ -26,8 +26,7 @@
 use leopard_core::LeopardReplica;
 use leopard_crypto::Digest;
 use leopard_simnet::{SimDuration, SimTime, Simulation};
-use leopard_types::NodeId;
-use std::collections::HashSet;
+use leopard_types::{FastSet, NodeId};
 use std::fmt;
 
 /// One invariant violation found by [`SystemSnapshot::check`].
@@ -158,7 +157,7 @@ pub struct ReplicaSnapshot {
     /// The confirmed log: `(seq, block digest, linked datablock digests)`.
     pub log: Vec<(u64, Digest, Vec<Digest>)>,
     /// Digests of the datablocks in the replica's pool.
-    pub pool: HashSet<Digest>,
+    pub pool: FastSet<Digest>,
 }
 
 /// A checkable snapshot of the whole system at the end of a run.
@@ -259,7 +258,7 @@ impl SystemSnapshot {
         // links (including a dummy block replacing a confirmed one) are the real
         // safety violation.
         let mut canonical: HashMap<u64, (NodeId, Digest, &[Digest])> = HashMap::new();
-        let mut forked: HashSet<u64> = HashSet::new();
+        let mut forked: FastSet<u64> = FastSet::default();
         for replica in self.honest_replicas() {
             for (seq, digest, links) in &replica.log {
                 match canonical.get(seq) {

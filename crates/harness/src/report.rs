@@ -164,31 +164,59 @@ pub struct BenchRecord {
     pub id: String,
     /// Wall-clock seconds the experiment took to run.
     pub wall_clock_secs: f64,
+    /// Simulation events executed per wall-clock second over this experiment — the
+    /// engine-speed figure (as opposed to the protocol-throughput columns inside the
+    /// table). `0.0` when the experiment ran no simulation (the analytical tables).
+    pub events_per_sec: f64,
+    /// The process's peak resident set (bytes) observed after this experiment. The
+    /// kernel's high-water mark is monotone over the process lifetime, so this is
+    /// "the largest the suite had grown by the end of this experiment", not a
+    /// per-experiment delta.
+    pub peak_memory_bytes: u64,
     /// The result table (throughput columns included).
     pub table: Table,
 }
 
-/// Renders a benchmark run (profile + per-experiment wall clock and tables) as the
-/// `BENCH_*.json` trajectory document.
+/// Renders a benchmark run (profile + per-experiment wall clock, engine events/sec,
+/// peak RSS and tables) as the `BENCH_*.json` trajectory document
+/// (schema `leopard-bench/v2`; v1 lacked the two engine-speed fields).
 pub fn bench_records_to_json(profile: &str, records: &[BenchRecord]) -> String {
     let total: f64 = records.iter().map(|r| r.wall_clock_secs).sum();
     let entries: Vec<String> = records
         .iter()
         .map(|record| {
             format!(
-                "    {{\"id\":{},\"wall_clock_secs\":{:.3},\"table\":{}}}",
+                "    {{\"id\":{},\"wall_clock_secs\":{:.3},\"events_per_sec\":{:.0},\"peak_memory_bytes\":{},\"table\":{}}}",
                 json_string(&record.id),
                 record.wall_clock_secs,
+                record.events_per_sec,
+                record.peak_memory_bytes,
                 record.table.to_json()
             )
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"leopard-bench/v1\",\n  \"profile\": {},\n  \"total_wall_clock_secs\": {:.3},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"leopard-bench/v2\",\n  \"profile\": {},\n  \"total_wall_clock_secs\": {:.3},\n  \"experiments\": [\n{}\n  ]\n}}\n",
         json_string(profile),
         total,
         entries.join(",\n")
     )
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from `/proc/self/status`).
+/// Monotone over the process lifetime. Returns 0 where procfs is unavailable
+/// (non-Linux), so callers can gate on a zero rather than an `Option`.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 /// Formats a requests-per-second figure the way the paper's plots label it (Kreqs/sec).
@@ -271,14 +299,27 @@ mod tests {
         let records = vec![BenchRecord {
             id: "fig9".into(),
             wall_clock_secs: 1.25,
+            events_per_sec: 1_234_567.8,
+            peak_memory_bytes: 42 * 1024 * 1024,
             table,
         }];
         let json = bench_records_to_json("quick", &records);
-        assert!(json.contains("\"schema\": \"leopard-bench/v1\""));
+        assert!(json.contains("\"schema\": \"leopard-bench/v2\""));
         assert!(json.contains("\"profile\": \"quick\""));
         assert!(json.contains("\"id\":\"fig9\""));
         assert!(json.contains("\"wall_clock_secs\":1.250"));
+        assert!(json.contains("\"events_per_sec\":1234568"));
+        assert!(json.contains("\"peak_memory_bytes\":44040192"));
         assert!(json.contains("\"rows\":[[\"4\",\"100.0\"]]"));
         assert!(json.contains("\"total_wall_clock_secs\": 1.250"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test process has at least a page resident.
+            assert!(rss > 4096, "peak RSS {rss}");
+        }
     }
 }

@@ -8,10 +8,24 @@ use leopard_core::{config::WorkloadMode, LeopardConfig, LeopardReplica};
 use leopard_crypto::provider::CryptoMode;
 use leopard_hotstuff::{HotStuffConfig, HotStuffReplica};
 use leopard_simnet::{
-    FaultPlan, NetworkConfig, ObservationKind, ProgressProbe, SimDuration, SimTime, Simulation,
-    SimulationReport, StragglerProfile, Topology,
+    ExecutionMode, FaultPlan, NetworkConfig, ObservationKind, ProgressProbe, SimDuration, SimTime,
+    Simulation, SimulationReport, StragglerProfile, Topology,
 };
 use leopard_types::{CostModelKind, NodeId, ProtocolParams};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`ScenarioConfig::parallel`], set by the experiments
+/// binary's `--parallel` flag. The engines are bit-identical, so flipping this can
+/// never change a result — only the wall clock.
+static DEFAULT_PARALLEL: AtomicBool = AtomicBool::new(false);
+
+/// Makes every subsequently constructed [`ScenarioConfig`] default to the parallel
+/// engine ([`leopard_simnet::ExecutionMode::Parallel`], threads auto-sized). The
+/// opt-in behind the experiments binary's `--parallel` flag; individual scenarios can
+/// still override with [`ScenarioConfig::with_parallel`].
+pub fn set_default_parallel(parallel: bool) {
+    DEFAULT_PARALLEL.store(parallel, Ordering::Relaxed);
+}
 
 /// Description of one experiment run.
 #[derive(Debug, Clone)]
@@ -92,6 +106,15 @@ pub struct ScenarioConfig {
     /// engine shortens it so runs with consecutive faulty leaders recover within a
     /// few-second schedule; `None` keeps the protocol default.
     pub progress_timeout: Option<SimDuration>,
+    /// Stop offering client load at this offset while the run continues to
+    /// [`Self::duration`] (see [`Self::with_workload_stop`]); `None` offers load for
+    /// the whole run.
+    pub workload_stop: Option<SimDuration>,
+    /// Executes same-instant event batches on worker threads
+    /// ([`leopard_simnet::ExecutionMode::Parallel`]). Bit-identical to the default
+    /// sequential engine by construction — `tests/engine_equivalence.rs` guards it —
+    /// so this is purely a wall-clock knob for large-`n` sweeps.
+    pub parallel: bool,
 }
 
 impl ScenarioConfig {
@@ -128,6 +151,8 @@ impl ScenarioConfig {
             liveness_bound: None,
             view_thrash_bound: None,
             progress_timeout: None,
+            workload_stop: None,
+            parallel: DEFAULT_PARALLEL.load(Ordering::Relaxed),
         }
     }
 
@@ -159,6 +184,8 @@ impl ScenarioConfig {
             liveness_bound: None,
             view_thrash_bound: None,
             progress_timeout: None,
+            workload_stop: None,
+            parallel: DEFAULT_PARALLEL.load(Ordering::Relaxed),
         }
     }
 
@@ -277,6 +304,41 @@ impl ScenarioConfig {
     pub fn with_progress_timeout(mut self, timeout: SimDuration) -> Self {
         self.progress_timeout = Some(timeout);
         self
+    }
+
+    /// Runs the simulation's same-instant event batches on worker threads (thread
+    /// count auto-sized to the machine). The schedule, metrics and RNG draws stay
+    /// bit-identical to the sequential engine.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Overrides the event budget (the runaway-configuration safety valve). The
+    /// `fig9xl` sweep raises it: at n = 4000 a single dissemination wave alone is
+    /// tens of millions of events, comfortably past the default 50 M cap.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Stops offering client load at `stop` (an offset from the run start) while the
+    /// run itself continues to [`Self::duration`] — a drain window. The `fig9xl`
+    /// sweep needs one: at n ≥ 2000 a datablock's dissemination is a large fraction
+    /// of the run, and the end-of-run availability invariant must judge a quiesced
+    /// system, not honest datablocks still in flight (see `EXPERIMENTS.md`).
+    pub fn with_workload_stop(mut self, stop: SimDuration) -> Self {
+        self.workload_stop = Some(stop);
+        self
+    }
+
+    /// The execution mode the runners hand to the simulator.
+    fn execution_mode(&self) -> ExecutionMode {
+        if self.parallel {
+            ExecutionMode::Parallel { threads: 0 }
+        } else {
+            ExecutionMode::Sequential
+        }
     }
 
     /// A flapping link between `region_a` and `region_b` of the scenario's
@@ -542,6 +604,7 @@ impl ScenarioConfig {
         if let Some(timeout) = self.progress_timeout {
             config.progress_timeout = timeout;
         }
+        config.workload_stop = self.workload_stop;
         // Scale-aware retrieval timeout: disseminating one datablock to `n − 1` peers
         // serialises `(n−1)·α` bytes through the producer's uplink, which at paper
         // scale exceeds the 100 ms default (≈ 114 ms at n = 256, ≈ 250 ms at n = 600).
@@ -972,6 +1035,7 @@ pub fn run_leopard_scenario_unchecked(config: &ScenarioConfig) -> ScenarioReport
         }
         LeopardReplica::new(id, replica_config, shared.clone())
     });
+    sim.set_execution_mode(config.execution_mode());
     sim.run_until(SimTime::ZERO + config.duration, config.max_events);
     let snapshot = SystemSnapshot::capture(
         &sim,
@@ -994,7 +1058,8 @@ pub fn run_hotstuff_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let keys = hotstuff_config.shared_keys(config.seed);
     let sim = Simulation::new(config.network(), config.faults(), move |id| {
         HotStuffReplica::new(id, hotstuff_config.clone(), keys.clone())
-    });
+    })
+    .with_execution_mode(config.execution_mode());
     let report = sim.run_to_report(SimTime::ZERO + config.duration, config.max_events);
     ScenarioReport::from_sim("hotstuff", config, report)
 }

@@ -7,8 +7,8 @@ use leopard_crypto::provider::{BatchOutcome, ComputeCost};
 use leopard_crypto::threshold::SignatureShare;
 use leopard_crypto::Digest;
 use leopard_simnet::{Context, ObservationKind, ProgressProbe, Protocol, SimDuration, SimTime};
-use leopard_types::{ClientId, NodeId, Request, RequestId, View, WireSize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use leopard_types::{ClientId, FastMap, FastSet, NodeId, Request, RequestId, View, WireSize};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 const TOKEN_WORKLOAD: u64 = 1;
@@ -30,7 +30,7 @@ fn charge(ctx: &mut Ctx<'_>, cost: ComputeCost) {
 #[derive(Debug, Default)]
 struct VoteSet {
     shares: Vec<SignatureShare>,
-    voters: HashSet<usize>,
+    voters: FastSet<usize>,
 }
 
 /// A chained-HotStuff replica.
@@ -42,18 +42,18 @@ pub struct HotStuffReplica {
     view: View,
     /// Client stub (requests are submitted to the leader in HotStuff).
     mempool: VecDeque<Request>,
-    outstanding: HashMap<RequestId, SimTime>,
+    outstanding: FastMap<RequestId, SimTime>,
     next_request_seq: u64,
     injection_carry: f64,
 
     /// All blocks seen, by digest.
-    blocks: HashMap<Digest, Arc<HotStuffBlock>>,
+    blocks: FastMap<Digest, Arc<HotStuffBlock>>,
     /// QCs by certified block digest.
-    certificates: HashMap<Digest, QuorumCertificate>,
+    certificates: FastMap<Digest, QuorumCertificate>,
     /// The highest QC known.
     high_qc: QuorumCertificate,
     /// Leader: collected votes per block digest.
-    votes: HashMap<Digest, VoteSet>,
+    votes: FastMap<Digest, VoteSet>,
     /// Leader: digest of the proposal still waiting for its QC.
     awaiting_qc: Option<Digest>,
     /// When `awaiting_qc` was last set (progress-probe bookkeeping).
@@ -63,7 +63,7 @@ pub struct HotStuffReplica {
     /// Height of the latest committed block.
     committed_height: u64,
     /// Blocks already executed.
-    executed: HashSet<Digest>,
+    executed: FastSet<Digest>,
     /// Total requests confirmed by this replica.
     confirmed_requests: u64,
     confirmed_at_last_check: u64,
@@ -96,18 +96,18 @@ impl HotStuffReplica {
             id,
             view: View::initial(),
             mempool: VecDeque::new(),
-            outstanding: HashMap::new(),
+            outstanding: FastMap::default(),
             next_request_seq: 0,
             injection_carry: 0.0,
-            blocks: HashMap::new(),
-            certificates: HashMap::new(),
+            blocks: FastMap::default(),
+            certificates: FastMap::default(),
             high_qc: QuorumCertificate::genesis(),
-            votes: HashMap::new(),
+            votes: FastMap::default(),
             awaiting_qc: None,
             awaiting_qc_since: None,
             last_voted_height: 0,
             committed_height: 0,
-            executed: HashSet::new(),
+            executed: FastSet::default(),
             confirmed_requests: 0,
             confirmed_at_last_check: 0,
             last_confirmation_at: None,

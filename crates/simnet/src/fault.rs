@@ -76,6 +76,16 @@ pub struct CrashWindow {
     pub until: Option<SimTime>,
 }
 
+impl CrashWindow {
+    /// True if this window has `node` down at `now`. The single source of truth for
+    /// crash coverage: [`FaultPlan::is_crashed`] and the simulator's parallel batch
+    /// workers (which only see the plain crash-window slice, never the full plan)
+    /// both go through it.
+    pub fn covers(&self, node: NodeId, now: SimTime) -> bool {
+        self.node == node && now >= self.at && self.until.map_or(true, |until| now < until)
+    }
+}
+
 /// One region-level partition window: all traffic between `region_a` and `region_b`
 /// is dropped for `at <= now < until` (symmetric, both directions). Senders still pay
 /// the uplink cost for the lost bytes, like any other [`MessageFate::Drop`].
@@ -287,11 +297,7 @@ impl FaultPlan {
     /// True if `node` is down at `now` (inside any crash window; a restarting window
     /// is half-open, so the node is back up exactly at its restart instant).
     pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
-        self.crashes.iter().any(|window| {
-            window.node == node
-                && now >= window.at
-                && window.until.map_or(true, |until| now < until)
-        })
+        self.crashes.iter().any(|window| window.covers(node, now))
     }
 
     /// True if the (unordered) region pair `(a, b)` is severed at `now`.

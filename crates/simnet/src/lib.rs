@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod network;
 pub mod protocol;
 pub mod runtime;
+pub(crate) mod shard;
 pub mod sim;
 pub mod time;
 
@@ -41,5 +42,5 @@ pub use fault::{flapping_windows, CrashWindow, FaultPlan, MessageFate, Partition
 pub use metrics::{LatencyHistogram, MetricsSink, Observation, ObservationKind, TrafficMatrix};
 pub use network::{LinkConfig, NetworkConfig, ResolvedTopology, StragglerProfile, Topology};
 pub use protocol::{Context, ProgressProbe, Protocol, SimMessage};
-pub use sim::{Simulation, SimulationReport};
+pub use sim::{global_events_processed, ExecutionMode, Simulation, SimulationReport};
 pub use time::{SimDuration, SimTime};

@@ -3,7 +3,6 @@
 
 use crate::time::SimTime;
 use leopard_types::NodeId;
-use std::collections::BTreeMap;
 
 /// A protocol-level observation emitted through [`crate::Context::observe`].
 ///
@@ -65,12 +64,27 @@ pub struct Observation {
 }
 
 /// Per-node, per-category traffic counters (bytes and message counts).
+///
+/// Recording is the engine's hottest metrics path (twice per routed copy of every
+/// multicast), so the counters live in two flat `Vec`s indexed by
+/// `category-slot × node` with the categories interned into a tiny table — a handful
+/// of `&'static str` labels per protocol. The old `BTreeMap<(node, category), …>`
+/// paid an ordered-map walk per record; interning costs a short linear scan over
+/// ≤ ~12 labels instead, and query/iteration APIs sort on demand so the observable
+/// order (node-major, categories alphabetical, only touched cells) is exactly the
+/// old map iteration order.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficMatrix {
-    /// `(node, category) -> (bytes, messages)` for sent traffic.
-    sent: BTreeMap<(u32, &'static str), (u64, u64)>,
-    /// `(node, category) -> (bytes, messages)` for received traffic.
-    received: BTreeMap<(u32, &'static str), (u64, u64)>,
+    /// Interned category labels, in first-seen order.
+    categories: Vec<&'static str>,
+    /// Row stride: counters are stored at `slot * nodes + node`.
+    nodes: usize,
+    /// `(bytes, messages)` sent, `categories.len() * nodes` entries.
+    sent: Vec<(u64, u64)>,
+    /// `(bytes, messages)` received, `categories.len() * nodes` entries.
+    received: Vec<(u64, u64)>,
+    total_sent: u64,
+    total_received: u64,
 }
 
 impl TrafficMatrix {
@@ -79,81 +93,158 @@ impl TrafficMatrix {
         Self::default()
     }
 
+    /// Creates an empty matrix pre-sized for `nodes` nodes, so recording never
+    /// reshapes the counter rows mid-run.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// The flat index for `(node, category)`, growing the table as needed.
+    fn slot(&mut self, node: usize, category: &'static str) -> usize {
+        if node >= self.nodes {
+            self.grow_nodes(node + 1);
+        }
+        // Categories are `'static` literals from a handful of call sites, so the
+        // pointer comparison almost always hits before the content fallback (which
+        // stays for the correctness of distinct-address equal-content strings).
+        let found = self
+            .categories
+            .iter()
+            .position(|&c| std::ptr::eq(c.as_ptr(), category.as_ptr()) && c.len() == category.len())
+            .or_else(|| self.categories.iter().position(|&c| c == category));
+        let slot = match found {
+            Some(slot) => slot,
+            None => {
+                self.categories.push(category);
+                self.sent.resize(self.categories.len() * self.nodes, (0, 0));
+                self.received.resize(self.categories.len() * self.nodes, (0, 0));
+                self.categories.len() - 1
+            }
+        };
+        slot * self.nodes + node
+    }
+
+    /// Reshapes the counter rows for a larger node count (only ever needed when the
+    /// matrix was built without [`Self::with_nodes`]).
+    fn grow_nodes(&mut self, at_least: usize) {
+        let new_nodes = at_least.max(self.nodes * 2);
+        let reshape = |old: &[(u64, u64)], old_nodes: usize| {
+            let mut grown = vec![(0, 0); self.categories.len() * new_nodes];
+            for (slot, row) in old.chunks(old_nodes.max(1)).enumerate() {
+                grown[slot * new_nodes..slot * new_nodes + row.len()].copy_from_slice(row);
+            }
+            grown
+        };
+        self.sent = reshape(&self.sent, self.nodes);
+        self.received = reshape(&self.received, self.nodes);
+        self.nodes = new_nodes;
+    }
+
     /// Records a sent message.
     pub fn record_sent(&mut self, node: NodeId, category: &'static str, bytes: u64) {
-        let entry = self.sent.entry((node.0, category)).or_insert((0, 0));
+        let slot = self.slot(node.as_index(), category);
+        let entry = &mut self.sent[slot];
         entry.0 += bytes;
         entry.1 += 1;
+        self.total_sent += bytes;
     }
 
     /// Records a received message.
     pub fn record_received(&mut self, node: NodeId, category: &'static str, bytes: u64) {
-        let entry = self.received.entry((node.0, category)).or_insert((0, 0));
+        let slot = self.slot(node.as_index(), category);
+        let entry = &mut self.received[slot];
         entry.0 += bytes;
         entry.1 += 1;
+        self.total_received += bytes;
+    }
+
+    /// Sums one node's column of `counters` across all categories.
+    fn node_bytes(&self, counters: &[(u64, u64)], node: usize) -> u64 {
+        if node >= self.nodes {
+            return 0;
+        }
+        (0..self.categories.len())
+            .map(|slot| counters[slot * self.nodes + node].0)
+            .sum()
     }
 
     /// Total bytes sent by `node` across all categories.
     pub fn sent_bytes(&self, node: NodeId) -> u64 {
-        self.sent
-            .range((node.0, "")..(node.0 + 1, ""))
-            .map(|(_, (bytes, _))| *bytes)
-            .sum()
+        self.node_bytes(&self.sent, node.as_index())
     }
 
     /// Total bytes received by `node` across all categories.
     pub fn received_bytes(&self, node: NodeId) -> u64 {
-        self.received
-            .range((node.0, "")..(node.0 + 1, ""))
-            .map(|(_, (bytes, _))| *bytes)
-            .sum()
+        self.node_bytes(&self.received, node.as_index())
+    }
+
+    /// One cell of `counters`, or zero if the node or category was never touched.
+    fn bytes_in(&self, counters: &[(u64, u64)], node: usize, category: &str) -> u64 {
+        if node >= self.nodes {
+            return 0;
+        }
+        self.categories
+            .iter()
+            .position(|&c| c == category)
+            .map_or(0, |slot| counters[slot * self.nodes + node].0)
     }
 
     /// Bytes sent by `node` in a given category.
     pub fn sent_bytes_in(&self, node: NodeId, category: &'static str) -> u64 {
-        self.sent.get(&(node.0, category)).map_or(0, |(b, _)| *b)
+        self.bytes_in(&self.sent, node.as_index(), category)
     }
 
     /// Bytes received by `node` in a given category.
     pub fn received_bytes_in(&self, node: NodeId, category: &'static str) -> u64 {
-        self.received.get(&(node.0, category)).map_or(0, |(b, _)| *b)
+        self.bytes_in(&self.received, node.as_index(), category)
+    }
+
+    /// Touched cells of `counters` in the old map order: node-major, categories
+    /// alphabetical within a node.
+    fn iter_counters<'a>(
+        &'a self,
+        counters: &'a [(u64, u64)],
+    ) -> impl Iterator<Item = (NodeId, &'static str, u64, u64)> + 'a {
+        let mut order: Vec<usize> = (0..self.categories.len()).collect();
+        order.sort_unstable_by_key(|&slot| self.categories[slot]);
+        (0..self.nodes).flat_map(move |node| {
+            order.clone().into_iter().filter_map(move |slot| {
+                let (bytes, messages) = counters[slot * self.nodes + node];
+                (messages > 0)
+                    .then(|| (NodeId(node as u32), self.categories[slot], bytes, messages))
+            })
+        })
     }
 
     /// Iterates over `(node, category, bytes, messages)` for sent traffic.
     pub fn iter_sent(&self) -> impl Iterator<Item = (NodeId, &'static str, u64, u64)> + '_ {
-        self.sent
-            .iter()
-            .map(|(&(node, category), &(bytes, messages))| (NodeId(node), category, bytes, messages))
+        self.iter_counters(&self.sent)
     }
 
     /// Iterates over `(node, category, bytes, messages)` for received traffic.
     pub fn iter_received(&self) -> impl Iterator<Item = (NodeId, &'static str, u64, u64)> + '_ {
-        self.received
-            .iter()
-            .map(|(&(node, category), &(bytes, messages))| (NodeId(node), category, bytes, messages))
+        self.iter_counters(&self.received)
     }
 
-    /// All categories that appear anywhere in the matrix.
+    /// All categories that appear anywhere in the matrix (a category is interned the
+    /// first time a message of that kind is recorded).
     pub fn categories(&self) -> Vec<&'static str> {
-        let mut categories: Vec<&'static str> = self
-            .sent
-            .keys()
-            .chain(self.received.keys())
-            .map(|&(_, category)| category)
-            .collect();
+        let mut categories = self.categories.clone();
         categories.sort_unstable();
-        categories.dedup();
         categories
     }
 
     /// Total bytes sent across the whole system.
     pub fn total_sent_bytes(&self) -> u64 {
-        self.sent.values().map(|(bytes, _)| *bytes).sum()
+        self.total_sent
     }
 
     /// Total bytes received across the whole system.
     pub fn total_received_bytes(&self) -> u64 {
-        self.received.values().map(|(bytes, _)| *bytes).sum()
+        self.total_received
     }
 }
 
@@ -260,6 +351,10 @@ pub struct MetricsSink {
     /// O(1)-memory histogram of every [`ObservationKind::RequestLatency`] sample,
     /// for percentile reporting.
     pub latency_histogram: LatencyHistogram,
+    /// Running per-node confirmed-request totals, maintained incrementally on
+    /// [`Self::observe`] so full-run throughput queries never rescan the (at large
+    /// `n`, multi-million-entry) observation log.
+    confirmed_per_node: Vec<u64>,
 }
 
 impl MetricsSink {
@@ -268,10 +363,28 @@ impl MetricsSink {
         Self::default()
     }
 
+    /// Creates an empty sink pre-sized for `nodes` nodes: the traffic matrix rows and
+    /// the per-node confirmation counters are allocated up front.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            traffic: TrafficMatrix::with_nodes(nodes),
+            confirmed_per_node: vec![0; nodes],
+            ..Self::default()
+        }
+    }
+
     /// Records an observation.
     pub fn observe(&mut self, at: SimTime, node: NodeId, kind: ObservationKind) {
-        if let ObservationKind::RequestLatency { nanos } = kind {
-            self.latency_histogram.record(nanos);
+        match kind {
+            ObservationKind::RequestLatency { nanos } => self.latency_histogram.record(nanos),
+            ObservationKind::RequestsConfirmed { count, .. } => {
+                let index = node.as_index();
+                if index >= self.confirmed_per_node.len() {
+                    self.confirmed_per_node.resize(index + 1, 0);
+                }
+                self.confirmed_per_node[index] += count;
+            }
+            _ => {}
         }
         self.observations.push(Observation { at, node, kind });
     }
@@ -279,14 +392,7 @@ impl MetricsSink {
     /// Total confirmed requests across all [`ObservationKind::RequestsConfirmed`]
     /// observations emitted by `node`.
     pub fn confirmed_requests_at(&self, node: NodeId) -> u64 {
-        self.observations
-            .iter()
-            .filter(|o| o.node == node)
-            .map(|o| match o.kind {
-                ObservationKind::RequestsConfirmed { count, .. } => count,
-                _ => 0,
-            })
-            .sum()
+        self.confirmed_per_node.get(node.as_index()).copied().unwrap_or(0)
     }
 
     /// The largest number of confirmed requests reported by any single node.
@@ -294,7 +400,12 @@ impl MetricsSink {
     /// Throughput is measured "from the server's side" in the paper; using the maximum
     /// over nodes avoids double counting while still reflecting system progress.
     pub fn max_confirmed_requests(&self, nodes: usize) -> u64 {
-        self.max_confirmed_requests_since(nodes, SimTime(0))
+        self.confirmed_per_node
+            .iter()
+            .take(nodes)
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// The largest number of confirmed requests reported by any single node, counting

@@ -16,7 +16,11 @@ use rand::RngCore;
 /// `category()` labels each message for the bandwidth-utilisation breakdown
 /// (paper, Table III); it should be a small, fixed set of labels such as
 /// `"datablock"`, `"bftblock"`, `"vote"`, `"proof"`.
-pub trait SimMessage: Clone + WireSize + Send + 'static {
+///
+/// `Send + Sync` because one `Arc`'d envelope of a multicast may be delivered from
+/// several worker threads of the simulator's parallel execution mode (and the
+/// thread-based runtime moves messages across channels).
+pub trait SimMessage: Clone + WireSize + Send + Sync + 'static {
     /// The accounting category of this message.
     fn category(&self) -> &'static str;
 }
@@ -128,7 +132,12 @@ impl ProgressProbe {
 }
 
 /// A sans-IO protocol state machine.
-pub trait Protocol {
+///
+/// `Send` because both drivers move state machines across threads: the thread-based
+/// [`crate::runtime`] gives each node its own thread, and the simulator's parallel
+/// execution mode executes same-instant callbacks of different nodes on a worker
+/// pool (each node's state is only ever touched by one thread at a time).
+pub trait Protocol: Send {
     /// The message type exchanged between nodes running this protocol.
     type Message: SimMessage;
 

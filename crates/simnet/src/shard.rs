@@ -1,0 +1,378 @@
+//! Sharded event queues with a deterministic merge.
+//!
+//! The single global `BinaryHeap` of the old engine made every push and pop pay
+//! `O(log N)` sifts over the *whole* in-flight event population — at n ≥ 600 that is
+//! hundreds of thousands of 48-byte entries being moved on every operation. This
+//! module partitions events by **owning node** — the node whose state the event will
+//! touch when it fires (`to` for arrivals and deliveries, the timer's node, the
+//! started/restarted node) — into one small per-shard heap each, and merges the shard
+//! heads through a flat **winner tree** (tournament tree) that preserves the engine's
+//! exact `(time, seq)` total order.
+//!
+//! # Merge order
+//!
+//! Every queued event carries the globally unique, monotonically increasing `seq`
+//! assigned at push time, exactly as in the single-heap engine. Each shard's current
+//! head key is packed into a `u128` (`time << 64 | seq`, empty = `u128::MAX`) and the
+//! winner tree holds, per internal node, the shard index with the smaller key of its
+//! subtree; `tree[1]` is the shard owning the globally minimal event — the same event
+//! the single heap would pop, because `(time, seq)` keys are unique. Updating one
+//! shard's head replays only its leaf-to-root path: `log2(shards)` integer compares
+//! on a flat 8 KB array, with none of the sift-down element movement or stale-entry
+//! bookkeeping a candidate heap would need.
+//!
+//! # Shard runs (conservative lookahead)
+//!
+//! The payoff over a plain n-way merge is the *run* API: once a shard owns the global
+//! minimum, the engine may keep popping events from that shard **without consulting
+//! the merge tree again** for as long as its head stays below a safe horizon — the
+//! classical conservative-lookahead argument of parallel discrete-event simulation,
+//! applied here to keep the sequential hot path short. The horizon is the smaller of
+//!
+//! * the next merge key over all *other* shards (nothing they currently hold is
+//!   earlier), and
+//! * `run start + minimum cross-shard latency` (nothing another shard will *later* be
+//!   sent can land earlier: a message created by an event at `t` arrives no earlier
+//!   than `t + min cross latency`, and `t ≥ run start`).
+//!
+//! Events the run itself schedules on its *own* shard (timers, self-deliveries, the
+//! downlink leg of an arrival) land in the shard's heap and are naturally popped in
+//! `(time, seq)` order, so zero-delay self-messages need no special case. Events at
+//! exactly `run start + min cross latency` are still safe to pop: any cross-shard
+//! event created at that instant carries a larger `seq` and therefore sorts after
+//! every event that was already queued.
+//!
+//! While a run is active the running shard's leaf is parked at `u128::MAX` (that is
+//! how the "min over the others" bound falls out of the same tree); a push to the
+//! running shard may overwrite the parked leaf with a key that is not the shard's
+//! true head, which is harmless because [`ShardedQueue::end_run`] rewrites the leaf
+//! from the real heap head before the merge is consulted again.
+
+use crate::sim::{EventKind, QueuedEvent};
+use crate::time::SimTime;
+
+/// The `(time, seq)` key that totally orders events; `seq` is globally unique.
+pub(crate) type EventKey = (SimTime, u64);
+
+/// Packs an event key into a single integer preserving `(time, seq)` order.
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
+}
+
+/// Unpacks a [`pack`]ed key.
+#[inline]
+fn unpack(key: u128) -> EventKey {
+    (SimTime((key >> 64) as u64), key as u64)
+}
+
+/// The packed key of an empty shard; no real event reaches it (`seq` would have to
+/// be `u64::MAX` at time `u64::MAX`).
+const EMPTY: u128 = u128::MAX;
+
+/// A 4-ary min-heap with the comparison keys split from the event payloads.
+///
+/// Two layout decisions, both for the cache: a node's four children share one
+/// 64-byte line of the `keys` array, so a sift-down touches one line per level and
+/// half as many levels as a binary heap; and the 16-byte packed keys live apart from
+/// the ~32-byte `EventKind` payloads, so the search path reads only `keys` and the
+/// payload array is touched exactly once per moved element. At n ≥ 1000 a shard heap
+/// holds several hundred in-flight arrivals and the old
+/// `BinaryHeap<Reverse<QueuedEvent>>` sift walk was the single largest line item in
+/// the engine profile.
+struct QuadHeap<M> {
+    keys: Vec<u128>,
+    kinds: Vec<EventKind<M>>,
+}
+
+impl<M> QuadHeap<M> {
+    const fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            kinds: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn peek_key(&self) -> Option<u128> {
+        self.keys.first().copied()
+    }
+
+    fn push(&mut self, key: u128, kind: EventKind<M>) {
+        self.keys.push(key);
+        self.kinds.push(kind);
+        let mut i = self.keys.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.keys[parent] <= self.keys[i] {
+                break;
+            }
+            self.keys.swap(parent, i);
+            self.kinds.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u128, EventKind<M>)> {
+        let len = self.keys.len();
+        if len == 0 {
+            return None;
+        }
+        self.keys.swap(0, len - 1);
+        self.kinds.swap(0, len - 1);
+        let key = self.keys.pop().expect("nonempty");
+        let kind = self.kinds.pop().expect("nonempty");
+        let len = len - 1;
+        let mut i = 0;
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let fence = (first + 4).min(len);
+            let mut min = first;
+            for child in first + 1..fence {
+                if self.keys[child] < self.keys[min] {
+                    min = child;
+                }
+            }
+            if self.keys[i] <= self.keys[min] {
+                break;
+            }
+            self.keys.swap(i, min);
+            self.kinds.swap(i, min);
+            i = min;
+        }
+        Some((key, kind))
+    }
+}
+
+/// A set of per-shard event heaps merged through a flat winner tree.
+pub(crate) struct ShardedQueue<M> {
+    /// One heap per owning node.
+    shards: Vec<QuadHeap<M>>,
+    /// Per-shard packed head key (`EMPTY` when the shard has no events or its leaf
+    /// is parked by an active run).
+    keys: Vec<u128>,
+    /// Winner tree over `keys`: `tree[j]` for `1 ≤ j < leaves` is the shard index
+    /// with the smaller key among the leaves of `j`'s subtree; leaf `i` sits at
+    /// `tree[leaves + i]`. `tree[1]` is the overall winner.
+    tree: Vec<u32>,
+    /// Number of leaves (shard count rounded up to a power of two).
+    leaves: usize,
+    len: usize,
+}
+
+impl<M> ShardedQueue<M> {
+    /// Creates a queue with one shard per node (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let leaves = shards.next_power_of_two();
+        let mut tree = vec![u32::MAX; 2 * leaves];
+        for (i, slot) in tree[leaves..].iter_mut().enumerate() {
+            // Leaves beyond the shard count keep index `shards - 1`: a valid index
+            // whose key is EMPTY forever, so it never wins a comparison that matters.
+            *slot = (i.min(shards - 1)) as u32;
+        }
+        for j in (1..leaves).rev() {
+            tree[j] = tree[2 * j]; // all keys start EMPTY; either child works
+        }
+        Self {
+            shards: (0..shards).map(|_| QuadHeap::new()).collect(),
+            keys: vec![EMPTY; shards],
+            tree,
+            leaves,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events across all shards.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Rewrites shard `i`'s leaf with `key` and replays its path to the root:
+    /// `log2(leaves)` compares, no element movement.
+    #[inline]
+    fn update_leaf(&mut self, i: u32, key: u128) {
+        self.keys[i as usize] = key;
+        let mut node = self.leaves + i as usize;
+        while node > 1 {
+            node /= 2;
+            let left = self.tree[2 * node];
+            let right = self.tree[2 * node + 1];
+            self.tree[node] = if self.keys[left as usize] <= self.keys[right as usize] {
+                left
+            } else {
+                right
+            };
+        }
+    }
+
+    /// Pushes an event onto `shard`, updating the merge tree if it becomes the
+    /// shard's new head.
+    pub fn push(&mut self, shard: u32, event: QueuedEvent<M>) {
+        let key = pack(event.at, event.seq);
+        self.shards[shard as usize].push(key, event.kind);
+        self.len += 1;
+        if key < self.keys[shard as usize] {
+            self.update_leaf(shard, key);
+        }
+    }
+
+    /// The `(time, seq)` key of the globally minimal event, if any.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        let winner = self.tree[1];
+        let key = self.keys[winner as usize];
+        if key == EMPTY {
+            return None;
+        }
+        Some(unpack(key))
+    }
+
+    /// Pops the globally minimal event (classic merge pop: the shard's next head is
+    /// re-registered immediately).
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        let (shard, event, _) = self.begin_run()?;
+        self.end_run(shard);
+        Some(event)
+    }
+
+    /// Starts a shard run: pops the globally minimal event, parks the shard's leaf,
+    /// and returns the merge key of the best *other* shard (the run's cross-shard
+    /// bound). Must be paired with [`Self::end_run`].
+    pub fn begin_run(&mut self) -> Option<(u32, QueuedEvent<M>, Option<EventKey>)> {
+        let shard = self.tree[1];
+        if self.keys[shard as usize] == EMPTY {
+            return None;
+        }
+        let (key, kind) = self.shards[shard as usize].pop().expect("winner has a head");
+        self.len -= 1;
+        self.update_leaf(shard, EMPTY);
+        let bound = self.peek_key();
+        let (at, seq) = unpack(key);
+        Some((shard, QueuedEvent { at, seq, kind }, bound))
+    }
+
+    /// Pops the next event of `shard` if its key is below `bound` (strict), its time
+    /// is at or below `horizon`, and its time is at or below `deadline`.
+    pub fn pop_run(
+        &mut self,
+        shard: u32,
+        bound: Option<EventKey>,
+        horizon: SimTime,
+        deadline: SimTime,
+    ) -> Option<QueuedEvent<M>> {
+        let head = self.shards[shard as usize].peek_key()?;
+        if let Some((bound_at, bound_seq)) = bound {
+            if head >= pack(bound_at, bound_seq) {
+                return None;
+            }
+        }
+        let at = SimTime((head >> 64) as u64);
+        if at > horizon || at > deadline {
+            return None;
+        }
+        let (key, kind) = self.shards[shard as usize].pop().expect("peeked head");
+        self.len -= 1;
+        let (at, seq) = unpack(key);
+        Some(QueuedEvent { at, seq, kind })
+    }
+
+    /// Ends a shard run: rewrites the shard's leaf from its true heap head (the run,
+    /// or pushes during it, may have left the leaf parked or stale).
+    pub fn end_run(&mut self, shard: u32) {
+        let key = self.shards[shard as usize].peek_key().unwrap_or(EMPTY);
+        if key != self.keys[shard as usize] {
+            self.update_leaf(shard, key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::test_event as queued;
+
+    /// Classic pops drain an arbitrary interleaving in exact `(time, seq)` order.
+    #[test]
+    fn pops_follow_global_time_seq_order() {
+        for shards in [1usize, 3, 4, 7] {
+            let mut queue: ShardedQueue<()> = ShardedQueue::new(shards);
+            // A deterministic scramble: times descend, wrap, collide; seqs are unique.
+            let mut entries: Vec<(u32, u64, u64)> = Vec::new(); // (shard, time, seq)
+            let mut state = 0x9E3779B97F4A7C15u64;
+            for seq in 1..=200u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let shard = (state >> 33) as u32 % shards as u32;
+                let time = (state >> 7) % 17; // plenty of same-time collisions
+                entries.push((shard, time, seq));
+            }
+            for &(shard, time, seq) in &entries {
+                queue.push(shard, queued(SimTime(time), seq));
+            }
+            let mut keys = Vec::new();
+            while let Some(event) = queue.pop() {
+                keys.push((event.at, event.seq));
+            }
+            let mut expected: Vec<EventKey> =
+                entries.iter().map(|&(_, time, seq)| (SimTime(time), seq)).collect();
+            expected.sort_unstable();
+            assert_eq!(keys, expected);
+            assert_eq!(queue.len(), 0);
+        }
+    }
+
+    /// A shard run only surrenders events strictly below the cross-shard bound and at
+    /// or below the horizon, and `end_run` restores the merge invariant.
+    #[test]
+    fn runs_respect_bound_and_horizon() {
+        let mut queue: ShardedQueue<()> = ShardedQueue::new(2);
+        queue.push(0, queued(SimTime(10), 1));
+        queue.push(0, queued(SimTime(20), 2));
+        queue.push(0, queued(SimTime(30), 3));
+        queue.push(1, queued(SimTime(25), 4));
+
+        let (shard, first, next) = queue.begin_run().unwrap();
+        assert_eq!(shard, 0);
+        assert_eq!((first.at, first.seq), (SimTime(10), 1));
+        assert_eq!(next, Some((SimTime(25), 4)));
+
+        // Horizon 100 admits t = 20 (below the bound 25) but not t = 30.
+        let second = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
+        assert_eq!((second.at, second.seq), (SimTime(20), 2));
+        assert!(queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).is_none());
+        queue.end_run(shard);
+
+        // The merge resumes with shard 1's event, then shard 0's tail.
+        assert_eq!(queue.peek_key(), Some((SimTime(25), 4)));
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![4, 3]);
+    }
+
+    /// Pushing a new shard minimum mid-run is picked up by the same run (zero-delay
+    /// self-messages), and `end_run` repairs the leaf the push left stale.
+    #[test]
+    fn mid_run_pushes_to_the_same_shard_are_seen() {
+        let mut queue: ShardedQueue<()> = ShardedQueue::new(2);
+        queue.push(0, queued(SimTime(10), 1));
+        queue.push(0, queued(SimTime(40), 2));
+        queue.push(1, queued(SimTime(50), 3));
+
+        let (shard, first, next) = queue.begin_run().unwrap();
+        assert_eq!((first.at, first.seq), (SimTime(10), 1));
+        // The event's callback schedules a same-shard follow-up at t = 15; the leaf is
+        // parked, so the push overwrites it with t = 15 even though t = 40 was queued
+        // first — end_run must repair this.
+        queue.push(shard, queued(SimTime(15), 4));
+        let follow = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
+        assert_eq!((follow.at, follow.seq), (SimTime(15), 4));
+        let tail = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
+        assert_eq!((tail.at, tail.seq), (SimTime(40), 2));
+        queue.end_run(shard);
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![3]);
+        assert_eq!(queue.len(), 0);
+    }
+}

@@ -30,20 +30,49 @@
 //! enough to reproduce the paper's bandwidth-bound behaviour. Determinism: for a fixed
 //! seed and protocol, the event order is completely reproducible.
 
-use crate::fault::{FaultPlan, MessageFate};
+use crate::fault::{CrashWindow, FaultPlan, MessageFate};
 use crate::metrics::{MetricsSink, ObservationKind};
 use crate::network::{NetworkConfig, ResolvedTopology};
 use crate::protocol::{Context, Protocol, SimMessage};
+use crate::shard::ShardedQueue;
 use crate::time::{SimDuration, SimTime};
 use leopard_types::{NodeId, WireSize};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Events processed by every simulation in this process, for events/sec accounting
+/// around an experiment (see [`global_events_processed`]). Monotonic; the bench
+/// harness samples it before and after a run and divides the delta by wall time.
+static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events processed by all [`Simulation`] runs in this process so far.
+pub fn global_events_processed() -> u64 {
+    EVENTS_PROCESSED.load(Ordering::Relaxed)
+}
+
+/// How [`Simulation::run_until`] executes the event schedule. Both modes produce
+/// bit-identical reports; `Parallel` trades single-thread speed for multi-core
+/// scaling on wide same-instant batches (large fan-out start-ups, synchronized
+/// timer storms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One event at a time in `(time, seq)` order, with conservative-lookahead shard
+    /// runs keeping the merge heap off the hot path. The default.
+    Sequential,
+    /// Same-instant event batches are grouped by owning node and executed on worker
+    /// threads; every engine-side effect (RNG draws, link reservations, metrics,
+    /// event sequence numbers) is applied sequentially in the exact `(time, seq)`
+    /// order afterwards, so the schedule stays bit-identical to `Sequential`.
+    Parallel {
+        /// Worker thread count; `0` means `std::thread::available_parallelism()`.
+        threads: usize,
+    },
+}
+
 /// What a queued event does when it fires.
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     /// Call `on_start` on the node.
     Start(NodeId),
     /// Call `on_restart` on a node coming back from a finite crash window. Scheduled
@@ -91,11 +120,32 @@ enum EventKind<M> {
     },
 }
 
+impl<M> EventKind<M> {
+    /// The shard (owning node) whose state this event touches when it fires.
+    fn owner(&self) -> u32 {
+        match self {
+            EventKind::Start(node) | EventKind::Restart(node) => node.0,
+            EventKind::Arrive { to, .. } | EventKind::Deliver { to, .. } => to.0,
+            EventKind::Timer { node, .. } => node.0,
+        }
+    }
+}
+
 /// An entry in the event queue, ordered by time then insertion sequence.
-struct QueuedEvent<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+pub(crate) struct QueuedEvent<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
+}
+
+/// Builds a payload-free queue entry for the shard-queue unit tests.
+#[cfg(test)]
+pub(crate) fn test_event<M>(at: SimTime, seq: u64) -> QueuedEvent<M> {
+    QueuedEvent {
+        at,
+        seq,
+        kind: EventKind::Start(NodeId(0)),
+    }
 }
 
 impl<M> PartialEq for QueuedEvent<M> {
@@ -146,6 +196,126 @@ impl<M> Default for ActionBuffer<M> {
             observations: Vec::new(),
             compute: SimDuration::ZERO,
         }
+    }
+}
+
+impl<M> ActionBuffer<M> {
+    /// Empties the buffer while keeping its allocations, so the engine can reuse one
+    /// scratch buffer across callbacks instead of allocating three `Vec`s per event.
+    fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.observations.clear();
+        self.compute = SimDuration::ZERO;
+    }
+}
+
+/// One callback invocation of the parallel batch executor, in engine event terms.
+enum Invoke<M> {
+    Start,
+    Restart,
+    Message { from: NodeId, message: Arc<M> },
+    Timer { token: u64, epoch: u32 },
+}
+
+/// The per-event result a parallel batch produces, applied sequentially in slot
+/// (= `(time, seq)`) order afterwards.
+enum Prepared<M> {
+    /// An `Arrive` event: no protocol callback runs, the downlink reservation is an
+    /// engine-side effect and stays entirely in the sequential apply phase.
+    Arrive {
+        from: NodeId,
+        to: NodeId,
+        message: Arc<M>,
+        size: usize,
+    },
+    /// A callback ran; its buffered actions are applied with the timer epoch
+    /// snapshotted on the worker (after any `Restart` bump).
+    Done {
+        node: NodeId,
+        actions: ActionBuffer<M>,
+        epoch: u32,
+    },
+    /// The event was swallowed (crashed node, stale timer epoch).
+    Skipped,
+    /// Placeholder until the owning worker reports back.
+    Pending,
+}
+
+/// All same-instant events of one node, executed in `seq` order on one worker. The
+/// disjoint `&mut` borrows are carved out of the engine's `Vec`s with
+/// `split_at_mut`, so the executor needs no locks and no unsafe code.
+struct NodeJob<'a, P: Protocol> {
+    node: NodeId,
+    protocol: &'a mut P,
+    rng: &'a mut StdRng,
+    epoch: &'a mut u32,
+    items: Vec<(usize, Invoke<P::Message>)>,
+}
+
+/// Runs one node's batch items, mirroring exactly what the sequential `dispatch`
+/// would do up to (but excluding) `finish_callback`: crash checks, the timer epoch
+/// check, the `Restart` epoch bump, and the protocol callback itself. Only state
+/// owned by the node (protocol state, node RNG, timer epoch) is touched; everything
+/// shared (net RNG, links, metrics, the event queue) is deferred to the sequential
+/// apply phase via the returned [`Prepared`] values.
+fn run_node_job<P: Protocol>(
+    job: NodeJob<'_, P>,
+    now: SimTime,
+    node_count: usize,
+    crashes: &[CrashWindow],
+    out: &mut Vec<(usize, Prepared<P::Message>)>,
+) {
+    let NodeJob {
+        node,
+        protocol,
+        rng,
+        epoch,
+        items,
+    } = job;
+    for (slot, invoke) in items {
+        if crashes.iter().any(|window| window.covers(node, now)) {
+            out.push((slot, Prepared::Skipped));
+            continue;
+        }
+        if let Invoke::Timer { epoch: armed, .. } = &invoke {
+            if *armed != *epoch {
+                out.push((slot, Prepared::Skipped));
+                continue;
+            }
+        }
+        if matches!(invoke, Invoke::Restart) {
+            // The process died: whatever timers it had armed died with it.
+            *epoch += 1;
+        }
+        let mut actions = ActionBuffer::default();
+        {
+            let mut ctx = SimContext {
+                now,
+                node,
+                node_count,
+                actions: &mut actions,
+                rng,
+            };
+            match invoke {
+                Invoke::Start => protocol.on_start(&mut ctx),
+                Invoke::Restart => protocol.on_restart(&mut ctx),
+                Invoke::Message { from, message } => {
+                    let message =
+                        Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
+                    protocol.on_message(from, message, &mut ctx);
+                }
+                Invoke::Timer { token, .. } => protocol.on_timer(token, &mut ctx),
+            }
+        }
+        out.push((
+            slot,
+            Prepared::Done {
+                node,
+                actions,
+                epoch: *epoch,
+            },
+        ));
     }
 }
 
@@ -337,7 +507,14 @@ pub struct Simulation<P: Protocol> {
     nodes: Vec<P>,
     node_rngs: Vec<StdRng>,
     net_rng: StdRng,
-    queue: BinaryHeap<Reverse<QueuedEvent<P::Message>>>,
+    queue: ShardedQueue<P::Message>,
+    /// Reused across callbacks so steady-state dispatch allocates nothing.
+    scratch: ActionBuffer<P::Message>,
+    mode: ExecutionMode,
+    /// The conservative shard-run lookahead: no event can schedule work on another
+    /// shard less than this far into the future (the minimum region-pair base
+    /// latency; uplink serialisation, straggler extras and jitter only add to it).
+    lookahead: SimDuration,
     now: SimTime,
     seq: u64,
     events: u64,
@@ -393,7 +570,10 @@ impl<P: Protocol> Simulation<P> {
             nodes,
             node_rngs,
             net_rng,
-            queue: BinaryHeap::new(),
+            queue: ShardedQueue::new(n),
+            scratch: ActionBuffer::default(),
+            mode: ExecutionMode::Sequential,
+            lookahead: SimDuration::from_nanos(resolved.min_cross_base_nanos),
             now: SimTime::ZERO,
             seq: 0,
             events: 0,
@@ -403,10 +583,22 @@ impl<P: Protocol> Simulation<P> {
             cpu_free: vec![SimTime::ZERO; n],
             cpu_busy_nanos: vec![0; n],
             timer_epochs: vec![0; n],
-            metrics: MetricsSink::new(),
+            metrics: MetricsSink::with_nodes(n),
             resolved,
             config,
         }
+    }
+
+    /// Sets how [`Self::run_until`] executes the schedule (builder form). Both modes
+    /// are bit-identical; see [`ExecutionMode`].
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the execution mode in place.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
     }
 
     /// Current simulated time.
@@ -458,11 +650,15 @@ impl<P: Protocol> Simulation<P> {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        let shard = kind.owner();
+        self.queue.push(
+            shard,
+            QueuedEvent {
+                at,
+                seq: self.seq,
+                kind,
+            },
+        );
     }
 
     fn ensure_started(&mut self) {
@@ -491,30 +687,221 @@ impl<P: Protocol> Simulation<P> {
     /// simulation.
     pub fn run_until(&mut self, deadline: SimTime, max_events: u64) {
         self.ensure_started();
-        let mut processed = 0u64;
-        while processed < max_events {
-            let Some(Reverse(peek)) = self.queue.peek() else {
-                break;
-            };
-            if peek.at > deadline {
-                break;
+        let processed = match self.mode {
+            ExecutionMode::Sequential => self.run_sequential(deadline, max_events),
+            ExecutionMode::Parallel { threads } => {
+                let threads = if threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |t| t.get())
+                } else {
+                    threads
+                };
+                self.run_parallel(deadline, max_events, threads)
             }
-            let Some(Reverse(event)) = self.queue.pop() else {
-                break;
-            };
-            self.now = event.at.max(self.now);
-            self.dispatch(event.kind);
-            self.events += 1;
-            processed += 1;
-        }
+        };
+        self.events += processed;
+        EVENTS_PROCESSED.fetch_add(processed, Ordering::Relaxed);
         // Advance the clock to the deadline if we stopped because the queue ran dry or
         // only future events remain; throughput is measured against wall-clock windows.
-        if self
-            .queue
-            .peek()
-            .map_or(true, |Reverse(event)| event.at > deadline)
-        {
+        if self.queue.peek_key().map_or(true, |(at, _)| at > deadline) {
             self.now = self.now.max(deadline);
+        }
+    }
+
+    /// The sequential engine: shard runs under the conservative lookahead (see
+    /// `crate::shard`), each event dispatched exactly as the single-heap engine did.
+    fn run_sequential(&mut self, deadline: SimTime, max_events: u64) -> u64 {
+        let lookahead = self.lookahead.as_nanos();
+        let mut processed = 0u64;
+        while processed < max_events {
+            match self.queue.peek_key() {
+                Some((at, _)) if at <= deadline => {}
+                _ => break,
+            }
+            let Some((shard, event, bound)) = self.queue.begin_run() else {
+                break;
+            };
+            // Nothing another shard does before `horizon` can schedule work on this
+            // shard earlier than `horizon` itself (and anything scheduled *at* the
+            // horizon carries a later seq), so the run needs no merge-heap traffic.
+            let horizon = SimTime(event.at.as_nanos().saturating_add(lookahead));
+            self.now = event.at.max(self.now);
+            self.dispatch(event.kind);
+            processed += 1;
+            while processed < max_events {
+                let Some(event) = self.queue.pop_run(shard, bound, horizon, deadline) else {
+                    break;
+                };
+                self.now = event.at.max(self.now);
+                self.dispatch(event.kind);
+                processed += 1;
+            }
+            self.queue.end_run(shard);
+        }
+        processed
+    }
+
+    /// The parallel engine: drains every event of the current instant, groups the
+    /// callback-bearing ones by owning node, runs the groups on scoped worker
+    /// threads, then applies all results sequentially in `(time, seq)` order. Small
+    /// batches fall back to the sequential dispatch — same output, no thread cost.
+    fn run_parallel(&mut self, deadline: SimTime, max_events: u64, threads: usize) -> u64 {
+        /// Below this batch width the scoped-thread round trip costs more than the
+        /// callbacks; the sequential fallback is bit-identical anyway.
+        const MIN_PARALLEL_BATCH: usize = 32;
+
+        let mut processed = 0u64;
+        let mut batch: Vec<QueuedEvent<P::Message>> = Vec::new();
+        while processed < max_events {
+            let at = match self.queue.peek_key() {
+                Some((at, _)) if at <= deadline => at,
+                _ => break,
+            };
+            self.now = at.max(self.now);
+            batch.clear();
+            while (processed + batch.len() as u64) < max_events {
+                match self.queue.peek_key() {
+                    Some((t, _)) if t == at => batch.push(self.queue.pop().expect("peeked")),
+                    _ => break,
+                }
+            }
+            processed += batch.len() as u64;
+            if threads <= 1 || batch.len() < MIN_PARALLEL_BATCH {
+                for event in batch.drain(..) {
+                    self.dispatch(event.kind);
+                }
+            } else {
+                self.execute_batch(&mut batch, threads);
+            }
+        }
+        processed
+    }
+
+    /// Executes one same-instant batch on worker threads. Phase A (parallel): group
+    /// events by owning node and run the callbacks — they touch only per-node state
+    /// (protocol, node RNG, timer epoch). Phase B (sequential): apply every result in
+    /// slot order, which is `(time, seq)` order, so net-RNG draws, link reservations,
+    /// metrics and new event seqs happen in exactly the sequential engine's order.
+    fn execute_batch(&mut self, batch: &mut Vec<QueuedEvent<P::Message>>, threads: usize) {
+        let mut slots: Vec<Prepared<P::Message>> = Vec::with_capacity(batch.len());
+        let mut work: Vec<(u32, usize, Invoke<P::Message>)> = Vec::with_capacity(batch.len());
+        for (slot, event) in batch.drain(..).enumerate() {
+            match event.kind {
+                EventKind::Arrive {
+                    from,
+                    to,
+                    message,
+                    size,
+                } => slots.push(Prepared::Arrive {
+                    from,
+                    to,
+                    message,
+                    size,
+                }),
+                EventKind::Start(node) => {
+                    slots.push(Prepared::Pending);
+                    work.push((node.0, slot, Invoke::Start));
+                }
+                EventKind::Restart(node) => {
+                    slots.push(Prepared::Pending);
+                    work.push((node.0, slot, Invoke::Restart));
+                }
+                EventKind::Deliver { from, to, message } => {
+                    slots.push(Prepared::Pending);
+                    work.push((to.0, slot, Invoke::Message { from, message }));
+                }
+                EventKind::Timer { node, token, epoch } => {
+                    slots.push(Prepared::Pending);
+                    work.push((node.0, slot, Invoke::Timer { token, epoch }));
+                }
+            }
+        }
+        // Group by node; slots stay ascending within a group, which is seq order.
+        work.sort_by_key(|&(node, slot, _)| (node, slot));
+
+        // Carve disjoint `&mut` views of the per-node state out of the engine's Vecs.
+        let mut jobs: Vec<NodeJob<'_, P>> = Vec::new();
+        let mut nodes_rest: &mut [P] = &mut self.nodes;
+        let mut rngs_rest: &mut [StdRng] = &mut self.node_rngs;
+        let mut epochs_rest: &mut [u32] = &mut self.timer_epochs;
+        let mut consumed = 0usize;
+        let mut work_iter = work.into_iter().peekable();
+        while let Some((node, slot, invoke)) = work_iter.next() {
+            let mut items = vec![(slot, invoke)];
+            while let Some(&(next, _, _)) = work_iter.peek() {
+                if next != node {
+                    break;
+                }
+                let (_, slot, invoke) = work_iter.next().expect("peeked");
+                items.push((slot, invoke));
+            }
+            let offset = node as usize - consumed;
+            let (head, tail) = nodes_rest.split_at_mut(offset + 1);
+            let protocol = head.last_mut().expect("split kept the node");
+            nodes_rest = tail;
+            let (head, tail) = rngs_rest.split_at_mut(offset + 1);
+            let rng = head.last_mut().expect("split kept the rng");
+            rngs_rest = tail;
+            let (head, tail) = epochs_rest.split_at_mut(offset + 1);
+            let epoch = head.last_mut().expect("split kept the epoch");
+            epochs_rest = tail;
+            consumed = node as usize + 1;
+            jobs.push(NodeJob {
+                node: NodeId(node),
+                protocol,
+                rng,
+                epoch,
+                items,
+            });
+        }
+
+        let worker_count = threads.min(jobs.len()).max(1);
+        let mut buckets: Vec<Vec<NodeJob<'_, P>>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (index, job) in jobs.into_iter().enumerate() {
+            buckets[index % worker_count].push(job);
+        }
+        let now = self.now;
+        let node_count = self.config.nodes;
+        let crashes = self.faults.crash_windows();
+        let produced: Vec<Vec<(usize, Prepared<P::Message>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for job in bucket {
+                            run_node_job(job, now, node_count, crashes, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("batch worker panicked"))
+                .collect()
+        });
+        // Scatter by slot index: the result order is deterministic regardless of
+        // thread scheduling.
+        for (slot, prepared) in produced.into_iter().flatten() {
+            slots[slot] = prepared;
+        }
+        for prepared in slots {
+            match prepared {
+                Prepared::Arrive {
+                    from,
+                    to,
+                    message,
+                    size,
+                } => self.apply_arrive(from, to, message, size),
+                Prepared::Done {
+                    node,
+                    mut actions,
+                    epoch,
+                } => self.finish_callback(node, &mut actions, epoch),
+                Prepared::Skipped => {}
+                Prepared::Pending => unreachable!("every pending slot has a worker result"),
+            }
         }
     }
 
@@ -548,18 +935,7 @@ impl<P: Protocol> Simulation<P> {
                 if self.faults.is_crashed(node, self.now) {
                     return;
                 }
-                let mut actions = ActionBuffer::default();
-                {
-                    let mut ctx = SimContext {
-                        now: self.now,
-                        node,
-                        node_count: self.config.nodes,
-                        actions: &mut actions,
-                        rng: &mut self.node_rngs[node.as_index()],
-                    };
-                    self.nodes[node.as_index()].on_start(&mut ctx);
-                }
-                self.finish_callback(node, actions);
+                self.run_callback(node, Invoke::Start);
             }
             EventKind::Restart(node) => {
                 // Overlapping windows could have the node down again already.
@@ -568,58 +944,19 @@ impl<P: Protocol> Simulation<P> {
                 }
                 // The process died: whatever timers it had armed died with it.
                 self.timer_epochs[node.as_index()] += 1;
-                let mut actions = ActionBuffer::default();
-                {
-                    let mut ctx = SimContext {
-                        now: self.now,
-                        node,
-                        node_count: self.config.nodes,
-                        actions: &mut actions,
-                        rng: &mut self.node_rngs[node.as_index()],
-                    };
-                    self.nodes[node.as_index()].on_restart(&mut ctx);
-                }
-                self.finish_callback(node, actions);
+                self.run_callback(node, Invoke::Restart);
             }
             EventKind::Arrive {
                 from,
                 to,
                 message,
                 size,
-            } => {
-                if self.faults.is_crashed(to, self.now) {
-                    return;
-                }
-                let to_link = self.resolved.links[to.as_index()];
-                let start = self.now.max(self.downlink_free[to.as_index()]);
-                let delivery = start + SimDuration::transmission(size, to_link.downlink_bps);
-                self.downlink_free[to.as_index()] = delivery;
-                if self.config.half_duplex {
-                    self.uplink_free[to.as_index()] =
-                        self.uplink_free[to.as_index()].max(delivery);
-                }
-                self.push_event(delivery, EventKind::Deliver { from, to, message });
-            }
+            } => self.apply_arrive(from, to, message, size),
             EventKind::Deliver { from, to, message } => {
                 if self.faults.is_crashed(to, self.now) {
                     return;
                 }
-                // The final (often only) recipient takes ownership without cloning;
-                // earlier recipients of a multicast clone the shared envelope, which is
-                // shallow for messages that `Arc` their payloads.
-                let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
-                let mut actions = ActionBuffer::default();
-                {
-                    let mut ctx = SimContext {
-                        now: self.now,
-                        node: to,
-                        node_count: self.config.nodes,
-                        actions: &mut actions,
-                        rng: &mut self.node_rngs[to.as_index()],
-                    };
-                    self.nodes[to.as_index()].on_message(from, message, &mut ctx);
-                }
-                self.finish_callback(to, actions);
+                self.run_callback(to, Invoke::Message { from, message });
             }
             EventKind::Timer { node, token, epoch } => {
                 if self.faults.is_crashed(node, self.now) {
@@ -630,20 +967,59 @@ impl<P: Protocol> Simulation<P> {
                 if epoch != self.timer_epochs[node.as_index()] {
                     return;
                 }
-                let mut actions = ActionBuffer::default();
-                {
-                    let mut ctx = SimContext {
-                        now: self.now,
-                        node,
-                        node_count: self.config.nodes,
-                        actions: &mut actions,
-                        rng: &mut self.node_rngs[node.as_index()],
-                    };
-                    self.nodes[node.as_index()].on_timer(token, &mut ctx);
-                }
-                self.finish_callback(node, actions);
+                self.run_callback(node, Invoke::Timer { token, epoch });
             }
         }
+    }
+
+    /// Runs one protocol callback against the engine's scratch action buffer (no
+    /// per-event allocation) and settles its outputs.
+    fn run_callback(&mut self, node: NodeId, invoke: Invoke<P::Message>) {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = SimContext {
+                now: self.now,
+                node,
+                node_count: self.config.nodes,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.as_index()],
+            };
+            match invoke {
+                Invoke::Start => self.nodes[node.as_index()].on_start(&mut ctx),
+                Invoke::Restart => self.nodes[node.as_index()].on_restart(&mut ctx),
+                Invoke::Message { from, message } => {
+                    // The final (often only) recipient takes ownership without
+                    // cloning; earlier recipients of a multicast clone the shared
+                    // envelope, which is shallow for messages that `Arc` payloads.
+                    let message =
+                        Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
+                    self.nodes[node.as_index()].on_message(from, message, &mut ctx);
+                }
+                Invoke::Timer { token, .. } => {
+                    self.nodes[node.as_index()].on_timer(token, &mut ctx)
+                }
+            }
+        }
+        let epoch = self.timer_epochs[node.as_index()];
+        self.finish_callback(node, &mut actions, epoch);
+        actions.clear();
+        self.scratch = actions;
+    }
+
+    /// An `Arrive` event fires: the message reaches the receiver's downlink, whose
+    /// serialisation slot is reserved now — in arrival order.
+    fn apply_arrive(&mut self, from: NodeId, to: NodeId, message: Arc<P::Message>, size: usize) {
+        if self.faults.is_crashed(to, self.now) {
+            return;
+        }
+        let to_link = self.resolved.links[to.as_index()];
+        let start = self.now.max(self.downlink_free[to.as_index()]);
+        let delivery = start + SimDuration::transmission(size, to_link.downlink_bps);
+        self.downlink_free[to.as_index()] = delivery;
+        if self.config.half_duplex {
+            self.uplink_free[to.as_index()] = self.uplink_free[to.as_index()].max(delivery);
+        }
+        self.push_event(delivery, EventKind::Deliver { from, to, message });
     }
 
     /// Settles a finished callback against the node's compute queue: the charged
@@ -651,8 +1027,11 @@ impl<P: Protocol> Simulation<P> {
     /// sequential CPU, and every output of the callback (sends, timers, observations)
     /// takes effect at the completion instant. With nothing charged the completion
     /// instant is `now` and the engine behaves exactly as it did before the
-    /// compute-resource model existed.
-    fn finish_callback(&mut self, node: NodeId, actions: ActionBuffer<P::Message>) {
+    /// compute-resource model existed. `epoch` is the node's timer epoch as of the
+    /// callback (after any `Restart` bump) — passed in, not re-read, so the parallel
+    /// executor's deferred applies arm timers in the same epoch the sequential
+    /// engine would.
+    fn finish_callback(&mut self, node: NodeId, actions: &mut ActionBuffer<P::Message>, epoch: u32) {
         let done = if actions.compute.as_nanos() == 0 {
             self.now
         } else {
@@ -664,35 +1043,43 @@ impl<P: Protocol> Simulation<P> {
             self.cpu_busy_nanos[node.as_index()] += scaled;
             done
         };
-        self.apply_actions(node, actions, done);
+        self.apply_actions(node, actions, done, epoch);
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: ActionBuffer<P::Message>, at: SimTime) {
-        for observation in actions.observations {
+    fn apply_actions(
+        &mut self,
+        node: NodeId,
+        actions: &mut ActionBuffer<P::Message>,
+        at: SimTime,
+        epoch: u32,
+    ) {
+        for observation in actions.observations.drain(..) {
             self.metrics.observe(at, node, observation);
         }
-        let epoch = self.timer_epochs[node.as_index()];
-        for (delay, token) in actions.timers {
+        for (delay, token) in actions.timers.drain(..) {
             self.push_event(at + delay, EventKind::Timer { node, token, epoch });
         }
-        for outgoing in actions.sends {
+        for outgoing in actions.sends.drain(..) {
             match outgoing {
                 Outgoing::Unicast(to, message) => {
                     let size = message.wire_size();
                     let category = message.category();
-                    self.route(node, to, Arc::new(message), size, category, at);
+                    let uplink_tx = self.uplink_transmission(node, size);
+                    self.route(node, to, Arc::new(message), size, category, at, uplink_tx);
                 }
                 Outgoing::Multicast(message) => {
-                    // Compute the per-message costs once for the whole fan-out, then
-                    // charge each recipient exactly as `n − 1` unicasts would (same
-                    // recipient order, same RNG draws, same event sequence numbers).
+                    // Compute the per-message costs (wire size, category, uplink
+                    // serialisation time) once for the whole fan-out, then charge each
+                    // recipient exactly as `n − 1` unicasts would (same recipient
+                    // order, same RNG draws, same event sequence numbers).
                     let size = message.wire_size();
                     let category = message.category();
+                    let uplink_tx = self.uplink_transmission(node, size);
                     let shared = Arc::new(message);
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category, at);
+                            self.route(node, peer, Arc::clone(&shared), size, category, at, uplink_tx);
                         }
                     }
                 }
@@ -702,19 +1089,26 @@ impl<P: Protocol> Simulation<P> {
                     // `multicast + send(self)` pair put it).
                     let size = message.wire_size();
                     let category = message.category();
+                    let uplink_tx = self.uplink_transmission(node, size);
                     let shared = Arc::new(message);
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category, at);
+                            self.route(node, peer, Arc::clone(&shared), size, category, at, uplink_tx);
                         }
                     }
-                    self.route(node, node, shared, size, category, at);
+                    self.route(node, node, shared, size, category, at, uplink_tx);
                 }
             }
         }
     }
 
+    /// The sender-side uplink serialisation time of one `size`-byte copy.
+    fn uplink_transmission(&self, from: NodeId, size: usize) -> SimDuration {
+        SimDuration::transmission(size, self.resolved.links[from.as_index()].uplink_bps)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
         from: NodeId,
@@ -723,6 +1117,7 @@ impl<P: Protocol> Simulation<P> {
         size: usize,
         category: &'static str,
         at: SimTime,
+        uplink_tx: SimDuration,
     ) {
         if from == to {
             // Local delivery: no bandwidth cost, a negligible scheduling delay.
@@ -745,9 +1140,8 @@ impl<P: Protocol> Simulation<P> {
         }
 
         // Uplink serialisation at the sender.
-        let from_link = self.resolved.links[from.as_index()];
         let uplink_start = at.max(self.uplink_free[from.as_index()]);
-        let departure = uplink_start + SimDuration::transmission(size, from_link.uplink_bps);
+        let departure = uplink_start + uplink_tx;
         self.uplink_free[from.as_index()] = departure;
         if self.config.half_duplex {
             self.downlink_free[from.as_index()] =

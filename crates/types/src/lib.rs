@@ -12,18 +12,22 @@
 //! * a tiny hand-rolled binary codec ([`wire`]) plus the [`WireSize`] trait used for
 //!   bandwidth accounting in the simulator;
 //! * protocol-wide [`params`] such as the sizes `β` (hash) and `κ` (vote) from the
-//!   paper's cost model.
+//!   paper's cost model;
+//! * the seed-free [`hash`] module ([`FastMap`]/[`FastSet`]) used on the replicas'
+//!   bookkeeping hot paths instead of SipHash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod hash;
 pub mod ids;
 pub mod params;
 pub mod request;
 pub mod wire;
 
 pub use block::{BftBlock, BftBlockId, BlockState, Datablock, DatablockId};
+pub use hash::{FastMap, FastSet, FxHasher};
 pub use ids::{ClientId, NodeId, RequestId, SeqNum, View};
 pub use params::{bls_paper_crypto_costs, calibrated_crypto_costs, CostModelKind, ProtocolParams};
 pub use request::{Request, RequestPayload};

@@ -5,7 +5,61 @@
 //! ```
 
 use leopard::harness::scenario::{run_hotstuff_scenario, run_leopard_scenario, ScenarioConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts heap traffic so allocation churn on the event hot path shows up as a
+/// number, not a guess (malloc internals dominate `perf`-less profiles otherwise).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_stats() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+/// Seconds of CPU (user + system) this process has consumed, from `/proc/self/stat`.
+/// Unlike wall-clock this is immune to scheduler noise from co-tenant processes;
+/// returns 0.0 where procfs is unavailable.
+fn cpu_secs() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Fields 14/15 (utime/stime, in clock ticks) counted from after the parenthesised
+    // command name, which may itself contain spaces.
+    let Some(after) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let ticks: u64 = fields
+        .get(11..13)
+        .map(|f| f.iter().filter_map(|v| v.parse::<u64>().ok()).sum())
+        .unwrap_or(0);
+    ticks as f64 / 100.0
+}
 
 fn main() {
     let args: Vec<usize> = std::env::args()
@@ -19,11 +73,22 @@ fn main() {
     };
     for &n in &ns {
         let start = Instant::now();
+        let cpu = cpu_secs();
+        let (allocs0, bytes0) = alloc_stats();
         let leopard = run_leopard_scenario(&ScenarioConfig::paper(n));
         let leopard_secs = start.elapsed().as_secs_f64();
+        let leopard_cpu = cpu_secs() - cpu;
+        let (allocs1, bytes1) = alloc_stats();
+        eprintln!(
+            "      leopard allocs: {:.2}M ({:.0} MB)",
+            (allocs1 - allocs0) as f64 / 1e6,
+            (bytes1 - bytes0) as f64 / 1e6
+        );
         let start = Instant::now();
+        let cpu = cpu_secs();
         let hotstuff = run_hotstuff_scenario(&ScenarioConfig::paper(n));
         let hotstuff_secs = start.elapsed().as_secs_f64();
+        let hotstuff_cpu = cpu_secs() - cpu;
         let queries = leopard
             .sim
             .metrics
@@ -33,7 +98,7 @@ fn main() {
             .map(|(_, _, _, count)| count)
             .sum::<u64>();
         println!(
-            "n={n:4}  leopard {leopard_secs:7.3}s ({} events, {:.1} Kreq/s, {} retrievals, {} retrieval msgs)   hotstuff {hotstuff_secs:7.3}s ({} events, {:.1} Kreq/s)",
+            "n={n:4}  leopard {leopard_secs:7.3}s wall / {leopard_cpu:.2}s cpu ({} events, {:.1} Kreq/s, {} retrievals, {} retrieval msgs)   hotstuff {hotstuff_secs:7.3}s wall / {hotstuff_cpu:.2}s cpu ({} events, {:.1} Kreq/s)",
             leopard.sim.events,
             leopard.throughput_kreqs(),
             leopard.retrievals,

@@ -1,0 +1,148 @@
+//! Sequential-vs-parallel engine equivalence.
+//!
+//! The sharded event engine (PR 8) has two execution modes: the default sequential
+//! mode (winner-tree merge over per-node shards, conservative-lookahead runs) and the
+//! opt-in parallel mode (same-instant event batches executed on worker threads, state
+//! applied sequentially in slot order). Both must be observationally identical — same
+//! event count, same confirmations, same traffic totals, same observation stream — to
+//! each other *and* to the pre-PR single-heap engine, whose behaviour the captured
+//! constants in `tests/determinism_golden.rs` pin.
+//!
+//! The golden tests below re-assert those same constants **through the parallel
+//! engine**: `determinism_golden.rs` proves the sequential sharded engine did not
+//! drift from the single-heap capture, and this file proves parallel mode does not
+//! drift from sequential. A failure here with `determinism_golden.rs` green therefore
+//! isolates the bug to the parallel tick (batch grouping, worker partitioning, or
+//! apply order).
+
+use leopard::harness::chaos::FaultScheduleGenerator;
+use leopard::harness::experiments::FIG9GEO_REGIONS;
+use leopard::harness::scenario::{
+    run_hotstuff_scenario, run_leopard_scenario, run_leopard_scenario_unchecked, ScenarioConfig,
+    ScenarioReport,
+};
+
+/// Everything the determinism goldens pin, plus the full observation stream (instants
+/// included), so two engines agreeing here are observationally interchangeable.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    events: u64,
+    confirmed: u64,
+    sent_bytes: u64,
+    recv_bytes: u64,
+    views_entered: u64,
+    observations: Vec<(u64, u32)>,
+}
+
+fn fingerprint(report: &ScenarioReport) -> Fingerprint {
+    Fingerprint {
+        events: report.sim.events,
+        confirmed: report.confirmed_requests,
+        sent_bytes: report.sim.metrics.traffic.total_sent_bytes(),
+        recv_bytes: report.sim.metrics.traffic.total_received_bytes(),
+        views_entered: report.views_entered,
+        observations: report
+            .sim
+            .metrics
+            .observations
+            .iter()
+            .map(|o| (o.at.as_nanos(), o.node.0))
+            .collect(),
+    }
+}
+
+fn assert_equivalent(label: &str, config: &ScenarioConfig) {
+    let sequential = run_leopard_scenario_unchecked(&config.clone().with_parallel(false));
+    let parallel = run_leopard_scenario_unchecked(&config.clone().with_parallel(true));
+    assert_eq!(
+        fingerprint(&sequential),
+        fingerprint(&parallel),
+        "{label}: parallel engine diverged from sequential"
+    );
+    assert_eq!(
+        sequential.violations, parallel.violations,
+        "{label}: invariant verdicts diverged"
+    );
+}
+
+/// The fig9 golden point (`paper(16)`, seed 0xA5A5) through the parallel engine must
+/// reproduce the exact constants captured from the pre-PR single-heap engine.
+#[test]
+fn parallel_engine_reproduces_fig9_golden() {
+    let config = ScenarioConfig::paper(16).with_seed(0xA5A5).with_parallel(true);
+    let report = run_leopard_scenario(&config);
+    assert_eq!(report.sim.events, 49_883);
+    assert_eq!(report.confirmed_requests, 386_000);
+    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 845_385_150);
+    assert_eq!(report.sim.metrics.traffic.total_received_bytes(), 845_385_150);
+}
+
+/// The HotStuff golden point through the parallel engine (the baseline protocol runs
+/// on the same engine, so it guards the non-Leopard dispatch path).
+#[test]
+fn parallel_engine_reproduces_hotstuff_golden() {
+    let config = ScenarioConfig::paper(16).with_seed(0xA5A5).with_parallel(true);
+    let report = run_hotstuff_scenario(&config);
+    assert_eq!(report.sim.events, 125_449);
+    assert_eq!(report.confirmed_requests, 388_700);
+    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 853_158_840);
+}
+
+/// The fig9geo golden point (4-region WAN, 10% stragglers, seed 0x6E0) through the
+/// parallel engine: pins the topology delivery path, whose per-message jitter draws
+/// are the easiest thing for a parallel tick to reorder.
+#[test]
+fn parallel_engine_reproduces_fig9geo_golden() {
+    let config = ScenarioConfig::paper(16)
+        .with_wan_regions(&FIG9GEO_REGIONS)
+        .with_straggler_fraction(0.10)
+        .with_seed(0x6E0)
+        .with_parallel(true);
+    let report = run_leopard_scenario(&config);
+    assert_eq!(report.sim.events, 32_974);
+    assert_eq!(report.confirmed_requests, 294_000);
+    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 844_733_759);
+    assert_eq!(report.sim.metrics.traffic.total_received_bytes(), 844_733_759);
+}
+
+/// Chaos case 142 (seed 7, n = 16 — the recovery-wedging schedule) through the
+/// parallel engine: crashes, partitions and state transfer under worker threads.
+#[test]
+fn parallel_engine_reproduces_chaos_case_142_golden() {
+    let schedule = FaultScheduleGenerator::new(16, 7).schedule(142);
+    let config = schedule.to_config().with_parallel(true);
+    let report = run_leopard_scenario_unchecked(&config);
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert_eq!(report.sim.events, 86_385);
+    assert_eq!(report.confirmed_requests, 42_800);
+    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 245_403_695);
+    assert_eq!(report.sim.metrics.traffic.total_received_bytes(), 237_660_959);
+    assert_eq!(report.views_entered, 2);
+}
+
+/// Property check over a spread of seeds at a scale the goldens do not cover: the two
+/// engines must agree on the full observation stream, not just the headline totals.
+#[test]
+fn engines_agree_across_seeds() {
+    for seed in [1u64, 42, 0xDEAD, 0xFEED_F00D] {
+        let config = ScenarioConfig::small(7).with_seed(seed);
+        assert_equivalent(&format!("small(7) seed {seed:#x}"), &config);
+    }
+}
+
+/// Fault-path property check: a leader crash plus a crash-restart window exercises the
+/// timer, crash and state-transfer paths under both engines.
+#[test]
+fn engines_agree_under_faults() {
+    use leopard::simnet::SimDuration;
+    let config = ScenarioConfig::small(7)
+        .with_seed(9)
+        .with_leader_crash_at(SimDuration::from_millis(300))
+        .with_crash_restart(
+            leopard::types::NodeId(3),
+            SimDuration::from_millis(600),
+            SimDuration::from_millis(1200),
+        )
+        .with_duration(SimDuration::from_secs(4));
+    assert_equivalent("small(7) leader crash + crash-restart", &config);
+}
