@@ -118,6 +118,13 @@ impl LeopardConfig {
         self
     }
 
+    /// Overrides the number of concurrent proposers `p` (the PR 9 multi-proposer
+    /// agreement plane; `1` = the classic single-leader protocol).
+    pub fn with_proposers(mut self, proposers: usize) -> Self {
+        self.params.proposers = proposers;
+        self
+    }
+
     /// Overrides the Byzantine behaviour.
     pub fn with_byzantine(mut self, behaviour: ByzantineBehavior) -> Self {
         self.byzantine = behaviour;

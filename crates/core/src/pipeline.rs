@@ -79,17 +79,52 @@ pub struct Pipeline {
     next_seq: SeqNum,
     /// The parallelism bound `k` (`max_parallel_instances`).
     k: usize,
+    /// The stripe this pipeline proposes on: serials `s` with
+    /// `(s − 1) mod stride == stripe` (PR 9 multi-proposer plane). The default
+    /// `(0, 1)` is the classic single-leader pipeline over every serial.
+    stripe: u64,
+    /// Number of stripes (`p`, the proposer count); `1` = single leader.
+    stride: u64,
 }
 
 impl Pipeline {
-    /// Creates an empty pipeline with parallelism bound `k`.
+    /// Creates an empty pipeline with parallelism bound `k` (stripe `0` of `1`:
+    /// the single-leader pipeline).
     pub fn new(k: usize) -> Self {
         Self {
             instances: BTreeMap::new(),
             in_flight: 0,
             next_seq: SeqNum::first(),
             k,
+            stripe: 0,
+            stride: 1,
         }
+    }
+
+    /// The stripe (of how many) a serial number belongs to.
+    pub fn stripe_of(seq: SeqNum, stride: u64) -> u64 {
+        debug_assert!(seq.0 >= 1 && stride >= 1);
+        (seq.0 - 1) % stride
+    }
+
+    /// Re-anchors this pipeline to `stripe` of `stride` (called on entering a view
+    /// under the multi-proposer plane). `next_seq` never decreases; it is advanced
+    /// to the nearest serial of the new stripe's residue class.
+    pub fn set_stripe(&mut self, stripe: u64, stride: u64) {
+        assert!(stride >= 1 && stripe < stride, "stripe {stripe} of {stride}");
+        self.stripe = stripe;
+        self.stride = stride;
+        self.align_next_seq();
+    }
+
+    /// Advances `next_seq` (without decreasing it) to the pipeline's residue class.
+    fn align_next_seq(&mut self) {
+        if self.stride <= 1 {
+            return;
+        }
+        let r = (self.next_seq.0 - 1) % self.stride;
+        let delta = (self.stripe + self.stride - r) % self.stride;
+        self.next_seq = SeqNum(self.next_seq.0 + delta);
     }
 
     /// The serial number the next proposal will use.
@@ -97,17 +132,20 @@ impl Pipeline {
         self.next_seq
     }
 
-    /// Takes the next serial number, advancing the counter.
+    /// Takes the next serial number, advancing the counter to the next serial of
+    /// this pipeline's stripe (`+1` for the single-leader stripe `0` of `1`).
     pub fn take_seq(&mut self) -> SeqNum {
         let seq = self.next_seq;
-        self.next_seq = self.next_seq.next();
+        self.next_seq = SeqNum(self.next_seq.0 + self.stride);
         seq
     }
 
     /// Raises `next_seq` to at least `seq` (used when a new view adopts re-proposed
-    /// blocks above the current counter).
+    /// blocks above the current counter), then re-aligns it onto this pipeline's
+    /// stripe (a no-op for the single-leader stripe).
     pub fn bump_next_seq(&mut self, seq: SeqNum) {
         self.next_seq = self.next_seq.max(seq);
+        self.align_next_seq();
     }
 
     /// Number of unconfirmed instances, in O(1).
@@ -278,6 +316,42 @@ mod tests {
         assert_eq!(pipeline.stall_reason(false, false, 5, hw), StallReason::WatermarkFull);
         // The checkpoint advances: proposing is possible again.
         assert_eq!(pipeline.stall_reason(false, false, 5, SeqNum(4)), StallReason::None);
+    }
+
+    #[test]
+    fn striped_pipeline_walks_its_residue_class() {
+        // Stripe 1 of 4: serials 2, 6, 10, …
+        let mut pipeline = Pipeline::new(8);
+        pipeline.set_stripe(1, 4);
+        assert_eq!(pipeline.take_seq(), SeqNum(2));
+        assert_eq!(pipeline.take_seq(), SeqNum(6));
+        assert_eq!(pipeline.next_seq(), SeqNum(10));
+        // A bump to an off-stripe serial aligns up to the class, never down.
+        pipeline.bump_next_seq(SeqNum(11));
+        assert_eq!(pipeline.next_seq(), SeqNum(14));
+        pipeline.bump_next_seq(SeqNum(14));
+        assert_eq!(pipeline.next_seq(), SeqNum(14));
+        // Re-anchoring to another stripe (a view change rotated the schedule)
+        // advances to that stripe's next serial.
+        pipeline.set_stripe(0, 4);
+        assert_eq!(pipeline.next_seq(), SeqNum(17));
+        // Stripe arithmetic: (s − 1) mod stride.
+        assert_eq!(Pipeline::stripe_of(SeqNum(1), 4), 0);
+        assert_eq!(Pipeline::stripe_of(SeqNum(2), 4), 1);
+        assert_eq!(Pipeline::stripe_of(SeqNum(8), 4), 3);
+        assert_eq!(Pipeline::stripe_of(SeqNum(9), 4), 0);
+        assert_eq!(Pipeline::stripe_of(SeqNum(7), 1), 0);
+    }
+
+    #[test]
+    fn single_stripe_is_the_classic_pipeline() {
+        // `set_stripe(0, 1)` must not perturb the sequential counter at all.
+        let mut pipeline = Pipeline::new(4);
+        pipeline.set_stripe(0, 1);
+        assert_eq!(pipeline.take_seq(), SeqNum(1));
+        assert_eq!(pipeline.take_seq(), SeqNum(2));
+        pipeline.bump_next_seq(SeqNum(9));
+        assert_eq!(pipeline.next_seq(), SeqNum(9));
     }
 
     #[test]

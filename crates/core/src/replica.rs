@@ -78,6 +78,19 @@ pub struct LeopardReplica {
     last_executed: SeqNum,
     confirmed_requests: u64,
     last_confirmation_at: Option<SimTime>,
+    // Highest serial this replica has seen confirmed anywhere (own stripe or not).
+    // Under multiple proposers a starved stripe must not hold the whole serial
+    // space hostage: an idle proposer fills its residue class with dummy blocks up
+    // to this mark so execution (which is strictly sequential) can drain past it.
+    highest_confirmed_seen: u64,
+    // The latest view whose ViewChange quorum this replica assembled itself (the
+    // genesis view counts: nothing precedes it). Proposing fresh blocks is only
+    // safe in an anchored view: the quorum evidence is what bumps `pipeline`
+    // past every serial an earlier view may have notarized, and stripe ownership
+    // shifts by one replica per view — a proposer that entered the view through a
+    // peer's NewView or a state-sync view claim has no such frontier and could
+    // double-assign a serial another proposer's block already holds.
+    anchored_view: View,
 
     // --- stall diagnostics (leader side) ---
     stall_guard: StallReason,
@@ -179,7 +192,7 @@ impl LeopardReplica {
             .validate()
             .unwrap_or_else(|message| panic!("invalid Leopard config: {message}"));
         let payload_size = config.params.payload_size as u32;
-        Self {
+        let mut replica = Self {
             id,
             mempool: Mempool::new(ClientId(id.0), payload_size),
             pool: DatablockPool::new(),
@@ -194,6 +207,8 @@ impl LeopardReplica {
             last_executed: SeqNum(0),
             confirmed_requests: 0,
             last_confirmation_at: None,
+            highest_confirmed_seen: 0,
+            anchored_view: View::initial(),
             stall_guard: StallReason::None,
             stall_guard_since: SimTime(0),
             view_changes: ViewChangeState::new(),
@@ -212,7 +227,9 @@ impl LeopardReplica {
             view: View::initial(),
             config,
             keys,
-        }
+        };
+        replica.anchor_pipeline_stripe();
+        replica
     }
 
     /// The replica's identifier.
@@ -233,6 +250,83 @@ impl LeopardReplica {
     /// True if this replica is the current leader.
     pub fn is_leader(&self) -> bool {
         self.leader() == self.id
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-proposer schedule (PR 9)
+    //
+    // Serial numbers are striped round-robin over `p = params.proposers`
+    // replicas: stripe `j` of view `v` is proposed by replica
+    // `((v mod n) + j) mod n`, and owns exactly the serials `s` with
+    // `(s − 1) mod p == j`. Stripe 0 is the classic leader, so `p = 1` is the
+    // single-leader protocol, bit for bit. Quorum intersection holds per serial
+    // because at most one replica may propose at any serial of any view — the
+    // stripes partition the serial space and the schedule is a deterministic
+    // function of `(view, n, p)` every honest replica evaluates identically.
+    // ------------------------------------------------------------------
+
+    /// Number of concurrent proposers `p`.
+    fn proposer_count(&self) -> u64 {
+        self.config.params.proposers as u64
+    }
+
+    /// The proposer of stripe `j` under `view`'s round-robin rotation.
+    fn proposer_of_stripe(view: View, j: u64, n: usize) -> NodeId {
+        NodeId((((view.0 % n as u64) + j) % n as u64) as u32)
+    }
+
+    /// The proposer that owns serial `seq` in the current view.
+    fn proposer_of_seq(&self, seq: SeqNum) -> NodeId {
+        let j = Pipeline::stripe_of(seq, self.proposer_count());
+        Self::proposer_of_stripe(self.view, j, self.n())
+    }
+
+    /// This replica's stripe in `view`'s proposer window, if it holds one.
+    fn stripe_in_view(&self, view: View) -> Option<u64> {
+        let n = self.n() as u64;
+        let base = view.0 % n;
+        let offset = (u64::from(self.id.0) + n - base) % n;
+        (offset < self.proposer_count()).then_some(offset)
+    }
+
+    /// This replica's stripe in the current view, if it is a proposer.
+    fn my_stripe(&self) -> Option<u64> {
+        self.stripe_in_view(self.view)
+    }
+
+    /// True if this replica proposes some stripe of the current view (equals
+    /// [`Self::is_leader`] when `proposers = 1`).
+    pub fn is_proposer(&self) -> bool {
+        self.my_stripe().is_some()
+    }
+
+    /// The proposer that Ready acks for `digest` are routed to. Datablocks are
+    /// keyed onto stripes by digest bytes so the linking (and the batch-verify /
+    /// combine load that follows) spreads evenly; each digest has exactly one
+    /// linking proposer per view, which is what keeps a datablock from being
+    /// linked twice by two stripes. `p = 1` routes to the leader, exactly as
+    /// before.
+    fn proposer_for_digest(&self, digest: &Digest) -> NodeId {
+        let p = self.proposer_count();
+        if p <= 1 {
+            return self.leader();
+        }
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&digest.as_bytes()[..8]);
+        let j = u64::from_le_bytes(prefix) % p;
+        Self::proposer_of_stripe(self.view, j, self.n())
+    }
+
+    /// Re-anchors the pipeline onto this replica's stripe of the current view
+    /// (a no-op for `proposers = 1`, preserving the single-leader schedule).
+    fn anchor_pipeline_stripe(&mut self) {
+        let p = self.proposer_count();
+        if p <= 1 {
+            return;
+        }
+        if let Some(stripe) = self.my_stripe() {
+            self.pipeline.set_stripe(stripe, p);
+        }
     }
 
     /// Serial number of the latest executed BFTblock.
@@ -283,21 +377,28 @@ impl LeopardReplica {
 
     /// The guard currently blocking this replica's pipeline, as a first-class value.
     ///
-    /// For the leader this is the first failing `propose()` guard; a non-leader only
-    /// ever reports [`StallReason::ViewChange`] or [`StallReason::None`].
+    /// For a proposer this is the first failing `propose()` guard; a non-proposer
+    /// only ever reports [`StallReason::ViewChange`] or [`StallReason::None`].
     pub fn current_stall(&self) -> StallReason {
-        if self.is_leader() {
+        if self.is_proposer() {
             self.pipeline.stall_reason(
                 self.behaviour().silent_as_leader(),
                 self.in_view_change,
                 self.ready.ready_count(),
-                self.checkpoints.high_watermark(self.config.params.max_parallel_instances),
+                self.checkpoints.high_watermark(self.instance_window()),
             )
         } else if self.in_view_change {
             StallReason::ViewChange
         } else {
             StallReason::None
         }
+    }
+
+    /// The checkpoint-window span: `k` serials for a single leader, `k·p` under the
+    /// multi-proposer plane (each of the `p` stripes may hold `k` instances in
+    /// flight, and the stripes interleave in the serial space).
+    fn instance_window(&self) -> usize {
+        self.config.params.max_parallel_instances * self.config.params.proposers
     }
 
     fn quorum(&self) -> usize {
@@ -353,11 +454,13 @@ impl LeopardReplica {
         let WorkloadMode::OpenLoop { aggregate_rps } = self.config.workload else {
             return;
         };
-        if self.is_leader() {
-            // Clients pick non-leader replicas (µ excludes the leader).
+        if self.is_proposer() {
+            // Clients pick non-proposer replicas (µ excludes the proposer window,
+            // which is just the leader when `proposers = 1`).
             return;
         }
-        let per_replica = aggregate_rps as f64 / (self.n() - 1) as f64;
+        let producers = (self.n() - self.config.params.proposers).max(1);
+        let per_replica = aggregate_rps as f64 / producers as f64;
         let per_tick = per_replica * WORKLOAD_TICK.as_secs_f64() + self.injection_carry;
         let whole = per_tick.floor() as usize;
         self.injection_carry = per_tick - whole as f64;
@@ -367,7 +470,7 @@ impl LeopardReplica {
     }
 
     fn generate_datablocks(&mut self, ctx: &mut Ctx<'_>) {
-        if self.is_leader() || self.in_view_change {
+        if self.is_proposer() || self.in_view_change {
             return;
         }
         if let Some(stop) = self.config.workload_stop {
@@ -405,7 +508,8 @@ impl LeopardReplica {
             self.pool.insert(datablock.clone());
             ctx.multicast(LeopardMessage::Datablock(datablock));
             if !self.behaviour().withholds_votes() {
-                ctx.send(self.leader(), LeopardMessage::Ready { digest });
+                let linker = self.proposer_for_digest(&digest);
+                ctx.send(linker, LeopardMessage::Ready { digest });
             }
             if !full {
                 // Only one partial datablock per flush.
@@ -436,7 +540,17 @@ impl LeopardReplica {
     /// paper; the `TOKEN_PROPOSE` tick (`flush = true`) bounds how long a partial
     /// batch can wait.
     fn propose(&mut self, ctx: &mut Ctx<'_>, flush: bool) {
-        if !self.is_leader() {
+        if !self.is_proposer() {
+            return;
+        }
+        // Never extend the serial space from a view this replica did not anchor
+        // (see `anchored_view`): without the quorum evidence the pipeline frontier
+        // may sit below serials an earlier view notarized under the shifted stripe
+        // map, and replicas reset those instances on view entry — a fresh block at
+        // such a serial forks the log. Staying mute here costs one view of this
+        // stripe's throughput at most: the stall feeds the complaint path and the
+        // next view change re-anchors every live proposer.
+        if self.view != self.anchored_view {
             return;
         }
         loop {
@@ -444,7 +558,7 @@ impl LeopardReplica {
                 self.behaviour().silent_as_leader(),
                 self.in_view_change,
                 self.ready.ready_count(),
-                self.checkpoints.high_watermark(self.config.params.max_parallel_instances),
+                self.checkpoints.high_watermark(self.instance_window()),
             );
             if reason != StallReason::None {
                 self.record_stall(reason, ctx.now());
@@ -468,6 +582,42 @@ impl LeopardReplica {
             }
 
             let block = Arc::new(BftBlock::new(self.view, seq, links));
+            let digest = block.digest();
+            charge(ctx, self.keys.provider.model().hash(block.wire_size()));
+            let share = self.sign(&digest, ctx);
+            self.pipeline.insert(seq, LeaderInstance::new(block.clone(), ctx.now()));
+            ctx.broadcast(LeopardMessage::PrePrepare { block, share });
+        }
+    }
+
+    /// Fills this proposer's residue class with dummy blocks when the stripe is
+    /// idle but other stripes have confirmed past it (Mir-BFT's null blocks).
+    ///
+    /// Execution is strictly sequential over serial numbers, so with `p > 1` a
+    /// stripe with no ready datablocks would otherwise hold every later serial of
+    /// the other stripes hostage. Dummies are bounded by the highest confirmation
+    /// seen anywhere, so a stripe never runs ahead of real progress; with `p = 1`
+    /// there is exactly one stripe and this is dead code (gated below).
+    fn fill_idle_stripe(&mut self, ctx: &mut Ctx<'_>) {
+        if self.proposer_count() <= 1
+            || !self.is_proposer()
+            // Dummies extend the serial space just like real proposals — an
+            // un-anchored view must not fill either (see `propose`).
+            || self.view != self.anchored_view
+            || self.in_view_change
+            || self.behaviour().silent_as_leader()
+            || self.ready.ready_count() > 0
+            || self.pipeline.in_flight() > 0
+        {
+            return;
+        }
+        let high_watermark = self.checkpoints.high_watermark(self.instance_window());
+        while self.pipeline.next_seq().0 <= self.highest_confirmed_seen
+            && self.pipeline.next_seq() <= high_watermark
+            && self.pipeline.in_flight() < self.config.params.max_parallel_instances
+        {
+            let seq = self.pipeline.take_seq();
+            let block = Arc::new(BftBlock::dummy(self.view, seq));
             let digest = block.digest();
             charge(ctx, self.keys.provider.model().hash(block.wire_size()));
             let share = self.sign(&digest, ctx);
@@ -545,7 +695,8 @@ impl LeopardReplica {
             return; // duplicate counter
         };
         if !self.behaviour().withholds_votes() {
-            ctx.send(self.leader(), LeopardMessage::Ready { digest });
+            let linker = self.proposer_for_digest(&digest);
+            ctx.send(linker, LeopardMessage::Ready { digest });
         }
         // A pending retrieval for this datablock is no longer needed.
         let waiting = self.retrieval.cancel(&digest);
@@ -555,11 +706,14 @@ impl LeopardReplica {
     }
 
     fn handle_ready(&mut self, from: NodeId, digest: Digest, ctx: &mut Ctx<'_>) {
-        if !self.is_leader() {
+        // Each digest is routed to exactly one proposer (`proposer_for_digest`), so no
+        // two stripes can ever link the same datablock: a Ready that lands on any other
+        // replica is dropped, which also keeps `p = 1` identical to the leader-only path.
+        if self.proposer_for_digest(&digest) != self.id {
             return;
         }
-        // Only datablocks the leader itself stores may become ready (it must be able to
-        // serve retrieval queries for everything it links).
+        // Only datablocks the proposer itself stores may become ready (it must be able
+        // to serve retrieval queries for everything it links).
         if !self.pool.contains(&digest) {
             return;
         }
@@ -591,19 +745,21 @@ impl LeopardReplica {
         if block.id.view != self.view || self.in_view_change {
             return;
         }
-        if from != self.leader() {
+        if from != self.proposer_of_seq(block.id.seq) {
+            // Under the multi-proposer plane each serial has exactly one legitimate
+            // proposer per view (the stripe owner); for `proposers = 1` this is the
+            // classic `from != leader` check.
             return;
         }
         let digest = block.digest();
         charge(ctx, self.keys.provider.model().hash(block.wire_size()));
-        if share.signer != self.leader().signer_index() || !self.verify_share(&share, &digest, ctx)
-        {
+        if share.signer != from.signer_index() || !self.verify_share(&share, &digest, ctx) {
             return;
         }
         let seq = block.id.seq;
         let lw = self.checkpoints.low_watermark().0;
-        let k = self.config.params.max_parallel_instances as u64;
-        if seq.0 <= lw || seq.0 > lw + k {
+        let window = self.instance_window() as u64;
+        if seq.0 <= lw || seq.0 > lw + window {
             return;
         }
         let instance = self.replica_instances.entry(seq.0).or_default();
@@ -698,7 +854,7 @@ impl LeopardReplica {
         if self.in_view_change {
             return;
         }
-        let leader = self.leader();
+        let proposer = self.proposer_of_seq(seq);
         let Some(instance) = self.replica_instances.get_mut(&seq.0) else {
             return;
         };
@@ -715,7 +871,7 @@ impl LeopardReplica {
             .sign_share(self.keys.keypair(self.id.as_index()), &digest);
         charge(ctx, cost);
         ctx.send(
-            leader,
+            proposer,
             LeopardMessage::PrepareVote {
                 seq,
                 block_digest: digest,
@@ -754,7 +910,7 @@ impl LeopardReplica {
         share: leopard_crypto::threshold::SignatureShare,
         ctx: &mut Ctx<'_>,
     ) {
-        if !self.is_leader() {
+        if self.proposer_of_seq(seq) != self.id {
             return;
         }
         // Only the signer-identity check happens per vote; the share values are
@@ -817,8 +973,9 @@ impl LeopardReplica {
                     .provider
                     .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
                 charge(ctx, cost);
+                let proposer = self.proposer_of_seq(seq);
                 ctx.send(
-                    self.leader(),
+                    proposer,
                     LeopardMessage::CommitVote {
                         seq,
                         proof_digest: notarization_digest,
@@ -871,7 +1028,7 @@ impl LeopardReplica {
         if self.in_view_change {
             return;
         }
-        let leader = self.leader();
+        let proposer = self.proposer_of_seq(seq);
         let Some(instance) = self.replica_instances.get_mut(&seq.0) else {
             return;
         };
@@ -888,7 +1045,7 @@ impl LeopardReplica {
             .sign_share(self.keys.keypair(self.id.as_index()), &notarization_digest);
         charge(ctx, cost);
         ctx.send(
-            leader,
+            proposer,
             LeopardMessage::CommitVote {
                 seq,
                 proof_digest: notarization_digest,
@@ -905,7 +1062,7 @@ impl LeopardReplica {
         share: leopard_crypto::threshold::SignatureShare,
         ctx: &mut Ctx<'_>,
     ) {
-        if !self.is_leader() {
+        if self.proposer_of_seq(seq) != self.id {
             return;
         }
         if share.signer != from.signer_index() {
@@ -926,6 +1083,7 @@ impl LeopardReplica {
             return;
         };
         self.pipeline.record_confirmation(seq, proof);
+        self.highest_confirmed_seen = self.highest_confirmed_seen.max(seq.0);
         ctx.broadcast(LeopardMessage::ConfirmationProof {
             seq,
             proof_digest,
@@ -967,6 +1125,7 @@ impl LeopardReplica {
         self.pending_confirmations.remove(&seq.0);
         instance.state = BlockState::Confirmed;
         instance.confirmation = Some(proof);
+        self.highest_confirmed_seen = self.highest_confirmed_seen.max(seq.0);
         if let Some(block) = instance.block.clone() {
             self.log.insert(seq.0, block);
         }
@@ -1124,6 +1283,9 @@ impl LeopardReplica {
         if !self.checkpoints.advance_proven(seq, state_digest, proof) {
             return;
         }
+        // A stable checkpoint is quorum evidence that everything at or below it
+        // confirmed, even if this replica never saw the individual proofs.
+        self.highest_confirmed_seen = self.highest_confirmed_seen.max(seq.0);
         // Garbage collection: drop instances, log entries and executed datablocks at or
         // below the new watermark.
         let watermark = seq.0;
@@ -1303,6 +1465,7 @@ impl LeopardReplica {
             let digest = checkpoint_digest(checkpoint_seq, &checkpoint_state);
             if self.verify_combined(&proof, &digest, ctx) {
                 self.checkpoints.advance_proven(checkpoint_seq, checkpoint_state, proof);
+                self.highest_confirmed_seen = self.highest_confirmed_seen.max(checkpoint_seq.0);
             }
         }
         // Jump execution to the stable watermark — whether it came from this response
@@ -1361,6 +1524,7 @@ impl LeopardReplica {
         instance.block = Some(entry.block.clone());
         instance.block_digest = Some(block_digest);
         instance.state = BlockState::Confirmed;
+        self.highest_confirmed_seen = self.highest_confirmed_seen.max(seq.0);
         instance.notarization = Some(entry.notarization);
         instance.notarization_digest = Some(notarization_digest);
         instance.confirmation = Some(entry.confirmation);
@@ -1443,7 +1607,8 @@ impl LeopardReplica {
                 received_bytes,
             });
             if self.pool.insert(datablock).is_some() && !self.behaviour().withholds_votes() {
-                ctx.send(self.leader(), LeopardMessage::Ready { digest });
+                let linker = self.proposer_for_digest(&digest);
+                ctx.send(linker, LeopardMessage::Ready { digest });
             }
             for seq in waiting {
                 self.resolve_missing_link(seq, digest, ctx);
@@ -1545,6 +1710,20 @@ impl LeopardReplica {
                 self.maybe_state_sync(ctx);
                 return;
             }
+            // The cluster confirmed serials past this replica's execution gap, but the
+            // gap's own agreement messages never arrived — PrePrepare, notarization and
+            // confirmation were all lost to a partition or crash window, and none are
+            // ever re-sent. With one proposer the leader's region is every replica's
+            // region-of-interest, so a severed minority always took the whole cluster
+            // (and a view change) with it; with striped proposers a minority region can
+            // lose exactly one stripe's window while the rest of the system keeps
+            // confirming, so no complaint quorum ever assembles. Peers hold the
+            // confirmed entries — fetch them. Still complain below: if the gap's
+            // stripe is genuinely dead (its proposer crashed before notarizing it),
+            // no peer has the entry and only a view change can fill the serial.
+            if self.highest_confirmed_seen >= gap {
+                self.maybe_state_sync(ctx);
+            }
             // Re-broadcast on every fire while the stall lasts: replicas enter a view
             // at different instants, and a Timeout share delivered before the receiver
             // entered the view is dropped — the periodic re-send makes the 2f+1
@@ -1605,7 +1784,6 @@ impl LeopardReplica {
         self.in_view_change = true;
         self.view_change_started_at = Some(ctx.now());
         let new_view = old_view.next();
-        let next_leader = new_view.leader(self.n());
 
         // Collect every notarized-or-better block above the stable checkpoint: the
         // prepared set (evidence that survived earlier view entries) merged with the
@@ -1639,9 +1817,13 @@ impl LeopardReplica {
             checkpoint_seq: self.checkpoints.low_watermark(),
             notarized,
         };
-        ctx.send(next_leader, message.clone());
-        if next_leader == self.id {
-            // Self-send happens through the same path for uniformity.
+        // Every proposer of the new view needs the evidence: each re-proposes only
+        // its own stripe, so all `p` of them must independently reach a `2f+1`
+        // quorum of ViewChange messages. With `p = 1` this is exactly the classic
+        // single send to the next leader.
+        for j in 0..self.proposer_count() {
+            let proposer = Self::proposer_of_stripe(new_view, j, self.n());
+            ctx.send(proposer, message.clone());
         }
         // The replica stops participating in the old view; it resumes on new-view.
         let _ = old_view;
@@ -1655,12 +1837,10 @@ impl LeopardReplica {
         notarized: Vec<NotarizedEntry>,
         ctx: &mut Ctx<'_>,
     ) {
-        if new_view.leader(self.n()) != self.id || new_view.0 <= self.view.0 && !self.in_view_change
-        {
-            // Only the prospective leader of `new_view` processes these.
-            if new_view.leader(self.n()) != self.id {
-                return;
-            }
+        // Only a prospective proposer of `new_view` processes these (with a single
+        // proposer that is exactly the prospective leader).
+        if self.stripe_in_view(new_view).is_none() {
+            return;
         }
         // Verify the notarization proofs before accepting the entries.
         let valid: Vec<NotarizedEntry> = notarized
@@ -1671,7 +1851,7 @@ impl LeopardReplica {
         self.view_changes
             .record_view_change(new_view, from, checkpoint_seq, valid, bytes);
         if let Some(payload) = self.view_changes.build_new_view(new_view, self.quorum()) {
-            // Become the leader of the new view.
+            // Become a proposer of the new view.
             self.enter_view(new_view, ctx);
             let blocks = payload.entries.clone();
             ctx.broadcast(LeopardMessage::NewView {
@@ -1681,18 +1861,34 @@ impl LeopardReplica {
                 blocks: blocks.clone(),
             });
 
-            // Re-propose the surviving blocks (and dummies for the gaps) in the new view.
+            // Re-propose the surviving blocks (and dummies for the gaps) in the new
+            // view — but only the serials on this replica's own stripe. The other
+            // proposers of `new_view` received the same ViewChange quorum and cover
+            // their stripes from the identical evidence, so every serial above the
+            // stable checkpoint is re-proposed exactly once system-wide.
+            let p = self.proposer_count();
+            let stripe = self.my_stripe().expect("checked by the guard above");
             let mut highest = payload.stable_checkpoint.0;
             for entry in &blocks {
-                highest = highest.max(entry.block.id.seq.0);
-                let block = Arc::new(BftBlock::new(new_view, entry.block.id.seq, entry.block.links.clone()));
+                let seq = entry.block.id.seq;
+                highest = highest.max(seq.0);
+                if Pipeline::stripe_of(seq, p) != stripe {
+                    continue;
+                }
+                let block = Arc::new(BftBlock::new(new_view, seq, entry.block.links.clone()));
                 self.repropose(block, ctx);
             }
             for gap in &payload.gaps {
+                if Pipeline::stripe_of(*gap, p) != stripe {
+                    continue;
+                }
                 let block = Arc::new(BftBlock::dummy(new_view, *gap));
                 self.repropose(block, ctx);
             }
             self.pipeline.bump_next_seq(SeqNum(highest + 1));
+            // The frontier now clears everything the quorum evidence could have
+            // notarized — fresh proposals in this view are safe.
+            self.anchored_view = new_view;
             // Event-driven pipeline: the new leader extends with whatever became ready
             // while the view-change was in flight.
             self.propose(ctx, true);
@@ -1717,7 +1913,12 @@ impl LeopardReplica {
         if view.0 <= self.view.0 {
             return;
         }
-        if from != view.leader(self.n()) {
+        // Any proposer of `view` may announce it (each one independently assembles
+        // the same ViewChange quorum); with a single proposer only the new leader
+        // qualifies, as before.
+        let n = self.n() as u64;
+        let offset = (u64::from(from.0) + n - view.0 % n) % n;
+        if offset >= self.proposer_count() {
             return;
         }
         if (view_change_count as usize) < self.quorum() {
@@ -1729,6 +1930,9 @@ impl LeopardReplica {
     fn enter_view(&mut self, view: View, ctx: &mut Ctx<'_>) {
         self.view = view;
         self.in_view_change = false;
+        // The proposer rotation shifted by one: re-anchor the pipeline onto this
+        // replica's stripe of the new view (no-op for a single proposer).
+        self.anchor_pipeline_stripe();
         // Each view entered without intervening progress doubles the patience before
         // the next complaint (reset by `fire_progress_timer` once confirmations flow).
         self.progress_backoff = (self.progress_backoff + 1).min(3);
@@ -1915,6 +2119,7 @@ impl Protocol for LeopardReplica {
                 // the periodic tick bounds how long a partial batch waits and guards
                 // against a missed wake-up.
                 self.propose(ctx, true);
+                self.fill_idle_stripe(ctx);
                 ctx.set_timer(self.config.propose_interval, TOKEN_PROPOSE);
             }
             TOKEN_PROGRESS => {
@@ -2002,6 +2207,64 @@ mod tests {
     fn seven_replicas_confirm_requests() {
         let (report, _) = run_small(7, |_| LeopardConfig::small_test(7), FaultPlan::none(), 2);
         assert!(report.metrics.max_confirmed_requests(7) > 100);
+    }
+
+    #[test]
+    fn two_proposers_confirm_requests() {
+        let (report, _) = run_small(
+            4,
+            |_| LeopardConfig::small_test(4).with_proposers(2),
+            FaultPlan::none(),
+            2,
+        );
+        assert!(report.metrics.max_confirmed_requests(4) > 100);
+        for node in 0..4u32 {
+            assert!(
+                report.metrics.confirmed_requests_at(NodeId(node)) > 0,
+                "replica {node} confirmed nothing under two proposers"
+            );
+        }
+    }
+
+    #[test]
+    fn four_proposers_confirm_requests_at_seven() {
+        let (report, _) = run_small(
+            7,
+            |_| LeopardConfig::small_test(7).with_proposers(4),
+            FaultPlan::none(),
+            2,
+        );
+        assert!(report.metrics.max_confirmed_requests(7) > 100);
+    }
+
+    #[test]
+    fn silent_proposer_on_secondary_stripe_triggers_view_change_and_recovery() {
+        let n = 7; // f = 2: tolerates the faulty replica staying Byzantine across views.
+        let (report, _) = run_small(
+            n,
+            |id| {
+                let config = LeopardConfig::small_test(n).with_proposers(2);
+                // View 1's proposers are replicas 1 (stripe 0 = the leader) and 2
+                // (stripe 1). Replica 2 never proposes, so its residue class stalls
+                // while the leader's stripe keeps confirming — the progress watchdog
+                // must still demote it rather than wedging execution forever.
+                if id == NodeId(2) {
+                    config.with_byzantine(ByzantineBehavior::SilentLeader)
+                } else {
+                    config
+                }
+            },
+            FaultPlan::none(),
+            6,
+        );
+        let view_changes: Vec<_> = report
+            .metrics
+            .observations
+            .iter()
+            .filter(|o| matches!(o.kind, ObservationKind::ViewChange { .. }))
+            .collect();
+        assert!(!view_changes.is_empty(), "no view change demoted the silent proposer");
+        assert!(report.metrics.max_confirmed_requests(n) > 0);
     }
 
     #[test]

@@ -118,6 +118,11 @@ pub struct ChaosSchedule {
     pub n: usize,
     /// `true` when the run uses the four-region WAN topology ([`FIG9GEO_REGIONS`]).
     pub wan: bool,
+    /// Concurrent BFTblock proposers (the PR 9 multi-proposer plane); `1` is the
+    /// classic single-leader protocol. Schedules with `proposers > 1` bias their
+    /// Byzantine/crash draws onto the initial view's proposer slots, so faulty
+    /// *proposers* — not just faulty leaders — are part of the fuzzed space.
+    pub proposers: usize,
     /// The scheduled faults, in generation order.
     pub faults: Vec<ChaosFault>,
 }
@@ -187,6 +192,7 @@ impl ChaosSchedule {
             .with_liveness_bound(Self::gst())
             .with_progress_timeout(SimDuration::from_millis(timeout_ms))
             .with_crypto_mode(CryptoMode::Metered)
+            .with_proposers(self.proposers.max(1))
             .with_seed(case_seed(self.master_seed, self.case_index));
         if self.wan {
             config = config.with_wan_regions(&FIG9GEO_REGIONS);
@@ -223,11 +229,12 @@ impl ChaosSchedule {
     /// A multi-line human-readable rendering of the schedule.
     pub fn describe(&self) -> String {
         let mut out = format!(
-            "schedule seed {} case {} (n = {}, {}): {} fault(s)",
+            "schedule seed {} case {} (n = {}, {}, {} proposer(s)): {} fault(s)",
             self.master_seed,
             self.case_index,
             self.n,
             if self.wan { "4-region WAN" } else { "flat LAN" },
+            self.proposers.max(1),
             self.faults.len()
         );
         for fault in &self.faults {
@@ -281,13 +288,37 @@ impl FaultScheduleGenerator {
     /// Generates case `case_index` of this generator's schedule stream.
     pub fn schedule(&self, case_index: usize) -> ChaosSchedule {
         let mut rng = StdRng::seed_from_u64(case_seed(self.master_seed, case_index));
+        // The proposer overlay draws from a forked sub-stream: growing the generator
+        // must not reshuffle the crash/Byzantine/partition draws of every historical
+        // case, or shrunk reproducer lines recorded before the feature landed would
+        // silently reproduce different fault schedules.
+        let mut overlay_rng =
+            StdRng::seed_from_u64(case_seed(self.master_seed, case_index) ^ 0x70726F_706F73_6572);
         let f = (self.n - 1) / 3;
         let mut faults = Vec::new();
+
+        // Multi-proposer draw: half the schedules run the PR 9 agreement plane with
+        // p ∈ {2, 4} concurrent proposers (capped at n/4 so non-proposing producers
+        // always remain; below n = 8 the cap collapses the draw back to 1).
+        let proposers = if overlay_rng.gen_bool(0.5) {
+            (*[2usize, 4].choose(&mut overlay_rng).expect("non-empty")).min(self.n / 4).max(1)
+        } else {
+            1
+        };
 
         // Byzantine role draws: b ≤ min(f, 2) distinct replicas, behaviours from the
         // full adversarial catalogue (agreement plane and recovery plane alike).
         let mut ids: Vec<u32> = (0..self.n as u32).collect();
         ids.shuffle(&mut rng);
+        if proposers > 1 && overlay_rng.gen_bool(0.5) {
+            // Bias the corruption/crash draws onto the initial view's proposer slots
+            // (replicas `(1 + j) mod n`, `j < p`): a faulty replica that *owns a
+            // stripe* exercises the per-stripe view-change demotion path, which a
+            // uniform draw at n = 16+ would rarely hit. A stable sort keeps the
+            // shuffled order within each group, so the draw stays seed-deterministic.
+            let n = self.n as u32;
+            ids.sort_by_key(|&id| (id + n - 1) % n >= proposers as u32);
+        }
         let byzantine_count = rng.gen_range(0..=f.min(2));
         let behaviours = ByzantineBehavior::all_byzantine();
         for &id in &ids[..byzantine_count] {
@@ -361,6 +392,7 @@ impl FaultScheduleGenerator {
             case_index,
             n: self.n,
             wan,
+            proposers,
             faults,
         }
     }
@@ -627,6 +659,33 @@ mod tests {
         assert!(silent, "no SilentStateResponder drawn in 200 cases");
     }
 
+    /// The schedule stream exercises the multi-proposer plane, including faulty
+    /// replicas landing on the initial view's proposer slots.
+    #[test]
+    fn generator_draws_multi_proposer_schedules_with_faulty_proposers() {
+        let generator = FaultScheduleGenerator::new(16, 7);
+        let mut multi = 0usize;
+        let mut faulty_proposer = false;
+        for case in 0..200 {
+            let schedule = generator.schedule(case);
+            assert!(schedule.proposers >= 1 && schedule.proposers <= 16 / 4);
+            if schedule.proposers > 1 {
+                multi += 1;
+                for fault in &schedule.faults {
+                    if let ChaosFault::Byzantine { node, .. } | ChaosFault::CrashRestart { node, .. } =
+                        fault
+                    {
+                        // Initial view's proposer slots are (1 + j) mod n, j < p.
+                        let offset = (node.0 + 16 - 1) % 16;
+                        faulty_proposer |= (offset as usize) < schedule.proposers;
+                    }
+                }
+            }
+        }
+        assert!(multi >= 50, "only {multi}/200 schedules drew multiple proposers");
+        assert!(faulty_proposer, "no Byzantine/crashed replica landed on a proposer slot in 200 cases");
+    }
+
     /// `to_config` maps every fault onto the scenario builder and arms the liveness
     /// bound, thrash bound and progress-timeout override.
     #[test]
@@ -636,6 +695,7 @@ mod tests {
             case_index: 0,
             n: 16,
             wan: true,
+            proposers: 2,
             faults: vec![
                 ChaosFault::Byzantine {
                     node: NodeId(5),
@@ -657,6 +717,7 @@ mod tests {
         };
         let config = schedule.to_config();
         assert_eq!(config.n, 16);
+        assert_eq!(config.proposers, 2);
         assert_eq!(config.byzantine.len(), 1);
         assert_eq!(config.crash_restarts.len(), 1);
         assert_eq!(config.partitions.len(), 1);
@@ -684,6 +745,7 @@ mod tests {
             case_index: 2,
             n: 16,
             wan: true,
+            proposers: 1,
             faults: vec![
                 ChaosFault::Stragglers { count: 1 },
                 ChaosFault::CrashRestart {
@@ -748,3 +810,4 @@ mod tests {
         assert_eq!(options.scales, vec![16]);
     }
 }
+

@@ -472,6 +472,108 @@ pub fn fig9cpu_compute_bound(quick: bool) -> Table {
     table
 }
 
+/// The fig9mp column set: one row per (proposers, cores) cell, with the per-replica
+/// compute-utilization columns that decide the experiment (is any single replica
+/// CPU-bound?) and the wall clock for the engine-speed log.
+const FIG9MP_HEADERS: &[&str] = &[
+    "n",
+    "proposers",
+    "cores",
+    "Leopard (Kreqs/s)",
+    "Leopard steady (Kreqs/s)",
+    "leader cpu",
+    "max cpu",
+    "mean cpu",
+    "wall (s)",
+    "Leopard diagnostics",
+];
+
+/// One fig9mp cell: the BLS-grade CPU-bound scenario of `fig9cpu`, with `proposers`
+/// concurrent BFTblock proposers and `cores` worker lanes per replica.
+fn fig9mp_run(n: usize, proposers: usize, cores: usize) -> ScenarioReport {
+    let config = ScenarioConfig::paper(n)
+        .with_crypto_mode(leopard_crypto::provider::CryptoMode::Metered)
+        .with_cost_model(leopard_types::CostModelKind::BlsPaper)
+        .with_proposers(proposers)
+        .with_cores(cores);
+    run_leopard_scenario(&config)
+}
+
+fn fig9mp_row(n: usize, proposers: usize, cores: usize, leopard: &ScenarioReport, wall_secs: f64) -> Vec<String> {
+    let fmt_cpu = |utilization: f64| format!("{:.1}%", utilization * 100.0);
+    vec![
+        n.to_string(),
+        proposers.to_string(),
+        cores.to_string(),
+        fmt_annotated(leopard.throughput_kreqs(), leopard),
+        fmt_annotated(leopard.steady_state_kreqs(), leopard),
+        fmt_cpu(leopard.leader_compute_utilization),
+        fmt_cpu(leopard.max_compute_utilization),
+        fmt_cpu(leopard.mean_compute_utilization),
+        format!("{wall_secs:.2}"),
+        leopard.stall_summary(),
+    ]
+}
+
+/// Fig. 9 (multi-proposer variant) — the CPU-bound sweep of `fig9cpu` rerun under the
+/// PR 9 multi-proposer agreement plane and multi-core compute model.
+///
+/// Under BLS-grade costs the single leader's quorum settlement (batch-verify +
+/// combine over `2f` shares, twice per BFTblock) is the first replica to saturate as
+/// `n` grows. Rotating proposing over `p` stripes divides that settlement load by
+/// `p`, and `k` worker lanes divide what remains per replica by up to `k` — so the
+/// experiment's question is whether the max per-replica utilization drops below
+/// CPU-bound (< 90%) at the paper's n = 600 ceiling while throughput holds. The
+/// `p = 1, k = 1` row is the bit-identical classic protocol and serves as baseline.
+pub fn fig9mp_multi_proposer(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 9 (multi-proposer) — CPU-bound scaling with p proposers × k cores",
+        FIG9MP_HEADERS,
+    );
+    let (n, grid): (usize, Vec<(usize, usize)>) = if quick {
+        (16, vec![(1, 1), (1, 2), (2, 1), (2, 2)])
+    } else {
+        (
+            600,
+            vec![(1, 1), (1, 4), (2, 1), (2, 4), (4, 1), (4, 4), (8, 1), (8, 4)],
+        )
+    };
+    for (proposers, cores) in grid {
+        let start = std::time::Instant::now();
+        let leopard = fig9mp_run(n, proposers, cores);
+        let wall_secs = start.elapsed().as_secs_f64();
+        table.push_row(fig9mp_row(n, proposers, cores, &leopard, wall_secs));
+    }
+    table
+}
+
+/// Fig. 9 (multi-proposer) smoke — the baseline cell and one multi-proposer cell at
+/// n = 128, always at full scale (ignoring `quick`). CI runs it under
+/// `--require-nonzero Leopard` and `--max-wall-clock`; on top of that the smoke
+/// itself asserts the multi-proposer cell is not CPU-bound (max per-replica
+/// utilization < 90%), so a regression that re-centralises the quorum-verification
+/// load on one replica fails the build even if throughput stays nonzero.
+pub fn fig9mp_smoke(_quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig. 9 (multi-proposer) smoke — p=4 × k=4 must not be CPU-bound at n = 128",
+        FIG9MP_HEADERS,
+    );
+    for (proposers, cores) in [(1usize, 1usize), (4, 4)] {
+        let start = std::time::Instant::now();
+        let leopard = fig9mp_run(128, proposers, cores);
+        let wall_secs = start.elapsed().as_secs_f64();
+        if proposers > 1 {
+            assert!(
+                leopard.max_compute_utilization < 0.90,
+                "fig9mpsmoke: p={proposers} k={cores} max compute utilization {:.1}% >= 90% — a replica is CPU-bound",
+                leopard.max_compute_utilization * 100.0
+            );
+        }
+        table.push_row(fig9mp_row(128, proposers, cores, &leopard, wall_secs));
+    }
+    table
+}
+
 /// Fig. 10 — effectiveness of scaling up: throughput and latency under 20–200 Mbps
 /// per-replica bandwidth.
 pub fn fig10_scaling_up(quick: bool) -> Table {
@@ -926,8 +1028,8 @@ pub fn fig13_view_change(quick: bool) -> Table {
 /// Every experiment id understood by [`run_experiment`].
 pub const EXPERIMENT_IDS: &[&str] = &[
     "fig1", "fig2", "tab1", "fig6", "fig7", "fig8", "tab2", "fig9", "fig9smoke", "fig9xl",
-    "fig9xlsmoke", "fig9cpu", "fig9geo", "fig10", "tab3", "tab4", "fig11", "fig12", "fig13",
-    "fig13smoke", "fig13vc", "chaos", "chaossmoke",
+    "fig9xlsmoke", "fig9cpu", "fig9mp", "fig9mpsmoke", "fig9geo", "fig10", "tab3", "tab4",
+    "fig11", "fig12", "fig13", "fig13smoke", "fig13vc", "chaos", "chaossmoke",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for an unknown id.
@@ -958,6 +1060,8 @@ pub fn run_experiment_with(id: &str, quick: bool, chaos: &ChaosOverrides) -> Opt
         "fig9xl" => fig9xl_scaling(quick),
         "fig9xlsmoke" => fig9xl_smoke(quick),
         "fig9cpu" => fig9cpu_compute_bound(quick),
+        "fig9mp" => fig9mp_multi_proposer(quick),
+        "fig9mpsmoke" => fig9mp_smoke(quick),
         "fig9geo" => fig9geo_throughput_scaling(quick),
         "fig10" => fig10_scaling_up(quick),
         "tab3" => tab3_bandwidth_breakdown(quick),

@@ -115,6 +115,12 @@ pub struct ScenarioConfig {
     /// sequential engine by construction — `tests/engine_equivalence.rs` guards it —
     /// so this is purely a wall-clock knob for large-`n` sweeps.
     pub parallel: bool,
+    /// Number of concurrent BFTblock proposers (the PR 9 multi-proposer agreement
+    /// plane). `1` is the classic single-leader protocol, bit for bit.
+    pub proposers: usize,
+    /// Worker lanes (cores) per replica in the simulator's compute model. `1` is the
+    /// classic single-core horizon, bit for bit (see `NetworkConfig::with_cores`).
+    pub cores: usize,
 }
 
 impl ScenarioConfig {
@@ -153,6 +159,8 @@ impl ScenarioConfig {
             progress_timeout: None,
             workload_stop: None,
             parallel: DEFAULT_PARALLEL.load(Ordering::Relaxed),
+            proposers: 1,
+            cores: 1,
         }
     }
 
@@ -186,7 +194,22 @@ impl ScenarioConfig {
             progress_timeout: None,
             workload_stop: None,
             parallel: DEFAULT_PARALLEL.load(Ordering::Relaxed),
+            proposers: 1,
+            cores: 1,
         }
+    }
+
+    /// Overrides the number of concurrent proposers (`1` = single leader).
+    pub fn with_proposers(mut self, proposers: usize) -> Self {
+        self.proposers = proposers;
+        self
+    }
+
+    /// Overrides the per-replica core count of the compute model (`1` = the classic
+    /// single-core horizon).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
     }
 
     /// Overrides the per-replica bandwidth (Mbps).
@@ -550,6 +573,9 @@ impl ScenarioConfig {
 
     fn network(&self) -> NetworkConfig {
         let mut config = self.base_network();
+        if self.cores > 1 {
+            config = config.with_cores(self.cores);
+        }
         if self.slow_replicas > 0 && self.slow_cpu_factor != 1.0 {
             for node in self.highest_non_leader_ids(self.slow_replicas) {
                 config = config.with_node_cpu_speed(node, self.slow_cpu_factor);
@@ -591,9 +617,11 @@ impl ScenarioConfig {
         config.params.payload_size = self.workload.payload_size;
         config.params.datablock_size = self.datablock_size;
         config.params.bftblock_size = self.bftblock_size;
+        config.params.proposers = self.proposers;
         // Saturated pacing calibrated so the aggregate datablock production matches the
-        // offered load (see EXPERIMENTS.md, "calibration").
-        let producers = (self.n - 1).max(1) as f64;
+        // offered load (see EXPERIMENTS.md, "calibration"). Proposers do not produce
+        // datablocks, so the per-producer pacing spreads over `n − p` replicas.
+        let producers = (self.n - self.proposers.max(1)).max(1) as f64;
         let pacing_secs =
             producers * self.datablock_size as f64 / self.workload.aggregate_rps.max(1) as f64;
         config.workload = WorkloadMode::Saturated {

@@ -414,6 +414,8 @@ pub struct ResolvedTopology {
     pub links: Vec<LinkConfig>,
     /// Effective CPU speed factor of each node (straggler factor already multiplied in).
     pub cpu_speeds: Vec<f64>,
+    /// Worker-lane count of each node's compute queue (`1` = the sequential model).
+    pub cores: Vec<usize>,
     /// Region index of each node.
     pub node_region: Vec<u32>,
     /// Number of regions (1 for the flat scalar model).
@@ -483,6 +485,13 @@ pub struct NetworkConfig {
     /// [`Self::links`]. A factor below `1.0` models a slower core (the heterogeneous-
     /// CPU experiments), above `1.0` a faster one.
     pub cpu_speeds: Vec<f64>,
+    /// Per-node compute worker-lane counts (multi-core replicas): modeled compute is
+    /// dispatched to the earliest-free of a node's `cores` lanes (ties broken by the
+    /// lowest lane index). Either empty (every node single-core), one entry shared by
+    /// every node, or one entry per node — the same convention as [`Self::cpu_speeds`].
+    /// With one lane the dispatch degenerates to the sequential compute queue, so a
+    /// `cores = 1` configuration is bit-identical to the pre-multi-core model.
+    pub cores: Vec<usize>,
     /// Geo-distributed topology (regions, pairwise latency matrix, bandwidth classes,
     /// stragglers). `None` selects the flat scalar model of
     /// [`Self::base_latency`]/[`Self::jitter`]; a flat single-region topology is
@@ -504,6 +513,7 @@ impl NetworkConfig {
             seed: 0xC0FFEE,
             half_duplex: true,
             cpu_speeds: Vec::new(),
+            cores: Vec::new(),
             topology: None,
         }
     }
@@ -573,6 +583,31 @@ impl NetworkConfig {
         self
     }
 
+    /// Sets one shared compute worker-lane count for every node.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = vec![cores];
+        self
+    }
+
+    /// Overrides the compute worker-lane count of a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this network.
+    pub fn with_node_cores(mut self, node: usize, cores: usize) -> Self {
+        assert!(
+            node < self.nodes,
+            "with_node_cores: node {node} out of range for a {}-node network",
+            self.nodes
+        );
+        if self.cores.len() != self.nodes {
+            let shared = self.cores.first().copied().unwrap_or(1);
+            self.cores = vec![shared; self.nodes];
+        }
+        self.cores[node] = cores;
+        self
+    }
+
     /// Installs a geo-distributed topology (see [`Topology`]).
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = Some(topology);
@@ -587,6 +622,15 @@ impl NetworkConfig {
             self.cpu_speeds[node]
         } else {
             self.cpu_speeds.first().copied().unwrap_or(1.0)
+        }
+    }
+
+    /// The compute worker-lane count of `node` (`1` when no counts are configured).
+    pub fn node_cores(&self, node: usize) -> usize {
+        if self.cores.len() == self.nodes {
+            self.cores[node]
+        } else {
+            self.cores.first().copied().unwrap_or(1)
         }
     }
 
@@ -613,6 +657,7 @@ impl NetworkConfig {
             return ResolvedTopology {
                 links: (0..n).map(|i| self.link(i)).collect(),
                 cpu_speeds: (0..n).map(|i| self.cpu_speed(i)).collect(),
+                cores: (0..n).map(|i| self.node_cores(i)).collect(),
                 node_region: vec![0; n],
                 region_count: 1,
                 base_nanos: vec![self.base_latency.as_nanos()],
@@ -656,6 +701,7 @@ impl NetworkConfig {
         ResolvedTopology {
             links,
             cpu_speeds,
+            cores: (0..n).map(|i| self.node_cores(i)).collect(),
             node_region,
             region_count: r,
             base_nanos,
@@ -694,6 +740,16 @@ impl NetworkConfig {
         }
         if self.cpu_speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
             return Err("cpu_speeds must be positive and finite".to_string());
+        }
+        if !self.cores.is_empty() && self.cores.len() != 1 && self.cores.len() != self.nodes {
+            return Err(format!(
+                "cores must have 0, 1 or {} entries, got {}",
+                self.nodes,
+                self.cores.len()
+            ));
+        }
+        if self.cores.iter().any(|&c| c == 0) {
+            return Err("cores must be at least 1".to_string());
         }
         if let Some(topology) = &self.topology {
             topology.validate(self.nodes)?;
@@ -770,6 +826,33 @@ mod tests {
     }
 
     #[test]
+    fn core_count_overrides() {
+        let config = NetworkConfig::datacenter(4);
+        assert_eq!(config.node_cores(2), 1);
+        let config = NetworkConfig::datacenter(4).with_cores(4);
+        assert_eq!(config.node_cores(0), 4);
+        assert_eq!(config.node_cores(3), 4);
+        let config = NetworkConfig::datacenter(4).with_cores(2).with_node_cores(1, 8);
+        assert_eq!(config.node_cores(0), 2);
+        assert_eq!(config.node_cores(1), 8);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.resolve().cores, vec![2, 8, 2, 2]);
+
+        let mut bad = NetworkConfig::datacenter(4);
+        bad.cores = vec![2, 2];
+        assert!(bad.validate().is_err());
+        let mut bad = NetworkConfig::datacenter(4);
+        bad.cores = vec![0];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_node_cores: node 7 out of range for a 4-node network")]
+    fn node_cores_out_of_range_panics_with_context() {
+        let _ = NetworkConfig::datacenter(4).with_node_cores(7, 2);
+    }
+
+    #[test]
     fn validation_catches_bad_configs() {
         let mut config = NetworkConfig::datacenter(4);
         config.nodes = 0;
@@ -795,6 +878,7 @@ mod tests {
         let b = flat.resolve();
         assert_eq!(a.links, b.links);
         assert_eq!(a.cpu_speeds, b.cpu_speeds);
+        assert_eq!(a.cores, b.cores);
         assert_eq!(a.node_region, b.node_region);
         assert_eq!(a.region_count, b.region_count);
         assert_eq!(a.base_nanos, b.base_nanos);

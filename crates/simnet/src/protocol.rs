@@ -73,11 +73,13 @@ pub trait Context {
     /// Schedules `on_timer(token)` to fire after `delay`.
     fn set_timer(&mut self, delay: SimDuration, token: u64);
 
-    /// Charges `cost` of modeled CPU work to this node's sequential compute queue.
+    /// Charges `cost` of modeled CPU work to this node's compute queue.
     ///
     /// Under the discrete-event simulation the node's CPU is a scheduled resource like
-    /// its links: the charged work occupies the CPU starting at `max(now, cpu_free)`,
-    /// and every *output* of the current callback (sends, timers, observations) takes
+    /// its links: the charged work is dispatched to the node's earliest-free worker
+    /// lane (lowest index on ties; one lane per configured core, see
+    /// [`crate::NetworkConfig::with_cores`]) starting at `max(now, lane_free)`, and
+    /// every *output* of the current callback (sends, timers, observations) takes
     /// effect only once the work completes. Charges accumulate within one callback.
     /// The thread-based runtime ignores charges (real CPU time passes for real there),
     /// which is also the default implementation.

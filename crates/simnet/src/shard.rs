@@ -72,14 +72,20 @@ const EMPTY: u128 = u128::MAX;
 
 /// A 4-ary min-heap with the comparison keys split from the event payloads.
 ///
-/// Two layout decisions, both for the cache: a node's four children share one
+/// Three layout decisions, all for the cache: a node's four children share one
 /// 64-byte line of the `keys` array, so a sift-down touches one line per level and
-/// half as many levels as a binary heap; and the 16-byte packed keys live apart from
-/// the ~32-byte `EventKind` payloads, so the search path reads only `keys` and the
-/// payload array is touched exactly once per moved element. At n ≥ 1000 a shard heap
-/// holds several hundred in-flight arrivals and the old
-/// `BinaryHeap<Reverse<QueuedEvent>>` sift walk was the single largest line item in
-/// the engine profile.
+/// half as many levels as a binary heap; the 16-byte packed keys live apart from the
+/// `EventKind` payloads, so the search path reads only `keys`; and both sifts find
+/// the moving entry's final position by **walking the key array alone** before any
+/// payload is touched — the key chain is then shifted with plain stores and the
+/// payloads rotated along the same (already cache-hot) path. Combined with the
+/// PR 9 shrink of the queue-resident payload from 32 to 24 bytes
+/// (`EventKind::Arrive::size` went `usize` → `u32`; see `sim.rs`), this trims the
+/// remaining DRAM-bound payload traffic the PR 8 profile showed: at n ≥ 1000 a
+/// shard heap holds several hundred in-flight arrivals and this sift walk is the
+/// hottest data movement in the engine. (An arena/slab indirection that never moves
+/// payloads at all was measured and rejected: with per-shard heaps this shallow, the
+/// extra random-access load per pop costs more than the rotation it saves.)
 struct QuadHeap<M> {
     keys: Vec<u128>,
     kinds: Vec<EventKind<M>>,
@@ -99,17 +105,30 @@ impl<M> QuadHeap<M> {
     }
 
     fn push(&mut self, key: u128, kind: EventKind<M>) {
+        // Hole-based sift-up: append a hole, shift ancestors down into it, write the
+        // new entry once at its final slot. `kinds` grows with a placeholder read
+        // from the hole's final position, so no `unsafe` and no `Option` tax.
         self.keys.push(key);
         self.kinds.push(kind);
         let mut i = self.keys.len() - 1;
-        while i > 0 {
-            let parent = (i - 1) / 4;
-            if self.keys[parent] <= self.keys[i] {
+        let mut hole = i;
+        while hole > 0 {
+            let parent = (hole - 1) / 4;
+            if self.keys[parent] <= key {
                 break;
             }
-            self.keys.swap(parent, i);
-            self.kinds.swap(parent, i);
-            i = parent;
+            hole = parent;
+        }
+        if hole < i {
+            // Rotate the displaced ancestors down in one pass: the path
+            // root-ward from `i` to `hole` is exactly the ancestor chain.
+            while i > hole {
+                let parent = (i - 1) / 4;
+                self.keys[i] = self.keys[parent];
+                self.kinds.swap(i, parent);
+                i = parent;
+            }
+            self.keys[hole] = key;
         }
     }
 
@@ -123,25 +142,39 @@ impl<M> QuadHeap<M> {
         let key = self.keys.pop().expect("nonempty");
         let kind = self.kinds.pop().expect("nonempty");
         let len = len - 1;
-        let mut i = 0;
-        loop {
-            let first = 4 * i + 1;
-            if first >= len {
-                break;
-            }
-            let fence = (first + 4).min(len);
-            let mut min = first;
-            for child in first + 1..fence {
-                if self.keys[child] < self.keys[min] {
-                    min = child;
+        if len > 0 {
+            // Hole-based sift-down of the former tail: find its final position by
+            // walking keys only, then shift the winning children up the path.
+            let tail_key = self.keys[0];
+            let mut path = [0usize; 32];
+            let mut depth = 0;
+            let mut i = 0;
+            loop {
+                let first = 4 * i + 1;
+                if first >= len {
+                    break;
                 }
+                let fence = (first + 4).min(len);
+                let mut min = first;
+                for child in first + 1..fence {
+                    if self.keys[child] < self.keys[min] {
+                        min = child;
+                    }
+                }
+                if tail_key <= self.keys[min] {
+                    break;
+                }
+                path[depth] = min;
+                depth += 1;
+                i = min;
             }
-            if self.keys[i] <= self.keys[min] {
-                break;
+            let mut hole = 0;
+            for &next in &path[..depth] {
+                self.keys[hole] = self.keys[next];
+                self.kinds.swap(hole, next);
+                hole = next;
             }
-            self.keys.swap(i, min);
-            self.kinds.swap(i, min);
-            i = min;
+            self.keys[hole] = tail_key;
         }
         Some((key, kind))
     }

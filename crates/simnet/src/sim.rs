@@ -94,8 +94,10 @@ pub(crate) enum EventKind<M> {
         to: NodeId,
         /// The message.
         message: Arc<M>,
-        /// Wire size, for the downlink serialisation delay.
-        size: usize,
+        /// Wire size, for the downlink serialisation delay. `u32` (no modeled
+        /// message approaches 4 GiB) keeps the whole queue-resident event at 24
+        /// bytes instead of 32 — these entries are what every heap sift moves.
+        size: u32,
     },
     /// Deliver a message. The envelope is `Arc`-shared so a multicast queues `n − 1`
     /// pointer clones of one logical message instead of `n − 1` deep clones.
@@ -377,6 +379,63 @@ impl<M: SimMessage> Context for SimContext<'_, M> {
     }
 }
 
+/// The per-node worker-lane compute model: each node owns a fixed set of lanes
+/// (one per configured core) and every charged callback is dispatched to the
+/// **earliest-free lane**, ties broken by the **lowest lane index**. Both rules
+/// are deterministic functions of prior history, so the model needs no RNG and
+/// commutes with [`ExecutionMode`]. With a single lane the dispatch degenerates
+/// to `start = max(now, free[0])` — exactly the pre-multi-core scalar
+/// `cpu_free` horizon — which is what keeps `cores = 1` runs bit-identical to
+/// the historical goldens.
+#[derive(Debug, Clone)]
+pub(crate) struct ComputeLanes {
+    /// `free[node][lane]`: how far into the virtual future the lane is committed.
+    free: Vec<Vec<SimTime>>,
+    /// `busy[node][lane]`: modeled CPU nanoseconds the lane has retired.
+    busy: Vec<Vec<u64>>,
+}
+
+impl ComputeLanes {
+    /// One entry of `cores` per node; every count must be at least 1 (enforced
+    /// upstream by [`crate::NetworkConfig::validate`]).
+    pub(crate) fn new(cores: &[usize]) -> Self {
+        Self {
+            free: cores.iter().map(|&k| vec![SimTime::ZERO; k]).collect(),
+            busy: cores.iter().map(|&k| vec![0u64; k]).collect(),
+        }
+    }
+
+    /// Dispatches `scaled` nanoseconds of modeled work arriving at `now` on
+    /// `node` and returns the completion instant: the work occupies
+    /// `[max(now, free[lane]), +scaled]` of the earliest-free lane (lowest
+    /// index on ties).
+    pub(crate) fn dispatch(&mut self, node: usize, now: SimTime, scaled: u64) -> SimTime {
+        let lanes = &mut self.free[node];
+        let mut lane = 0;
+        for i in 1..lanes.len() {
+            if lanes[i] < lanes[lane] {
+                lane = i;
+            }
+        }
+        let start = now.max(lanes[lane]);
+        let done = start + SimDuration::from_nanos(scaled);
+        lanes[lane] = done;
+        self.busy[node][lane] += scaled;
+        done
+    }
+
+    /// The node's nearest-free-lane horizon: the earliest instant any lane can
+    /// accept new work. With one lane this is the old scalar `cpu_free`.
+    pub(crate) fn horizon(&self, node: usize) -> SimTime {
+        self.free[node].iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total modeled CPU nanoseconds `node` retired, summed over its lanes.
+    pub(crate) fn busy_nanos(&self, node: usize) -> u64 {
+        self.busy[node].iter().sum()
+    }
+}
+
 /// Summary of a finished simulation run.
 #[derive(Debug)]
 pub struct SimulationReport {
@@ -391,9 +450,17 @@ pub struct SimulationReport {
     /// Per-node progress probes snapshotted at `end_time` (empty for protocols that do
     /// not implement [`Protocol::progress_probe`]). Indexed by node.
     pub probes: Vec<Option<crate::ProgressProbe>>,
-    /// Modeled CPU nanoseconds each node's compute queue was busy (indexed by node).
-    /// All zeros unless the protocol charges compute via [`Context::charge_compute`].
+    /// Modeled CPU nanoseconds each node's compute queue was busy (indexed by node,
+    /// summed over the node's worker lanes). All zeros unless the protocol charges
+    /// compute via [`Context::charge_compute`].
     pub compute_busy_nanos: Vec<u64>,
+    /// Per-lane breakdown of [`Self::compute_busy_nanos`]: `lane_busy_nanos[node]`
+    /// has one entry per worker lane of that node. Empty when a report is built by
+    /// hand (tests); [`Simulation::into_report`] always fills it.
+    pub lane_busy_nanos: Vec<Vec<u64>>,
+    /// Worker-lane (core) count of each node, as resolved from the network config.
+    /// Missing entries are treated as 1 by the utilization accessors.
+    pub cores: Vec<usize>,
 }
 
 impl SimulationReport {
@@ -462,17 +529,34 @@ impl SimulationReport {
         bytes as f64 * 8.0 / secs
     }
 
-    /// Fraction of the run `node`'s compute queue was busy with modeled work, in
-    /// `[0, 1]` under steady state (a backlogged queue can report more than `1.0`,
-    /// which is itself a diagnosis: the replica was handed more work than its CPU
-    /// could retire in the run).
+    /// Fraction of the run `node`'s compute capacity was busy with modeled work
+    /// (busy nanoseconds over `end_time × cores`), in `[0, 1]` under steady state
+    /// (a backlogged queue can report more than `1.0`, which is itself a diagnosis:
+    /// the replica was handed more work than its CPUs could retire in the run).
     pub fn compute_utilization(&self, node: NodeId) -> f64 {
-        let total = self.end_time.as_nanos();
+        let cores = self.cores.get(node.as_index()).copied().unwrap_or(1).max(1);
+        let total = self.end_time.as_nanos().saturating_mul(cores as u64);
         if total == 0 {
             return 0.0;
         }
         self.compute_busy_nanos
             .get(node.as_index())
+            .copied()
+            .unwrap_or(0) as f64
+            / total as f64
+    }
+
+    /// Fraction of the run one worker lane of `node` was busy, in `[0, 1]` under
+    /// steady state. Returns 0 for out-of-range lanes or hand-built reports that
+    /// carry no per-lane breakdown.
+    pub fn lane_utilization(&self, node: NodeId, lane: usize) -> f64 {
+        let total = self.end_time.as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        self.lane_busy_nanos
+            .get(node.as_index())
+            .and_then(|lanes| lanes.get(lane))
             .copied()
             .unwrap_or(0) as f64
             / total as f64
@@ -521,10 +605,10 @@ pub struct Simulation<P: Protocol> {
     started: bool,
     uplink_free: Vec<SimTime>,
     downlink_free: Vec<SimTime>,
-    /// How far into the virtual future each node's sequential compute queue is
-    /// committed (the CPU analogue of the link horizons).
-    cpu_free: Vec<SimTime>,
-    cpu_busy_nanos: Vec<u64>,
+    /// The per-node worker-lane compute model (the CPU analogue of the link
+    /// horizons). One lane per configured core; `cores = 1` reproduces the old
+    /// single sequential `cpu_free` horizon bit for bit.
+    compute: ComputeLanes,
     /// Per-node timer epoch, bumped on restart so pre-crash timers are swallowed.
     timer_epochs: Vec<u32>,
     metrics: MetricsSink,
@@ -580,8 +664,7 @@ impl<P: Protocol> Simulation<P> {
             started: false,
             uplink_free: vec![SimTime::ZERO; n],
             downlink_free: vec![SimTime::ZERO; n],
-            cpu_free: vec![SimTime::ZERO; n],
-            cpu_busy_nanos: vec![0; n],
+            compute: ComputeLanes::new(&resolved.cores),
             timer_epochs: vec![0; n],
             metrics: MetricsSink::with_nodes(n),
             resolved,
@@ -642,10 +725,13 @@ impl<P: Protocol> Simulation<P> {
         )
     }
 
-    /// How far into the (virtual) future `node`'s sequential compute queue is already
-    /// committed — the CPU analogue of [`Self::link_horizons`].
+    /// How far into the (virtual) future `node`'s compute queue is already
+    /// committed — the CPU analogue of [`Self::link_horizons`]. With multiple
+    /// worker lanes this is the **earliest-free lane's** horizon (the next
+    /// instant the node can start new modeled work); with one lane it is the old
+    /// sequential `cpu_free` scalar.
     pub fn compute_horizon(&self, node: NodeId) -> SimTime {
-        self.cpu_free[node.as_index()]
+        self.compute.horizon(node.as_index())
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
@@ -795,7 +881,7 @@ impl<P: Protocol> Simulation<P> {
                     from,
                     to,
                     message,
-                    size,
+                    size: size as usize,
                 }),
                 EventKind::Start(node) => {
                     slots.push(Prepared::Pending);
@@ -913,13 +999,16 @@ impl<P: Protocol> Simulation<P> {
     /// Consumes the simulation and produces the final report.
     pub fn into_report(self) -> SimulationReport {
         let probes = self.probes();
+        let n = self.config.nodes;
         SimulationReport {
-            nodes: self.config.nodes,
+            nodes: n,
             end_time: self.now,
             events: self.events,
             metrics: self.metrics,
             probes,
-            compute_busy_nanos: self.cpu_busy_nanos,
+            compute_busy_nanos: (0..n).map(|i| self.compute.busy_nanos(i)).collect(),
+            lane_busy_nanos: self.compute.busy,
+            cores: self.resolved.cores,
         }
     }
 
@@ -951,7 +1040,7 @@ impl<P: Protocol> Simulation<P> {
                 to,
                 message,
                 size,
-            } => self.apply_arrive(from, to, message, size),
+            } => self.apply_arrive(from, to, message, size as usize),
             EventKind::Deliver { from, to, message } => {
                 if self.faults.is_crashed(to, self.now) {
                     return;
@@ -1022,26 +1111,22 @@ impl<P: Protocol> Simulation<P> {
         self.push_event(delivery, EventKind::Deliver { from, to, message });
     }
 
-    /// Settles a finished callback against the node's compute queue: the charged
-    /// modeled work occupies `[max(now, cpu_free), +cost/speed]` of the node's
-    /// sequential CPU, and every output of the callback (sends, timers, observations)
-    /// takes effect at the completion instant. With nothing charged the completion
-    /// instant is `now` and the engine behaves exactly as it did before the
-    /// compute-resource model existed. `epoch` is the node's timer epoch as of the
-    /// callback (after any `Restart` bump) — passed in, not re-read, so the parallel
-    /// executor's deferred applies arm timers in the same epoch the sequential
-    /// engine would.
+    /// Settles a finished callback against the node's compute lanes: the charged
+    /// modeled work occupies `[max(now, lane_free), +cost/speed]` of the node's
+    /// earliest-free worker lane (lowest index on ties — see [`ComputeLanes`]),
+    /// and every output of the callback (sends, timers, observations) takes effect
+    /// at the completion instant. With nothing charged the completion instant is
+    /// `now` and the engine behaves exactly as it did before the compute-resource
+    /// model existed. `epoch` is the node's timer epoch as of the callback (after
+    /// any `Restart` bump) — passed in, not re-read, so the parallel executor's
+    /// deferred applies arm timers in the same epoch the sequential engine would.
     fn finish_callback(&mut self, node: NodeId, actions: &mut ActionBuffer<P::Message>, epoch: u32) {
         let done = if actions.compute.as_nanos() == 0 {
             self.now
         } else {
             let speed = self.resolved.cpu_speeds[node.as_index()];
             let scaled = (actions.compute.as_nanos() as f64 / speed).round() as u64;
-            let start = self.now.max(self.cpu_free[node.as_index()]);
-            let done = start + SimDuration::from_nanos(scaled);
-            self.cpu_free[node.as_index()] = done;
-            self.cpu_busy_nanos[node.as_index()] += scaled;
-            done
+            self.compute.dispatch(node.as_index(), self.now, scaled)
         };
         self.apply_actions(node, actions, done, epoch);
     }
@@ -1179,7 +1264,7 @@ impl<P: Protocol> Simulation<P> {
                 from,
                 to,
                 message,
-                size,
+                size: size as u32,
             },
         );
     }
@@ -1334,6 +1419,8 @@ mod tests {
             metrics: MetricsSink::new(),
             probes: Vec::new(),
             compute_busy_nanos: Vec::new(),
+            lane_busy_nanos: Vec::new(),
+            cores: Vec::new(),
         };
         // 100 requests confirmed at t = 6 s: full-window rate is 10 rps, the rate over
         // the [5 s, 10 s] window is 20 rps, and a warm-up covering the run yields 0.
@@ -1526,6 +1613,181 @@ mod tests {
         assert!(report.compute_busy_nanos.iter().all(|&b| b == 0));
         assert_eq!(report.max_compute_utilization(), 0.0);
         assert_eq!(report.metrics.custom_samples("pingpong_done"), vec![4]);
+    }
+
+    /// With two worker lanes the two 10 ms charges overlap instead of queueing:
+    /// both acks return in the first-ack window, the per-lane breakdown shows one
+    /// charge per lane, and utilization is normalised by the core count.
+    #[test]
+    fn two_lanes_overlap_charged_work_and_report_per_lane_busy() {
+        #[derive(Debug)]
+        struct ChargingEcho;
+        impl Protocol for ChargingEcho {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.send(NodeId(1), PingMessage::Ping { hops: 0, payload: 8 });
+                    ctx.send(NodeId(1), PingMessage::Ping { hops: 1, payload: 8 });
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                from: NodeId,
+                message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                match (ctx.node_id(), message) {
+                    (NodeId(1), PingMessage::Ping { hops, .. }) => {
+                        ctx.charge_compute(SimDuration::from_millis(10));
+                        ctx.send(from, PingMessage::Ping { hops: 100 + hops, payload: 8 });
+                    }
+                    (NodeId(0), PingMessage::Ping { hops, .. }) => {
+                        ctx.observe(ObservationKind::Custom {
+                            label: "ack_at",
+                            value: ctx.now().as_nanos() * 1000 + u64::from(hops),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+
+            fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Context<Message = PingMessage>) {}
+        }
+
+        let config = two_node_config(0).with_node_cores(1, 2);
+        let sim = Simulation::new(config, FaultPlan::none(), |_| ChargingEcho);
+        let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+        let acks = report.metrics.custom_samples("ack_at");
+        assert_eq!(acks.len(), 2);
+        // Both requests land on a free lane, so both acks are back within ~10-12 ms
+        // (compare charged_compute_defers_outputs_and_reports_utilization, where the
+        // second ack queues to ≥ 20 ms on a single lane).
+        for ack in &acks {
+            let ms = ack / 1000 / 1_000_000;
+            assert!((10..12).contains(&ms), "ack at {ms} ms should not queue");
+        }
+        // 20 ms of busy time total, one 10 ms charge per lane, normalised
+        // utilization 20 ms / (1 s × 2 cores) = 1%.
+        assert_eq!(report.compute_busy_nanos[1], 20_000_000);
+        assert_eq!(report.lane_busy_nanos[1], vec![10_000_000, 10_000_000]);
+        assert_eq!(report.cores, vec![1, 2]);
+        assert!((report.compute_utilization(NodeId(1)) - 0.01).abs() < 1e-9);
+        assert!((report.lane_utilization(NodeId(1), 0) - 0.01).abs() < 1e-9);
+        assert!((report.lane_utilization(NodeId(1), 1) - 0.01).abs() < 1e-9);
+        assert_eq!(report.lane_utilization(NodeId(1), 2), 0.0);
+    }
+
+    /// The k = 1 lane-equivalence gate: a run with an explicit `cores = 1` through
+    /// the multi-lane model must be bit-identical — same event count, same ack
+    /// instants, same busy nanoseconds — to the default config (the schedule the
+    /// pre-multi-core goldens were captured against).
+    #[test]
+    fn single_lane_run_is_bit_identical_to_the_default_model() {
+        #[derive(Debug)]
+        struct ChargingEcho;
+        impl Protocol for ChargingEcho {
+            type Message = PingMessage;
+
+            fn on_start(&mut self, ctx: &mut dyn Context<Message = PingMessage>) {
+                if ctx.node_id() == NodeId(0) {
+                    for hops in 0..4 {
+                        ctx.send(NodeId(1), PingMessage::Ping { hops, payload: 8 });
+                    }
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                from: NodeId,
+                message: PingMessage,
+                ctx: &mut dyn Context<Message = PingMessage>,
+            ) {
+                match (ctx.node_id(), message) {
+                    (NodeId(1), PingMessage::Ping { hops, .. }) => {
+                        ctx.charge_compute(SimDuration::from_millis(3));
+                        ctx.send(from, PingMessage::Ping { hops: 100 + hops, payload: 8 });
+                    }
+                    (NodeId(0), PingMessage::Ping { .. }) => {
+                        ctx.observe(ObservationKind::Custom {
+                            label: "ack_at",
+                            value: ctx.now().as_nanos(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+
+            fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Context<Message = PingMessage>) {}
+        }
+
+        let run = |explicit_single_core: bool| {
+            let mut config = two_node_config(7);
+            if explicit_single_core {
+                config = config.with_cores(1);
+            }
+            let sim = Simulation::new(config, FaultPlan::none(), |_| ChargingEcho);
+            let report = sim.run_to_report(SimTime(SimDuration::from_secs(1).as_nanos()), 10_000);
+            (
+                report.events,
+                report.metrics.custom_samples("ack_at"),
+                report.compute_busy_nanos.clone(),
+                report.lane_busy_nanos.clone(),
+            )
+        };
+        let default = run(false);
+        let single = run(true);
+        assert_eq!(default, single);
+        // And the aggregate equals the single lane exactly.
+        assert_eq!(default.3[1], vec![default.2[1]]);
+    }
+
+    proptest::proptest! {
+        /// Earliest-free-lane dispatch at k = 1 is the sequential model: for any
+        /// sequence of (arrival-gap, cost) charges on one node, completion instants
+        /// match the scalar `start = max(now, free); free = start + cost` fold
+        /// exactly, and completions never reorder (monotone non-decreasing).
+        #[test]
+        fn single_lane_dispatch_matches_the_sequential_model(
+            ops in proptest::collection::vec((0u64..5_000, 0u64..10_000), 0..64),
+        ) {
+            let mut lanes = ComputeLanes::new(&[1]);
+            let mut scalar_free = SimTime::ZERO;
+            let mut now = SimTime::ZERO;
+            let mut last_done = SimTime::ZERO;
+            for (gap, cost) in ops {
+                now = now + SimDuration::from_nanos(gap);
+                let done = lanes.dispatch(0, now, cost);
+                let start = now.max(scalar_free);
+                let expected = start + SimDuration::from_nanos(cost);
+                scalar_free = expected;
+                proptest::prop_assert_eq!(done, expected);
+                proptest::prop_assert!(done >= last_done, "completions reordered");
+                last_done = done;
+                proptest::prop_assert_eq!(lanes.horizon(0), scalar_free);
+                proptest::prop_assert_eq!(lanes.busy_nanos(0), {
+                    let b: u64 = lanes.busy[0].iter().sum();
+                    b
+                });
+            }
+        }
+    }
+
+    /// Lane selection is deterministic: earliest-free lane wins, lowest index on
+    /// ties — three equal charges at t = 0 on two lanes go lane 0, lane 1, lane 0.
+    #[test]
+    fn lane_dispatch_breaks_ties_by_lowest_index() {
+        let mut lanes = ComputeLanes::new(&[2]);
+        assert_eq!(lanes.free[0].len(), 2);
+        // Both lanes free at ZERO: lane 0 wins the tie.
+        assert_eq!(lanes.dispatch(0, SimTime::ZERO, 10), SimTime(SimDuration::from_nanos(10).as_nanos()));
+        // Lane 1 is now strictly earlier-free.
+        assert_eq!(lanes.dispatch(0, SimTime::ZERO, 10), SimTime(SimDuration::from_nanos(10).as_nanos()));
+        // Both free at 10 again: lane 0 wins, so its busy total doubles.
+        assert_eq!(lanes.dispatch(0, SimTime::ZERO, 10), SimTime(SimDuration::from_nanos(20).as_nanos()));
+        assert_eq!(lanes.busy[0], vec![20, 10]);
+        assert_eq!(lanes.horizon(0), SimTime(SimDuration::from_nanos(10).as_nanos()));
     }
 
     /// A flat single-region [`Topology`] must reproduce the scalar model's schedule

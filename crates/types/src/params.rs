@@ -125,6 +125,15 @@ pub struct ProtocolParams {
     pub bftblock_size: usize,
     /// Maximum number of agreement instances in flight (`k`).
     pub max_parallel_instances: usize,
+    /// Number of concurrent proposers `p` (PR 9 multi-proposer agreement plane).
+    ///
+    /// Serial numbers are striped round-robin over `p` proposers: the proposer of
+    /// stripe `j` in view `v` is replica `((v mod n) + j) mod n`, so stripe 0 is
+    /// always the classic leader and `p = 1` is exactly the single-leader
+    /// protocol. Each proposer runs its own pipeline stripe with τ-batching, and a
+    /// view change rotates the whole window (demoting a faulty proposer without
+    /// renumbering the honest stripes).
+    pub proposers: usize,
 }
 
 impl ProtocolParams {
@@ -140,6 +149,7 @@ impl ProtocolParams {
             datablock_size,
             bftblock_size,
             max_parallel_instances: 100,
+            proposers: 1,
         }
     }
 
@@ -215,6 +225,15 @@ impl ProtocolParams {
         if self.max_parallel_instances == 0 {
             return Err("max_parallel_instances must be positive".to_string());
         }
+        if self.proposers == 0 {
+            return Err("proposers must be at least 1".to_string());
+        }
+        if self.proposers > self.n {
+            return Err(format!(
+                "proposers must not exceed n ({} > {})",
+                self.proposers, self.n
+            ));
+        }
         Ok(())
     }
 }
@@ -227,7 +246,7 @@ impl Default for ProtocolParams {
 
 impl WireSize for ProtocolParams {
     fn wire_size(&self) -> usize {
-        7 * 8
+        8 * 8
     }
 }
 
@@ -309,5 +328,12 @@ mod tests {
         p = ProtocolParams::paper_defaults(4);
         p.max_parallel_instances = 0;
         assert!(p.validate().is_err());
+        p = ProtocolParams::paper_defaults(4);
+        p.proposers = 0;
+        assert!(p.validate().is_err());
+        p.proposers = 5;
+        assert!(p.validate().is_err());
+        p.proposers = 4;
+        assert!(p.validate().is_ok());
     }
 }

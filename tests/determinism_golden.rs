@@ -144,25 +144,32 @@ fn leopard_fig9geo_point_matches_captured_golden() {
 /// endorsement, deferred PrePrepares, the checkpoint watermark jump) all at once.
 /// Sent and received totals differ here by design: crashes and partition windows drop
 /// in-flight bytes.
+///
+/// Re-captured when the multi-proposer plane landed: the fault schedule is unchanged
+/// (the generator's proposer overlay draws from a forked RNG stream, and this case
+/// draws 1 proposer), but a stalled replica behind a confirmed frontier now
+/// state-syncs its execution gap instead of waiting out the checkpoint watermark —
+/// the wedge this case pinned heals ~1.4 s sooner (confirmed 42 800 → 65 200) and
+/// one of the two view changes is no longer needed.
 #[test]
 fn chaos_case_matches_captured_golden() {
     let schedule = FaultScheduleGenerator::new(16, 7).schedule(142);
     let report = run_leopard_scenario_unchecked(&schedule.to_config());
     assert_eq!(report.violations, Vec::<String>::new(), "chaos case 142 regressed");
-    assert_eq!(report.sim.events, 86_385, "chaos golden: events drifted");
-    assert_eq!(report.confirmed_requests, 42_800, "chaos golden: confirmed drifted");
+    assert_eq!(report.sim.events, 88_251, "chaos golden: events drifted");
+    assert_eq!(report.confirmed_requests, 65_200, "chaos golden: confirmed drifted");
     assert_eq!(
         report.sim.metrics.traffic.total_sent_bytes(),
-        245_403_695,
+        250_904_315,
         "chaos golden: sent bytes drifted"
     );
     assert_eq!(
         report.sim.metrics.traffic.total_received_bytes(),
-        237_660_959,
+        243_161_414,
         "chaos golden: received bytes drifted"
     );
-    assert_eq!(report.views_entered, 2);
-    assert_eq!(report.max_views_per_disturbance, 2);
+    assert_eq!(report.views_entered, 1);
+    assert_eq!(report.max_views_per_disturbance, 1);
 }
 
 /// Two chaos runs of the same seeded schedule are bit-identical — the property the

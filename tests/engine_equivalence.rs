@@ -113,11 +113,11 @@ fn parallel_engine_reproduces_chaos_case_142_golden() {
     let config = schedule.to_config().with_parallel(true);
     let report = run_leopard_scenario_unchecked(&config);
     assert_eq!(report.violations, Vec::<String>::new());
-    assert_eq!(report.sim.events, 86_385);
-    assert_eq!(report.confirmed_requests, 42_800);
-    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 245_403_695);
-    assert_eq!(report.sim.metrics.traffic.total_received_bytes(), 237_660_959);
-    assert_eq!(report.views_entered, 2);
+    assert_eq!(report.sim.events, 88_251);
+    assert_eq!(report.confirmed_requests, 65_200);
+    assert_eq!(report.sim.metrics.traffic.total_sent_bytes(), 250_904_315);
+    assert_eq!(report.sim.metrics.traffic.total_received_bytes(), 243_161_414);
+    assert_eq!(report.views_entered, 1);
 }
 
 /// Property check over a spread of seeds at a scale the goldens do not cover: the two
