@@ -28,18 +28,35 @@ fn fmt_opt_secs(value: Option<f64>) -> String {
 
 /// Formats a protocol's p50/p95/p99 latency percentiles (milliseconds) as one cell.
 /// The leading number keeps the cell parseable by `--require-nonzero`.
+///
+/// The percentiles are bucket midpoints of a 1/16-octave histogram
+/// (`leopard_simnet::LatencyHistogram`), so when a run's confirmation latencies are
+/// concentrated — the drained n ≥ 2000 fig9xl rows confirm in a handful of
+/// dissemination waves — all three ranks can land in one bucket and print the same
+/// midpoint (e.g. `1912.6 / 1912.6 / 1912.6`). That repetition means "the spread is
+/// below the histogram's ±2.2% resolution", not "exactly equal"; the cell says so
+/// explicitly instead of leaving the repeated value looking like a bug.
 fn fmt_percentiles(report: &ScenarioReport) -> String {
     match (
         report.latency_p50_secs,
         report.latency_p95_secs,
         report.latency_p99_secs,
     ) {
-        (Some(p50), Some(p95), Some(p99)) => format!(
-            "{:.1} / {:.1} / {:.1}",
-            p50 * 1000.0,
-            p95 * 1000.0,
-            p99 * 1000.0
-        ),
+        (Some(p50), Some(p95), Some(p99)) => {
+            let cell = format!(
+                "{:.1} / {:.1} / {:.1}",
+                p50 * 1000.0,
+                p95 * 1000.0,
+                p99 * 1000.0
+            );
+            // Bitwise equality is the single-bucket signature: all three midpoints
+            // come from the same `LatencyHistogram::percentile` bucket.
+            if p50 == p99 {
+                format!("{cell} (spread < ±2.2% bucket)")
+            } else {
+                cell
+            }
+        }
         _ => "-".to_string(),
     }
 }

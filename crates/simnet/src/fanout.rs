@@ -1,0 +1,234 @@
+//! The interned fan-out side table behind the compressed event queue.
+//!
+//! A multicast at `n` nodes used to queue `2(n − 1)` independent `Arrive`/`Deliver`
+//! events, each carrying `{from, to, Arc<message>, size}` — 32 payload bytes that
+//! every heap sift moved and an `Arc` refcount that every clone/drop bounced between
+//! cores. The profile in `DESIGN.md` §10 showed this queue-resident payload traffic,
+//! not queue management, as the engine's remaining cost at n ≥ 1000.
+//!
+//! This table interns each *logical* fan-out once: a slot holds the sender, the
+//! shared message envelope and the wire size, and the queue-resident events shrink to
+//! a `{fanout: u32, to: NodeId}` handle. Nothing about event *keys* changes — the
+//! `(time, seq)` assignment order is identical by construction — so every
+//! determinism golden captured before the compression passes uncaptured.
+//!
+//! # Slot lifecycle (refcount)
+//!
+//! `intern` creates a slot with zero references. The engine takes one reference per
+//! queued handle: each cross-node `Arrive` push and each self-delivery `Deliver`
+//! push calls [`FanoutTable::incref`]. An `Arrive` that matures into its downlink
+//! `Deliver` *transfers* its reference (no count change). A reference is returned
+//! when the handle leaves the schedule: [`FanoutTable::consume`] when a `Deliver`
+//! reaches its callback, [`FanoutTable::release`] when a crashed receiver swallows
+//! the event. The slot is reclaimed onto a free list the moment its count returns
+//! to zero — so peak table size tracks the number of *in-flight logical messages*,
+//! not the fan-out width, and a fan-out whose every copy was dropped at route time
+//! (crashed sender, severed partition) is reclaimed immediately by
+//! [`FanoutTable::release_if_unused`].
+
+use leopard_types::NodeId;
+use std::sync::Arc;
+
+/// One interned logical fan-out.
+struct Slot<M> {
+    /// The sending node (the `from` of every copy). The wire size is *not* here:
+    /// `Arrive` events carry it inline (it fits in `EventKind` padding), so keeping
+    /// the slot at 16 bytes beats caching a field only the queue ever needs.
+    from: NodeId,
+    /// Outstanding queue handles referencing this slot.
+    refs: u32,
+    /// The shared envelope; `None` once the slot is on the free list.
+    message: Option<Arc<M>>,
+}
+
+/// The per-run fan-out side table. See the module docs for the slot lifecycle.
+pub(crate) struct FanoutTable<M> {
+    slots: Vec<Slot<M>>,
+    /// Reclaimed slot indices, reused LIFO so the table stays dense and cache-warm.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<M> FanoutTable<M> {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (referenced) slots — in-flight logical messages.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water slot count: the table never shrinks its backing storage, so this
+    /// is the peak number of concurrently in-flight logical messages.
+    pub(crate) fn peak(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Interns one logical fan-out with zero references; pair with
+    /// [`Self::release_if_unused`] after routing every copy.
+    pub(crate) fn intern(&mut self, from: NodeId, message: Arc<M>) -> u32 {
+        self.live += 1;
+        let slot = Slot {
+            from,
+            refs: 0,
+            message: Some(message),
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                id
+            }
+            None => {
+                // 25% growth instead of doubling: peak slot count tracks in-flight
+                // logical messages (hundreds of thousands at n >= 1000), so halving
+                // the overallocation is a real RSS win.
+                if self.slots.len() == self.slots.capacity() {
+                    self.slots.reserve_exact((self.slots.len() / 4).max(32));
+                }
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Takes one reference: a queue handle (an `Arrive` push or a self-delivery
+    /// `Deliver` push) now points at the slot.
+    pub(crate) fn incref(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        debug_assert!(slot.message.is_some(), "incref on a reclaimed fan-out slot");
+        slot.refs += 1;
+    }
+
+    /// Reclaims a freshly interned slot nothing ended up referencing (every copy of
+    /// the fan-out was dropped at route time). No-op if any handle was queued.
+    pub(crate) fn release_if_unused(&mut self, id: u32) {
+        if self.slots[id as usize].refs == 0 {
+            self.reclaim(id);
+        }
+    }
+
+    /// The sending node of the slot.
+    pub(crate) fn sender(&self, id: u32) -> NodeId {
+        let slot = &self.slots[id as usize];
+        debug_assert!(slot.message.is_some(), "lookup on a reclaimed fan-out slot");
+        slot.from
+    }
+
+    /// The shared envelope (read-only; used by the parallel round's workers, which
+    /// defer all reference accounting to the sequential apply phase).
+    pub(crate) fn message(&self, id: u32) -> &Arc<M> {
+        self.slots[id as usize]
+            .message
+            .as_ref()
+            .expect("message lookup on a reclaimed fan-out slot")
+    }
+
+    /// Returns one reference without taking the message (crashed receiver, or the
+    /// apply-phase mirror of a worker-side consumption); reclaims the slot when the
+    /// last reference returns.
+    pub(crate) fn release(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        debug_assert!(slot.refs > 0, "release on an unreferenced fan-out slot");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            self.reclaim(id);
+        }
+    }
+
+    /// Consumes one reference and produces the sender plus an owned copy of the
+    /// message for the receiver's callback. The last reference takes the envelope
+    /// out of the table and unwraps it without a deep clone — exactly the
+    /// `Arc::try_unwrap` fast path the expanded representation gave the final
+    /// recipient of a fan-out.
+    pub(crate) fn consume(&mut self, id: u32) -> (NodeId, M)
+    where
+        M: Clone,
+    {
+        let slot = &mut self.slots[id as usize];
+        debug_assert!(slot.refs > 0, "consume on an unreferenced fan-out slot");
+        let from = slot.from;
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            let shared = slot.message.take().expect("live slot holds the envelope");
+            self.reclaim(id);
+            let message = Arc::try_unwrap(shared).unwrap_or_else(|shared| (*shared).clone());
+            (from, message)
+        } else {
+            let shared = slot.message.as_ref().expect("live slot holds the envelope");
+            ((from), (**shared).clone())
+        }
+    }
+
+    /// Audit view: outstanding references per slot index, `0` for reclaimed slots.
+    /// `Simulation::into_report` compares this against a tally of the handles still
+    /// queued, so a leak (slot refs > queued handles) and a lost reference (queued
+    /// handles > slot refs) are both caught even for runs cut off mid-flight.
+    pub(crate) fn refcounts(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .map(|slot| if slot.message.is_some() { slot.refs } else { 0 })
+            .collect()
+    }
+
+    fn reclaim(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        slot.message = None;
+        slot.refs = 0;
+        self.free.push(id);
+        self.live -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_reference_reclaims_the_slot_and_avoids_the_deep_clone() {
+        let mut table: FanoutTable<Vec<u8>> = FanoutTable::new();
+        let id = table.intern(NodeId(3), Arc::new(vec![1, 2, 3]));
+        table.incref(id);
+        table.incref(id);
+        table.release_if_unused(id); // referenced: must not reclaim
+        assert_eq!(table.live(), 1);
+
+        let (from, first) = table.consume(id);
+        assert_eq!(from, NodeId(3));
+        assert_eq!(first, vec![1, 2, 3]);
+        assert_eq!(table.live(), 1, "one reference still outstanding");
+
+        let (_, last) = table.consume(id);
+        assert_eq!(last, vec![1, 2, 3]);
+        assert_eq!(table.live(), 0, "last consume reclaims the slot");
+
+        // The freed slot is reused before the table grows.
+        let reused = table.intern(NodeId(0), Arc::new(vec![9]));
+        assert_eq!(reused, id);
+        assert_eq!(table.peak(), 1);
+    }
+
+    #[test]
+    fn dropped_fanouts_are_reclaimed_immediately() {
+        let mut table: FanoutTable<u64> = FanoutTable::new();
+        let id = table.intern(NodeId(0), Arc::new(7));
+        // Every copy was dropped at route time: nothing ever referenced the slot.
+        table.release_if_unused(id);
+        assert_eq!(table.live(), 0);
+
+        // Crash-path returns (release) reclaim exactly like consumption.
+        let id = table.intern(NodeId(1), Arc::new(8));
+        table.incref(id);
+        table.incref(id);
+        table.release_if_unused(id);
+        table.release(id);
+        assert_eq!(table.live(), 1);
+        table.release(id);
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.peak(), 1, "the slab reuses slots instead of growing");
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod fanout;
 pub mod fault;
 pub mod metrics;
 pub mod network;

@@ -21,48 +21,37 @@
 //! on a flat 8 KB array, with none of the sift-down element movement or stale-entry
 //! bookkeeping a candidate heap would need.
 //!
-//! # Shard runs (conservative lookahead)
+//! # Conservative lookahead (rounds, not runs)
 //!
-//! The payoff over a plain n-way merge is the *run* API: once a shard owns the global
-//! minimum, the engine may keep popping events from that shard **without consulting
-//! the merge tree again** for as long as its head stays below a safe horizon — the
-//! classical conservative-lookahead argument of parallel discrete-event simulation,
-//! applied here to keep the sequential hot path short. The horizon is the smaller of
-//!
-//! * the next merge key over all *other* shards (nothing they currently hold is
-//!   earlier), and
-//! * `run start + minimum cross-shard latency` (nothing another shard will *later* be
-//!   sent can land earlier: a message created by an event at `t` arrives no earlier
-//!   than `t + min cross latency`, and `t ≥ run start`).
-//!
-//! Events the run itself schedules on its *own* shard (timers, self-deliveries, the
-//! downlink leg of an arrival) land in the shard's heap and are naturally popped in
-//! `(time, seq)` order, so zero-delay self-messages need no special case. Events at
-//! exactly `run start + min cross latency` are still safe to pop: any cross-shard
-//! event created at that instant carries a larger `seq` and therefore sorts after
-//! every event that was already queued.
-//!
-//! While a run is active the running shard's leaf is parked at `u128::MAX` (that is
-//! how the "min over the others" bound falls out of the same tree); a push to the
-//! running shard may overwrite the parked leaf with a key that is not the shard's
-//! true head, which is harmless because [`ShardedQueue::end_run`] rewrites the leaf
-//! from the real heap head before the merge is consulted again.
+//! The classical conservative-lookahead argument — a cross-shard event created at
+//! `t` cannot land before `t + minimum cross-shard latency`, and any event created
+//! at exactly that instant carries a larger `seq` and sorts after everything already
+//! queued — is applied at *round* granularity by the parallel engine (`crate::sim`):
+//! every shard whose head lies inside the horizon is drained concurrently. The
+//! sequential engine deliberately does **not** exploit it per shard: a run-based API
+//! that drained one shard without consulting the merge tree was measured at 1.1–1.3
+//! events per run on the fig9xl scales (saturated shards interleave at nearly
+//! identical instants, so the cross-shard bound kills a run immediately) and its
+//! park/restore leaf repairs cost more than the plain merge pop they replaced — see
+//! [`ShardedQueue::pop_min`].
 
 use crate::sim::{EventKind, QueuedEvent};
 use crate::time::SimTime;
+use leopard_types::NodeId;
+use std::collections::VecDeque;
 
 /// The `(time, seq)` key that totally orders events; `seq` is globally unique.
 pub(crate) type EventKey = (SimTime, u64);
 
 /// Packs an event key into a single integer preserving `(time, seq)` order.
 #[inline]
-fn pack(at: SimTime, seq: u64) -> u128 {
+pub(crate) fn pack(at: SimTime, seq: u64) -> u128 {
     (u128::from(at.as_nanos()) << 64) | u128::from(seq)
 }
 
 /// Unpacks a [`pack`]ed key.
 #[inline]
-fn unpack(key: u128) -> EventKey {
+pub(crate) fn unpack(key: u128) -> EventKey {
     (SimTime((key >> 64) as u64), key as u64)
 }
 
@@ -79,19 +68,21 @@ const EMPTY: u128 = u128::MAX;
 /// the moving entry's final position by **walking the key array alone** before any
 /// payload is touched — the key chain is then shifted with plain stores and the
 /// payloads rotated along the same (already cache-hot) path. Combined with the
-/// PR 9 shrink of the queue-resident payload from 32 to 24 bytes
-/// (`EventKind::Arrive::size` went `usize` → `u32`; see `sim.rs`), this trims the
-/// remaining DRAM-bound payload traffic the PR 8 profile showed: at n ≥ 1000 a
-/// shard heap holds several hundred in-flight arrivals and this sift walk is the
-/// hottest data movement in the engine. (An arena/slab indirection that never moves
-/// payloads at all was measured and rejected: with per-shard heaps this shallow, the
-/// extra random-access load per pop costs more than the rotation it saves.)
-struct QuadHeap<M> {
+/// PR 10 fan-out compression (queue-resident `Arrive`/`Deliver` payloads shrank to a
+/// `{fanout: u32, to}` handle into a side table — see `crate::fanout` — making
+/// `EventKind` a 24-byte `Copy` value with no `Arc` refcounts and no drop glue), this
+/// trims the remaining DRAM-bound payload traffic the PR 8 profile showed: at
+/// n ≥ 1000 a shard heap holds several hundred in-flight arrivals and this sift walk
+/// is the hottest data movement in the engine. (An arena/slab indirection that never
+/// moves payloads at all was measured and rejected: with per-shard heaps this
+/// shallow, the extra random-access load per pop costs more than the rotation it
+/// saves.)
+pub(crate) struct QuadHeap {
     keys: Vec<u128>,
-    kinds: Vec<EventKind<M>>,
+    kinds: Vec<EventKind>,
 }
 
-impl<M> QuadHeap<M> {
+impl QuadHeap {
     const fn new() -> Self {
         Self {
             keys: Vec::new(),
@@ -100,11 +91,20 @@ impl<M> QuadHeap<M> {
     }
 
     #[inline]
-    fn peek_key(&self) -> Option<u128> {
+    pub(crate) fn peek_key(&self) -> Option<u128> {
         self.keys.first().copied()
     }
 
-    fn push(&mut self, key: u128, kind: EventKind<M>) {
+    fn push(&mut self, key: u128, kind: EventKind) {
+        // Grow by 25% instead of Vec's doubling: a saturated large-n run keeps
+        // thousands of shard heaps at their high-water mark, and the halved
+        // overallocation is worth far more than the extra (amortized, memcpy-only)
+        // reallocations it costs — see the RSS notes in DESIGN.md §10.
+        if self.keys.len() == self.keys.capacity() {
+            let grow = (self.keys.len() / 4).max(32);
+            self.keys.reserve_exact(grow);
+            self.kinds.reserve_exact(grow);
+        }
         // Hole-based sift-up: append a hole, shift ancestors down into it, write the
         // new entry once at its final slot. `kinds` grows with a placeholder read
         // from the hole's final position, so no `unsafe` and no `Option` tax.
@@ -132,7 +132,7 @@ impl<M> QuadHeap<M> {
         }
     }
 
-    fn pop(&mut self) -> Option<(u128, EventKind<M>)> {
+    pub(crate) fn pop(&mut self) -> Option<(u128, EventKind)> {
         let len = self.keys.len();
         if len == 0 {
             return None;
@@ -180,10 +180,101 @@ impl<M> QuadHeap<M> {
     }
 }
 
-/// A set of per-shard event heaps merged through a flat winner tree.
-pub(crate) struct ShardedQueue<M> {
-    /// One heap per owning node.
-    shards: Vec<QuadHeap<M>>,
+/// One shard's event store: a [`QuadHeap`] for arbitrarily-ordered events plus a
+/// FIFO for the **downlink delivery stream**, which needs no heap at all.
+///
+/// Every `Arrive` dispatch reserves the receiver's downlink FIFO
+/// (`delivery = max(arrival, downlink_free) + tx`, then `downlink_free = delivery`)
+/// and `Arrive` events of one shard fire in `(time, seq)` order — so the matured
+/// `Deliver` events of a shard are *created* with nondecreasing `(time, seq)` keys.
+/// Pushing them into the heap just to pop them in insertion order paid two key
+/// sifts for nothing; they are ≈ 46% of all queued events in a saturated large-`n`
+/// run. The FIFO stores them as split key/fanout streams (`to` is the shard
+/// itself), and the shard's head is the smaller of the heap head and the FIFO
+/// front. Self-deliveries (whose completion instants are *not* monotone — compute
+/// lanes can reorder them) and everything else stay in the heap.
+pub(crate) struct Shard {
+    heap: QuadHeap,
+    /// Packed `(time, seq)` keys of the deliver FIFO, nondecreasing.
+    fifo_keys: VecDeque<u128>,
+    /// The matching fan-out table handles (`crate::fanout`), in lockstep.
+    fifo_fanouts: VecDeque<u32>,
+    /// The owning node: the `to` of every FIFO delivery.
+    node: u32,
+}
+
+impl Shard {
+    fn new(node: u32) -> Self {
+        Self {
+            heap: QuadHeap::new(),
+            fifo_keys: VecDeque::new(),
+            fifo_fanouts: VecDeque::new(),
+            node,
+        }
+    }
+
+    /// The shard's minimal key over both stores.
+    #[inline]
+    pub(crate) fn peek_key(&self) -> Option<u128> {
+        match (self.heap.peek_key(), self.fifo_keys.front().copied()) {
+            (Some(heap), Some(fifo)) => Some(heap.min(fifo)),
+            (Some(heap), None) => Some(heap),
+            (None, Some(fifo)) => Some(fifo),
+            (None, None) => None,
+        }
+    }
+
+    /// Pops the shard's minimal event. FIFO deliveries win ties by construction:
+    /// keys are unique, so a tie cannot happen and the comparison is strict.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(u128, EventKind)> {
+        let take_fifo = match (self.heap.peek_key(), self.fifo_keys.front()) {
+            (Some(heap), Some(&fifo)) => fifo < heap,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        if take_fifo {
+            let key = self.fifo_keys.pop_front().expect("peeked front");
+            let fanout = self.fifo_fanouts.pop_front().expect("lockstep");
+            Some((
+                key,
+                EventKind::Deliver {
+                    fanout,
+                    to: NodeId(self.node),
+                },
+            ))
+        } else {
+            self.heap.pop()
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128, kind: EventKind) {
+        self.heap.push(key, kind);
+    }
+
+    /// Appends a matured downlink delivery; keys must arrive nondecreasing.
+    #[inline]
+    fn push_deliver(&mut self, key: u128, fanout: u32) {
+        if self.fifo_keys.len() == self.fifo_keys.capacity() {
+            let grow = (self.fifo_keys.len() / 4).max(32);
+            self.fifo_keys.reserve_exact(grow);
+            self.fifo_fanouts.reserve_exact(grow);
+        }
+        debug_assert!(
+            self.fifo_keys.back().map_or(true, |&back| back <= key),
+            "downlink deliveries of a shard must be created in (time, seq) order"
+        );
+        self.fifo_keys.push_back(key);
+        self.fifo_fanouts.push_back(fanout);
+    }
+}
+
+/// A set of per-shard event stores merged through a flat winner tree.
+pub(crate) struct ShardedQueue {
+    /// One store per owning node.
+    shards: Vec<Shard>,
     /// Per-shard packed head key (`EMPTY` when the shard has no events or its leaf
     /// is parked by an active run).
     keys: Vec<u128>,
@@ -196,7 +287,7 @@ pub(crate) struct ShardedQueue<M> {
     len: usize,
 }
 
-impl<M> ShardedQueue<M> {
+impl ShardedQueue {
     /// Creates a queue with one shard per node (at least one).
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
@@ -211,7 +302,7 @@ impl<M> ShardedQueue<M> {
             tree[j] = tree[2 * j]; // all keys start EMPTY; either child works
         }
         Self {
-            shards: (0..shards).map(|_| QuadHeap::new()).collect(),
+            shards: (0..shards).map(|i| Shard::new(i as u32)).collect(),
             keys: vec![EMPTY; shards],
             tree,
             leaves,
@@ -245,9 +336,21 @@ impl<M> ShardedQueue<M> {
 
     /// Pushes an event onto `shard`, updating the merge tree if it becomes the
     /// shard's new head.
-    pub fn push(&mut self, shard: u32, event: QueuedEvent<M>) {
+    pub fn push(&mut self, shard: u32, event: QueuedEvent) {
         let key = pack(event.at, event.seq);
         self.shards[shard as usize].push(key, event.kind);
+        self.len += 1;
+        if key < self.keys[shard as usize] {
+            self.update_leaf(shard, key);
+        }
+    }
+
+    /// Pushes a matured downlink delivery onto `shard`'s deliver FIFO (see
+    /// [`Shard`]): O(1), no sifts. The caller (the `Arrive` dispatch) guarantees the
+    /// per-shard keys arrive nondecreasing.
+    pub fn push_deliver(&mut self, shard: u32, at: SimTime, seq: u64, fanout: u32) {
+        let key = pack(at, seq);
+        self.shards[shard as usize].push_deliver(key, fanout);
         self.len += 1;
         if key < self.keys[shard as usize] {
             self.update_leaf(shard, key);
@@ -264,61 +367,89 @@ impl<M> ShardedQueue<M> {
         Some(unpack(key))
     }
 
-    /// Pops the globally minimal event (classic merge pop: the shard's next head is
-    /// re-registered immediately).
-    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
-        let (shard, event, _) = self.begin_run()?;
-        self.end_run(shard);
-        Some(event)
+    /// Pops the globally minimal event (for tests; the engine uses
+    /// [`Self::pop_min`]).
+    #[cfg(test)]
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        self.pop_min(SimTime(u64::MAX))
     }
 
-    /// Starts a shard run: pops the globally minimal event, parks the shard's leaf,
-    /// and returns the merge key of the best *other* shard (the run's cross-shard
-    /// bound). Must be paired with [`Self::end_run`].
-    pub fn begin_run(&mut self) -> Option<(u32, QueuedEvent<M>, Option<EventKey>)> {
+    /// Pops the globally minimal event if its time is at or below `deadline`: one
+    /// shard pop plus a single leaf-to-root replay.
+    ///
+    /// A conservative-lookahead *run* API (`begin_run`/`pop_run`/`end_run`) used to
+    /// sit here so the sequential engine could drain a shard without consulting the
+    /// merge tree. Measured run lengths at the fig9xl scales are 1.1–1.3 events —
+    /// saturated shards interleave at nearly identical instants, so a run died on
+    /// the cross-shard bound almost immediately and every event paid *two* leaf
+    /// repairs (park + restore) plus a failed continuation probe. The classic merge
+    /// pop dispatches the exact same `(time, seq)` sequence for one repair and no
+    /// bookkeeping; the lookahead argument lives on in the parallel round engine,
+    /// where it fences whole rounds instead of single-shard runs.
+    pub fn pop_min(&mut self, deadline: SimTime) -> Option<QueuedEvent> {
         let shard = self.tree[1];
-        if self.keys[shard as usize] == EMPTY {
+        let key = self.keys[shard as usize];
+        if key == EMPTY || (key >> 64) as u64 > deadline.as_nanos() {
             return None;
         }
         let (key, kind) = self.shards[shard as usize].pop().expect("winner has a head");
         self.len -= 1;
-        self.update_leaf(shard, EMPTY);
-        let bound = self.peek_key();
-        let (at, seq) = unpack(key);
-        Some((shard, QueuedEvent { at, seq, kind }, bound))
-    }
-
-    /// Pops the next event of `shard` if its key is below `bound` (strict), its time
-    /// is at or below `horizon`, and its time is at or below `deadline`.
-    pub fn pop_run(
-        &mut self,
-        shard: u32,
-        bound: Option<EventKey>,
-        horizon: SimTime,
-        deadline: SimTime,
-    ) -> Option<QueuedEvent<M>> {
-        let head = self.shards[shard as usize].peek_key()?;
-        if let Some((bound_at, bound_seq)) = bound {
-            if head >= pack(bound_at, bound_seq) {
-                return None;
-            }
-        }
-        let at = SimTime((head >> 64) as u64);
-        if at > horizon || at > deadline {
-            return None;
-        }
-        let (key, kind) = self.shards[shard as usize].pop().expect("peeked head");
-        self.len -= 1;
+        let head = self.shards[shard as usize].peek_key().unwrap_or(EMPTY);
+        self.update_leaf(shard, head);
         let (at, seq) = unpack(key);
         Some(QueuedEvent { at, seq, kind })
     }
 
-    /// Ends a shard run: rewrites the shard's leaf from its true heap head (the run,
-    /// or pushes during it, may have left the leaf parked or stale).
-    pub fn end_run(&mut self, shard: u32) {
-        let key = self.shards[shard as usize].peek_key().unwrap_or(EMPTY);
-        if key != self.keys[shard as usize] {
-            self.update_leaf(shard, key);
+    /// Direct mutable access to the per-shard stores, for the parallel round
+    /// engine: each round worker drains its own shard without touching the merge
+    /// tree. The caller must call [`Self::settle_round`] afterwards to restore the
+    /// leaf/merge invariants and the length bookkeeping.
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    /// Appends (ascending) the indices of every shard whose current head is at or
+    /// below `cutoff` — the shards that participate in a parallel round. Leaf keys
+    /// are accurate between runs, so this is a linear scan, no heap traffic.
+    pub fn shards_at_or_below(&self, cutoff: SimTime, out: &mut Vec<u32>) {
+        let fence = pack(cutoff, u64::MAX);
+        for (i, &key) in self.keys.iter().enumerate() {
+            if key <= fence {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Visits every queued event's kind — heap entries and deliver-FIFO entries
+    /// alike, the latter materialised exactly as [`Shard::pop`] would — in no
+    /// particular order. This is the read side of the fan-out reference audit
+    /// (`Simulation::into_report`): the audit tallies the queued handles per slot
+    /// and compares the tally against the side table's refcounts.
+    pub fn for_each_kind(&self, mut f: impl FnMut(&EventKind)) {
+        for shard in &self.shards {
+            for kind in &shard.heap.kinds {
+                f(kind);
+            }
+            for &fanout in &shard.fifo_fanouts {
+                f(&EventKind::Deliver {
+                    fanout,
+                    to: NodeId(shard.node),
+                });
+            }
+        }
+    }
+
+    /// Restores the queue invariants after a parallel round: deducts the `drained`
+    /// events the round's workers popped directly from their heaps and rewrites
+    /// every stale leaf (both the drained shards and any shard the apply phase
+    /// pushed to while its leaf was inaccurate).
+    pub fn settle_round(&mut self, drained: usize) {
+        self.len -= drained;
+        for shard in 0..self.shards.len() as u32 {
+            let key = self.shards[shard as usize].peek_key().unwrap_or(EMPTY);
+            if key != self.keys[shard as usize] {
+                self.update_leaf(shard, key);
+            }
         }
     }
 }
@@ -332,7 +463,7 @@ mod tests {
     #[test]
     fn pops_follow_global_time_seq_order() {
         for shards in [1usize, 3, 4, 7] {
-            let mut queue: ShardedQueue<()> = ShardedQueue::new(shards);
+            let mut queue = ShardedQueue::new(shards);
             // A deterministic scramble: times descend, wrap, collide; seqs are unique.
             let mut entries: Vec<(u32, u64, u64)> = Vec::new(); // (shard, time, seq)
             let mut state = 0x9E3779B97F4A7C15u64;
@@ -357,55 +488,41 @@ mod tests {
         }
     }
 
-    /// A shard run only surrenders events strictly below the cross-shard bound and at
-    /// or below the horizon, and `end_run` restores the merge invariant.
+    /// `pop_min` honours the deadline and repairs the winner's leaf on every pop.
     #[test]
-    fn runs_respect_bound_and_horizon() {
-        let mut queue: ShardedQueue<()> = ShardedQueue::new(2);
+    fn pop_min_respects_the_deadline() {
+        let mut queue = ShardedQueue::new(2);
         queue.push(0, queued(SimTime(10), 1));
-        queue.push(0, queued(SimTime(20), 2));
-        queue.push(0, queued(SimTime(30), 3));
-        queue.push(1, queued(SimTime(25), 4));
+        queue.push(0, queued(SimTime(30), 2));
+        queue.push(1, queued(SimTime(25), 3));
 
-        let (shard, first, next) = queue.begin_run().unwrap();
-        assert_eq!(shard, 0);
+        let first = queue.pop_min(SimTime(25)).unwrap();
         assert_eq!((first.at, first.seq), (SimTime(10), 1));
-        assert_eq!(next, Some((SimTime(25), 4)));
-
-        // Horizon 100 admits t = 20 (below the bound 25) but not t = 30.
-        let second = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
-        assert_eq!((second.at, second.seq), (SimTime(20), 2));
-        assert!(queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).is_none());
-        queue.end_run(shard);
-
-        // The merge resumes with shard 1's event, then shard 0's tail.
-        assert_eq!(queue.peek_key(), Some((SimTime(25), 4)));
-        let order: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|e| e.seq).collect();
-        assert_eq!(order, vec![4, 3]);
+        let second = queue.pop_min(SimTime(25)).unwrap();
+        assert_eq!((second.at, second.seq), (SimTime(25), 3));
+        assert!(queue.pop_min(SimTime(25)).is_none(), "t = 30 is past the deadline");
+        assert_eq!(queue.peek_key(), Some((SimTime(30), 2)));
+        let tail = queue.pop_min(SimTime(u64::MAX)).unwrap();
+        assert_eq!((tail.at, tail.seq), (SimTime(30), 2));
+        assert_eq!(queue.len(), 0);
     }
 
-    /// Pushing a new shard minimum mid-run is picked up by the same run (zero-delay
-    /// self-messages), and `end_run` repairs the leaf the push left stale.
+    /// Zero-delay follow-ups pushed between pops are seen immediately: the push
+    /// updates the leaf, so the very next `pop_min` returns them in `(time, seq)`
+    /// order.
     #[test]
-    fn mid_run_pushes_to_the_same_shard_are_seen() {
-        let mut queue: ShardedQueue<()> = ShardedQueue::new(2);
+    fn pushes_between_pops_are_merged_immediately() {
+        let mut queue = ShardedQueue::new(2);
         queue.push(0, queued(SimTime(10), 1));
         queue.push(0, queued(SimTime(40), 2));
         queue.push(1, queued(SimTime(50), 3));
 
-        let (shard, first, next) = queue.begin_run().unwrap();
+        let first = queue.pop_min(SimTime(u64::MAX)).unwrap();
         assert_eq!((first.at, first.seq), (SimTime(10), 1));
-        // The event's callback schedules a same-shard follow-up at t = 15; the leaf is
-        // parked, so the push overwrites it with t = 15 even though t = 40 was queued
-        // first — end_run must repair this.
-        queue.push(shard, queued(SimTime(15), 4));
-        let follow = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
-        assert_eq!((follow.at, follow.seq), (SimTime(15), 4));
-        let tail = queue.pop_run(shard, next, SimTime(100), SimTime(u64::MAX)).unwrap();
-        assert_eq!((tail.at, tail.seq), (SimTime(40), 2));
-        queue.end_run(shard);
+        // The event's callback schedules a follow-up at t = 15 on the same shard.
+        queue.push(0, queued(SimTime(15), 4));
         let order: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|e| e.seq).collect();
-        assert_eq!(order, vec![3]);
+        assert_eq!(order, vec![4, 2, 3]);
         assert_eq!(queue.len(), 0);
     }
 }

@@ -30,11 +30,12 @@
 //! enough to reproduce the paper's bandwidth-bound behaviour. Determinism: for a fixed
 //! seed and protocol, the event order is completely reproducible.
 
+use crate::fanout::FanoutTable;
 use crate::fault::{CrashWindow, FaultPlan, MessageFate};
 use crate::metrics::{MetricsSink, ObservationKind};
 use crate::network::{NetworkConfig, ResolvedTopology};
 use crate::protocol::{Context, Protocol, SimMessage};
-use crate::shard::ShardedQueue;
+use crate::shard::{pack, unpack, Shard, ShardedQueue};
 use crate::time::{SimDuration, SimTime};
 use leopard_types::{NodeId, WireSize};
 use rand::rngs::StdRng;
@@ -61,9 +62,11 @@ pub enum ExecutionMode {
     /// One event at a time in `(time, seq)` order, with conservative-lookahead shard
     /// runs keeping the merge heap off the hot path. The default.
     Sequential,
-    /// Same-instant event batches are grouped by owning node and executed on worker
-    /// threads; every engine-side effect (RNG draws, link reservations, metrics,
-    /// event sequence numbers) is applied sequentially in the exact `(time, seq)`
+    /// Shard rounds: every shard whose head event lies inside the conservative
+    /// lookahead horizon is drained up to that horizon by a worker thread that owns
+    /// all of the shard's per-node state; every engine-side effect (net-RNG draws,
+    /// the stateful fault judge, metrics, event sequence numbers, fan-out reference
+    /// accounting) is recorded and replayed sequentially in the exact `(time, seq)`
     /// order afterwards, so the schedule stays bit-identical to `Sequential`.
     Parallel {
         /// Worker thread count; `0` means `std::thread::available_parallelism()`.
@@ -72,7 +75,18 @@ pub enum ExecutionMode {
 }
 
 /// What a queued event does when it fires.
-pub(crate) enum EventKind<M> {
+///
+/// The queue-resident representation is **fan-out compressed** (PR 10): `Arrive` and
+/// `Deliver` no longer carry `{from, Arc<message>, size}` payloads — those live once
+/// per logical fan-out in the engine's [`crate::fanout::FanoutTable`] and the events
+/// carry a `{fanout, to}` handle. That drops the payload every heap sift moves from
+/// 32 to 24 bytes, removes two `Arc` refcount round-trips per copy from the queue
+/// path, and — because nothing about event *keys* changes — leaves the `(time, seq)`
+/// schedule identical by construction (every pre-compression determinism golden
+/// passes uncaptured). It also makes the kind plain data (no drop glue), so heap
+/// rotations are pure `memcpy`.
+#[derive(Clone, Copy)]
+pub(crate) enum EventKind {
     /// Call `on_start` on the node.
     Start(NodeId),
     /// Call `on_restart` on a node coming back from a finite crash window. Scheduled
@@ -88,26 +102,23 @@ pub(crate) enum EventKind<M> {
     /// earlier; that artificial head-of-line blocking compounds through the half-duplex
     /// coupling and starves votes at large `n`.
     Arrive {
-        /// Sender.
-        from: NodeId,
+        /// The interned fan-out (sender, shared envelope, wire size).
+        fanout: u32,
         /// Receiver.
         to: NodeId,
-        /// The message.
-        message: Arc<M>,
-        /// Wire size, for the downlink serialisation delay. `u32` (no modeled
-        /// message approaches 4 GiB) keeps the whole queue-resident event at 24
-        /// bytes instead of 32 — these entries are what every heap sift moves.
+        /// Wire size of this copy, carried inline so the downlink reservation
+        /// needs no fan-out table lookup (the sender is not needed until the
+        /// `Deliver` consumes the slot). Fits in the `Timer`-variant padding, so
+        /// `EventKind` stays 24 bytes.
         size: u32,
     },
-    /// Deliver a message. The envelope is `Arc`-shared so a multicast queues `n − 1`
-    /// pointer clones of one logical message instead of `n − 1` deep clones.
+    /// Deliver a message: the receiver's callback runs and takes one reference off
+    /// the fan-out slot (the last reference reclaims it).
     Deliver {
-        /// Sender.
-        from: NodeId,
+        /// The interned fan-out.
+        fanout: u32,
         /// Receiver.
         to: NodeId,
-        /// The message.
-        message: Arc<M>,
     },
     /// Fire a timer.
     Timer {
@@ -122,7 +133,7 @@ pub(crate) enum EventKind<M> {
     },
 }
 
-impl<M> EventKind<M> {
+impl EventKind {
     /// The shard (owning node) whose state this event touches when it fires.
     fn owner(&self) -> u32 {
         match self {
@@ -134,15 +145,15 @@ impl<M> EventKind<M> {
 }
 
 /// An entry in the event queue, ordered by time then insertion sequence.
-pub(crate) struct QueuedEvent<M> {
+pub(crate) struct QueuedEvent {
     pub(crate) at: SimTime,
     pub(crate) seq: u64,
-    pub(crate) kind: EventKind<M>,
+    pub(crate) kind: EventKind,
 }
 
 /// Builds a payload-free queue entry for the shard-queue unit tests.
 #[cfg(test)]
-pub(crate) fn test_event<M>(at: SimTime, seq: u64) -> QueuedEvent<M> {
+pub(crate) fn test_event(at: SimTime, seq: u64) -> QueuedEvent {
     QueuedEvent {
         at,
         seq,
@@ -150,18 +161,18 @@ pub(crate) fn test_event<M>(at: SimTime, seq: u64) -> QueuedEvent<M> {
     }
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
+impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for QueuedEvent<M> {
+impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -212,113 +223,626 @@ impl<M> ActionBuffer<M> {
     }
 }
 
-/// One callback invocation of the parallel batch executor, in engine event terms.
+/// One protocol-callback invocation in engine event terms, shared by the sequential
+/// dispatcher and the parallel round workers. `Message` carries the
+/// already-materialised owned message (see [`FanoutTable::consume`]).
 enum Invoke<M> {
     Start,
     Restart,
-    Message { from: NodeId, message: Arc<M> },
+    Message { from: NodeId, message: M },
+    Timer { token: u64 },
+}
+
+// ---------------------------------------------------------------------------
+// Parallel shard rounds.
+//
+// `ExecutionMode::Parallel` executes *shard rounds*: every shard whose head event
+// lies at or below a common horizon (`round start + conservative lookahead`, the
+// same bound the sequential shard runs use — see `crate::shard`) is drained up to
+// that horizon by a worker that owns all of the shard's per-node state (protocol,
+// node RNG, timer epoch, link horizons, compute lanes, the shard's event heap).
+// Everything global — the net RNG, event sequence numbers, metrics, the stateful
+// fault filter, the fan-out table — is *recorded* as a per-dispatch effect list and
+// replayed afterwards in exact `(time, seq)` order, so the schedule, every RNG
+// draw, and every metric stays bit-identical to the sequential engine
+// (`tests/engine_equivalence.rs` holds the goldens).
+//
+// Why the horizon proof carries over: a worker executes only events at or below
+// `cutoff = round start + lookahead`. Any *cross-shard* event such an execution
+// creates arrives no earlier than its dispatch time plus the minimum cross-shard
+// base latency, i.e. at or beyond `cutoff` — and with a larger seq than everything
+// already queued — so it belongs to a later round no matter which shard it lands
+// on. Events a dispatch schedules on its *own* shard (timers, self-deliveries, the
+// downlink leg of an arrival) can land inside the horizon; the worker executes
+// those itself from a local overlay heap, ordered by creation index — which equals
+// `seq` order, because the replay assigns sequence numbers in the same order the
+// worker recorded the pushes.
+// ---------------------------------------------------------------------------
+
+/// A sequence-number reference in a round's dispatch stream: either the real seq a
+/// queued event carried, or the index of a round-local push whose seq the replay
+/// assigns (and records) when it reaches the push.
+#[derive(Clone, Copy)]
+enum SeqRef {
+    Queued(u64),
+    Local(u32),
+}
+
+/// A fan-out table reference usable before the replay has interned this round's new
+/// fan-outs: `Shared` is a real table id (from a previous round or the sequential
+/// engine), `Local` indexes the round's own intern list.
+#[derive(Clone, Copy)]
+enum FanoutRef {
+    Shared(u32),
+    Local(u32),
+}
+
+/// A fan-out interned by a round worker; the message is taken by the replay's
+/// `Intern` effect, which assigns the real table id.
+struct LocalFanout<M> {
+    message: Option<M>,
+}
+
+/// An own-shard event created and executed inside the same round (never queued).
+enum LocalKind {
     Timer { token: u64, epoch: u32 },
+    Deliver { fanout: FanoutRef },
 }
 
-/// The per-event result a parallel batch produces, applied sequentially in slot
-/// (= `(time, seq)`) order afterwards.
-enum Prepared<M> {
-    /// An `Arrive` event: no protocol callback runs, the downlink reservation is an
-    /// engine-side effect and stays entirely in the sequential apply phase.
-    Arrive {
-        from: NodeId,
+/// Overlay-heap entry: round-local events fire in `(at, id)` order, and `id` is the
+/// creation index, which the replay maps to ascending sequence numbers — so the
+/// overlay order IS `(time, seq)` order (queued events always win ties on `at`
+/// because every queued seq predates every round-local one).
+struct LocalEvent {
+    at: SimTime,
+    id: u32,
+    kind: LocalKind,
+}
+
+impl PartialEq for LocalEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for LocalEvent {}
+impl PartialOrd for LocalEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LocalEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+/// One deferred engine-side effect recorded by a round worker, replayed by the
+/// coordinator in global `(time, seq)` dispatch order. Effects within a dispatch
+/// are replayed in recorded order, which mirrors the sequential engine's effect
+/// order exactly (observations, then timers, then sends; `judge` before anything
+/// else inside a route).
+enum RunEffect {
+    /// `metrics.observe(at, node, observation)` — `at` is the compute-completion
+    /// instant of the recording callback.
+    Observe {
+        at: SimTime,
+        observation: ObservationKind,
+    },
+    /// Assign the next seq to round-local push `id` (a timer the worker executed
+    /// itself).
+    LocalTimer { id: u32 },
+    /// Assign the next seq to round-local push `id` and take one fan-out reference
+    /// (a self-delivery the worker executed itself).
+    LocalDeliverNew { id: u32, fanout: FanoutRef },
+    /// Assign the next seq to round-local push `id`; the reference transfers from
+    /// the `Arrive` handle that matured (the worker executed the delivery itself).
+    LocalDeliverXfer { id: u32 },
+    /// A timer beyond the horizon: a real queue push.
+    PushTimer { at: SimTime, token: u64, epoch: u32 },
+    /// A self-delivery beyond the horizon: a real queue push taking one reference.
+    PushDeliverNew {
+        at: SimTime,
         to: NodeId,
-        message: Arc<M>,
-        size: usize,
+        fanout: FanoutRef,
     },
-    /// A callback ran; its buffered actions are applied with the timer epoch
-    /// snapshotted on the worker (after any `Restart` bump).
-    Done {
-        node: NodeId,
-        actions: ActionBuffer<M>,
-        epoch: u32,
+    /// A downlink leg crossing the horizon: a real queue push, reference transfers.
+    PushDeliverXfer {
+        at: SimTime,
+        to: NodeId,
+        fanout: FanoutRef,
     },
-    /// The event was swallowed (crashed node, stale timer epoch).
-    Skipped,
-    /// Placeholder until the owning worker reports back.
-    Pending,
+    /// Intern round-local fan-out `id` into the real table.
+    Intern { id: u32 },
+    /// The global tail of a cross-shard route: the stateful fault judge, the
+    /// partition check, traffic metrics, the jitter draw(s), and the `Arrive` push.
+    /// `departure` was computed by the worker from its own uplink horizon.
+    Route {
+        to: NodeId,
+        fanout: FanoutRef,
+        size: u32,
+        category: &'static str,
+        at: SimTime,
+        departure: SimTime,
+    },
+    /// A route whose sender was crashed: the judge still runs (its stateful filter
+    /// must see every send in global order), nothing else happens.
+    RouteCrashed {
+        to: NodeId,
+        size: u32,
+        category: &'static str,
+        at: SimTime,
+    },
+    /// A delivery the worker consumed (it cloned the envelope): return the
+    /// reference.
+    Consume { fanout: FanoutRef },
+    /// A crashed receiver swallowed an `Arrive`/`Deliver`: return the reference.
+    Release { fanout: FanoutRef },
+    /// End of a fan-out loop: reclaim the slot if no copy survived routing.
+    ReleaseIfUnused { fanout: FanoutRef },
 }
 
-/// All same-instant events of one node, executed in `seq` order on one worker. The
-/// disjoint `&mut` borrows are carved out of the engine's `Vec`s with
-/// `split_at_mut`, so the executor needs no locks and no unsafe code.
-struct NodeJob<'a, P: Protocol> {
+/// One dispatch record of a round's per-shard stream. Only dispatches that recorded
+/// at least one effect are kept; `effects_end` is the exclusive end of this
+/// dispatch's slice of the round's flat effect stream.
+#[derive(Clone, Copy)]
+struct DispatchRec {
+    at: SimTime,
+    seq: SeqRef,
+    effects_end: u32,
+}
+
+/// Everything one shard produced during a parallel round.
+struct ShardRound<M> {
+    shard: u32,
+    dispatches: Vec<DispatchRec>,
+    effects: Vec<RunEffect>,
+    local_fanouts: Vec<LocalFanout<M>>,
+    /// Filled by the replay: seq assigned to round-local push `id`.
+    local_seqs: Vec<u64>,
+    /// Filled by the replay: real table id of round-local fan-out `id`.
+    fanout_ids: Vec<u32>,
+    /// Events drained from the shard's real heap (for queue length bookkeeping).
+    popped: usize,
+    /// Events executed, including overlay events and swallowed ones.
+    dispatched: u64,
+    max_at: SimTime,
+}
+
+impl<M> ShardRound<M> {
+    fn new(shard: u32) -> Self {
+        Self {
+            shard,
+            dispatches: Vec::new(),
+            effects: Vec::new(),
+            local_fanouts: Vec::new(),
+            local_seqs: Vec::new(),
+            fanout_ids: Vec::new(),
+            popped: 0,
+            dispatched: 0,
+            max_at: SimTime::ZERO,
+        }
+    }
+
+    fn resolve(&self, fanout: FanoutRef) -> u32 {
+        match fanout {
+            FanoutRef::Shared(id) => id,
+            FanoutRef::Local(id) => self.fanout_ids[id as usize],
+        }
+    }
+
+    /// Reserves a round-local push id (creation order = replayed seq order).
+    fn alloc_local(&mut self) -> u32 {
+        let id = self.local_seqs.len() as u32;
+        self.local_seqs.push(0);
+        id
+    }
+}
+
+/// Read-only inputs shared by every round worker.
+struct RoundCtx<'a, M> {
+    cutoff: SimTime,
+    node_count: usize,
+    half_duplex: bool,
+    crashes: &'a [CrashWindow],
+    resolved: &'a ResolvedTopology,
+    fanouts: &'a FanoutTable<M>,
+}
+
+/// The disjoint per-shard mutable state a round worker owns, carved out of the
+/// engine's `Vec`s with `split_at_mut` — no locks, no unsafe code.
+struct WorkerShard<'a, P: Protocol> {
     node: NodeId,
+    shard_queue: &'a mut Shard,
     protocol: &'a mut P,
     rng: &'a mut StdRng,
     epoch: &'a mut u32,
-    items: Vec<(usize, Invoke<P::Message>)>,
+    uplink_free: &'a mut SimTime,
+    downlink_free: &'a mut SimTime,
+    lanes: &'a mut Vec<SimTime>,
+    lane_busy: &'a mut Vec<u64>,
 }
 
-/// Runs one node's batch items, mirroring exactly what the sequential `dispatch`
-/// would do up to (but excluding) `finish_callback`: crash checks, the timer epoch
-/// check, the `Restart` epoch bump, and the protocol callback itself. Only state
-/// owned by the node (protocol state, node RNG, timer epoch) is touched; everything
-/// shared (net RNG, links, metrics, the event queue) is deferred to the sequential
-/// apply phase via the returned [`Prepared`] values.
-fn run_node_job<P: Protocol>(
-    job: NodeJob<'_, P>,
-    now: SimTime,
-    node_count: usize,
-    crashes: &[CrashWindow],
-    out: &mut Vec<(usize, Prepared<P::Message>)>,
+#[inline]
+fn is_down(crashes: &[CrashWindow], node: NodeId, at: SimTime) -> bool {
+    crashes.iter().any(|window| window.covers(node, at))
+}
+
+/// Executes one shard's slice of a parallel round: drains the shard's heap (and the
+/// overlay of round-local events) up to the horizon, running callbacks against the
+/// shard's own state and recording every global effect for the replay.
+fn run_round_shard<P: Protocol>(
+    ws: &mut WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
 ) {
-    let NodeJob {
-        node,
-        protocol,
-        rng,
-        epoch,
-        items,
-    } = job;
-    for (slot, invoke) in items {
-        if crashes.iter().any(|window| window.covers(node, now)) {
-            out.push((slot, Prepared::Skipped));
-            continue;
-        }
-        if let Invoke::Timer { epoch: armed, .. } = &invoke {
-            if *armed != *epoch {
-                out.push((slot, Prepared::Skipped));
-                continue;
-            }
-        }
-        if matches!(invoke, Invoke::Restart) {
-            // The process died: whatever timers it had armed died with it.
-            *epoch += 1;
-        }
-        let mut actions = ActionBuffer::default();
-        {
-            let mut ctx = SimContext {
-                now,
-                node,
-                node_count,
-                actions: &mut actions,
-                rng,
-            };
-            match invoke {
-                Invoke::Start => protocol.on_start(&mut ctx),
-                Invoke::Restart => protocol.on_restart(&mut ctx),
-                Invoke::Message { from, message } => {
-                    let message =
-                        Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
-                    protocol.on_message(from, message, &mut ctx);
+    let mut overlay: std::collections::BinaryHeap<std::cmp::Reverse<LocalEvent>> =
+        std::collections::BinaryHeap::new();
+    let mut actions = ActionBuffer::default();
+    loop {
+        let queued_at = ws.shard_queue.peek_key().map(|key| SimTime((key >> 64) as u64));
+        let local_at = overlay.peek().map(|std::cmp::Reverse(event)| event.at);
+        let take_queued = match (queued_at, local_at) {
+            (None, None) => break,
+            (Some(at), None) => {
+                if at > ctx.cutoff {
+                    break;
                 }
-                Invoke::Timer { token, .. } => protocol.on_timer(token, &mut ctx),
+                true
+            }
+            (None, Some(at)) => {
+                if at > ctx.cutoff {
+                    break;
+                }
+                false
+            }
+            (Some(queued), Some(local)) => {
+                if queued.min(local) > ctx.cutoff {
+                    break;
+                }
+                // Queued events win ties: every queued seq predates every
+                // round-local push.
+                queued <= local
+            }
+        };
+        round.dispatched += 1;
+        let effects_start = round.effects.len();
+        let (at, seq) = if take_queued {
+            let (key, kind) = ws.shard_queue.pop().expect("peeked head");
+            round.popped += 1;
+            let (at, seq) = unpack(key);
+            match kind {
+                EventKind::Start(_) => {
+                    if !is_down(ctx.crashes, ws.node, at) {
+                        round_callback(ws, ctx, round, &mut overlay, &mut actions, at, Invoke::Start);
+                    }
+                }
+                EventKind::Restart(_) => {
+                    if !is_down(ctx.crashes, ws.node, at) {
+                        // The process died: its armed timers died with it.
+                        *ws.epoch += 1;
+                        round_callback(ws, ctx, round, &mut overlay, &mut actions, at, Invoke::Restart);
+                    }
+                }
+                EventKind::Timer { token, epoch, .. } => {
+                    if !is_down(ctx.crashes, ws.node, at) && epoch == *ws.epoch {
+                        round_callback(
+                            ws,
+                            ctx,
+                            round,
+                            &mut overlay,
+                            &mut actions,
+                            at,
+                            Invoke::Timer { token },
+                        );
+                    }
+                }
+                EventKind::Arrive { fanout, size, .. } => {
+                    round_arrive(ws, ctx, round, &mut overlay, at, fanout, size)
+                }
+                EventKind::Deliver { fanout, .. } => round_deliver(
+                    ws,
+                    ctx,
+                    round,
+                    &mut overlay,
+                    &mut actions,
+                    at,
+                    FanoutRef::Shared(fanout),
+                ),
+            }
+            (at, SeqRef::Queued(seq))
+        } else {
+            let std::cmp::Reverse(event) = overlay.pop().expect("peeked head");
+            let at = event.at;
+            match event.kind {
+                LocalKind::Timer { token, epoch } => {
+                    if !is_down(ctx.crashes, ws.node, at) && epoch == *ws.epoch {
+                        round_callback(
+                            ws,
+                            ctx,
+                            round,
+                            &mut overlay,
+                            &mut actions,
+                            at,
+                            Invoke::Timer { token },
+                        );
+                    }
+                }
+                LocalKind::Deliver { fanout } => {
+                    round_deliver(ws, ctx, round, &mut overlay, &mut actions, at, fanout)
+                }
+            }
+            (at, SeqRef::Local(event.id))
+        };
+        round.max_at = round.max_at.max(at);
+        if round.effects.len() > effects_start {
+            round.dispatches.push(DispatchRec {
+                at,
+                seq,
+                effects_end: round.effects.len() as u32,
+            });
+        }
+    }
+}
+
+/// The worker half of `apply_arrive`: downlink reservation on own state; the
+/// matured `Deliver` either joins the overlay (inside the horizon) or becomes a
+/// deferred push effect.
+fn round_arrive<P: Protocol>(
+    ws: &mut WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
+    overlay: &mut std::collections::BinaryHeap<std::cmp::Reverse<LocalEvent>>,
+    at: SimTime,
+    fanout: u32,
+    size: u32,
+) {
+    if is_down(ctx.crashes, ws.node, at) {
+        round.effects.push(RunEffect::Release {
+            fanout: FanoutRef::Shared(fanout),
+        });
+        return;
+    }
+    let link = ctx.resolved.links[ws.node.as_index()];
+    let start = at.max(*ws.downlink_free);
+    let delivery = start + SimDuration::transmission(size as usize, link.downlink_bps);
+    *ws.downlink_free = delivery;
+    if ctx.half_duplex {
+        *ws.uplink_free = (*ws.uplink_free).max(delivery);
+    }
+    if delivery <= ctx.cutoff {
+        let id = round.alloc_local();
+        overlay.push(std::cmp::Reverse(LocalEvent {
+            at: delivery,
+            id,
+            kind: LocalKind::Deliver {
+                fanout: FanoutRef::Shared(fanout),
+            },
+        }));
+        round.effects.push(RunEffect::LocalDeliverXfer { id });
+    } else {
+        round.effects.push(RunEffect::PushDeliverXfer {
+            at: delivery,
+            to: ws.node,
+            fanout: FanoutRef::Shared(fanout),
+        });
+    }
+}
+
+/// The worker half of a `Deliver` dispatch: crash swallow or callback, with the
+/// message cloned from the shared table (or the round's own intern list) and the
+/// reference accounting deferred to the replay.
+fn round_deliver<P: Protocol>(
+    ws: &mut WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
+    overlay: &mut std::collections::BinaryHeap<std::cmp::Reverse<LocalEvent>>,
+    actions: &mut ActionBuffer<P::Message>,
+    at: SimTime,
+    fanout: FanoutRef,
+) {
+    if is_down(ctx.crashes, ws.node, at) {
+        round.effects.push(RunEffect::Release { fanout });
+        return;
+    }
+    let (from, message) = match fanout {
+        FanoutRef::Shared(id) => {
+            (ctx.fanouts.sender(id), (**ctx.fanouts.message(id)).clone())
+        }
+        FanoutRef::Local(id) => {
+            let local = &round.local_fanouts[id as usize];
+            let message = local
+                .message
+                .as_ref()
+                .expect("round-local fan-out outlives its deliveries")
+                .clone();
+            (ws.node, message)
+        }
+    };
+    round.effects.push(RunEffect::Consume { fanout });
+    round_callback(ws, ctx, round, overlay, actions, at, Invoke::Message { from, message });
+}
+
+/// The worker counterpart of `run_callback` + `finish_callback` + `apply_actions`:
+/// runs the protocol callback on the shard's own state, settles compute on the
+/// shard's own lanes, and turns every output into either a round-local overlay
+/// event (inside the horizon, own shard) or a deferred effect for the replay.
+fn round_callback<P: Protocol>(
+    ws: &mut WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
+    overlay: &mut std::collections::BinaryHeap<std::cmp::Reverse<LocalEvent>>,
+    actions: &mut ActionBuffer<P::Message>,
+    at: SimTime,
+    invoke: Invoke<P::Message>,
+) {
+    {
+        let mut sim_ctx = SimContext {
+            now: at,
+            node: ws.node,
+            node_count: ctx.node_count,
+            actions,
+            rng: ws.rng,
+        };
+        match invoke {
+            Invoke::Start => ws.protocol.on_start(&mut sim_ctx),
+            Invoke::Restart => ws.protocol.on_restart(&mut sim_ctx),
+            Invoke::Message { from, message } => ws.protocol.on_message(from, message, &mut sim_ctx),
+            Invoke::Timer { token } => ws.protocol.on_timer(token, &mut sim_ctx),
+        }
+    }
+    let epoch = *ws.epoch;
+    let done = if actions.compute.as_nanos() == 0 {
+        at
+    } else {
+        let speed = ctx.resolved.cpu_speeds[ws.node.as_index()];
+        let scaled = (actions.compute.as_nanos() as f64 / speed).round() as u64;
+        dispatch_on(ws.lanes, ws.lane_busy, at, scaled)
+    };
+    for observation in actions.observations.drain(..) {
+        round.effects.push(RunEffect::Observe {
+            at: done,
+            observation,
+        });
+    }
+    for (delay, token) in actions.timers.drain(..) {
+        let fire = done + delay;
+        if fire <= ctx.cutoff {
+            let id = round.alloc_local();
+            overlay.push(std::cmp::Reverse(LocalEvent {
+                at: fire,
+                id,
+                kind: LocalKind::Timer { token, epoch },
+            }));
+            round.effects.push(RunEffect::LocalTimer { id });
+        } else {
+            round.effects.push(RunEffect::PushTimer {
+                at: fire,
+                token,
+                epoch,
+            });
+        }
+    }
+    // `drain(..)` would hold `actions` borrowed across the route calls; swap the
+    // sends out instead (the allocation returns via the scratch-restoring clear).
+    let mut sends = std::mem::take(&mut actions.sends);
+    for outgoing in sends.drain(..) {
+        match outgoing {
+            Outgoing::Unicast(to, message) => {
+                let (fanout, size, category, uplink_tx) = round_intern(ws, ctx, round, message);
+                round_route(ws, ctx, round, overlay, fanout, to, size, category, done, uplink_tx);
+                round.effects.push(RunEffect::ReleaseIfUnused { fanout });
+            }
+            Outgoing::Multicast(message) => {
+                let (fanout, size, category, uplink_tx) = round_intern(ws, ctx, round, message);
+                for index in 0..ctx.node_count {
+                    let peer = NodeId(index as u32);
+                    if peer != ws.node {
+                        round_route(
+                            ws, ctx, round, overlay, fanout, peer, size, category, done, uplink_tx,
+                        );
+                    }
+                }
+                round.effects.push(RunEffect::ReleaseIfUnused { fanout });
+            }
+            Outgoing::Broadcast(message) => {
+                let (fanout, size, category, uplink_tx) = round_intern(ws, ctx, round, message);
+                for index in 0..ctx.node_count {
+                    let peer = NodeId(index as u32);
+                    if peer != ws.node {
+                        round_route(
+                            ws, ctx, round, overlay, fanout, peer, size, category, done, uplink_tx,
+                        );
+                    }
+                }
+                round_route(
+                    ws, ctx, round, overlay, fanout, ws.node, size, category, done, uplink_tx,
+                );
+                round.effects.push(RunEffect::ReleaseIfUnused { fanout });
             }
         }
-        out.push((
-            slot,
-            Prepared::Done {
-                node,
-                actions,
-                epoch: *epoch,
-            },
-        ));
     }
+    actions.sends = sends;
+    actions.clear();
+}
+
+/// Registers one logical fan-out in the round's intern list (the replay interns it
+/// into the real table) and computes the per-copy costs once.
+fn round_intern<P: Protocol>(
+    ws: &WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
+    message: P::Message,
+) -> (FanoutRef, usize, &'static str, SimDuration) {
+    let size = message.wire_size();
+    let category = message.category();
+    let uplink_tx =
+        SimDuration::transmission(size, ctx.resolved.links[ws.node.as_index()].uplink_bps);
+    let id = round.local_fanouts.len() as u32;
+    round.local_fanouts.push(LocalFanout {
+        message: Some(message),
+    });
+    round.fanout_ids.push(0);
+    round.effects.push(RunEffect::Intern { id });
+    (FanoutRef::Local(id), size, category, uplink_tx)
+}
+
+/// The worker half of `route`: self-deliveries join the overlay (or defer to a
+/// push); cross-shard copies reserve the sender's own uplink and defer the global
+/// tail (judge, partition, metrics, jitter, `Arrive` push) to the replay.
+#[allow(clippy::too_many_arguments)]
+fn round_route<P: Protocol>(
+    ws: &mut WorkerShard<'_, P>,
+    ctx: &RoundCtx<'_, P::Message>,
+    round: &mut ShardRound<P::Message>,
+    overlay: &mut std::collections::BinaryHeap<std::cmp::Reverse<LocalEvent>>,
+    fanout: FanoutRef,
+    to: NodeId,
+    size: usize,
+    category: &'static str,
+    at: SimTime,
+    uplink_tx: SimDuration,
+) {
+    if to == ws.node {
+        // Local delivery: no bandwidth cost, a negligible scheduling delay.
+        if at <= ctx.cutoff {
+            let id = round.alloc_local();
+            overlay.push(std::cmp::Reverse(LocalEvent {
+                at,
+                id,
+                kind: LocalKind::Deliver { fanout },
+            }));
+            round.effects.push(RunEffect::LocalDeliverNew { id, fanout });
+        } else {
+            round.effects.push(RunEffect::PushDeliverNew { at, to, fanout });
+        }
+        return;
+    }
+    if is_down(ctx.crashes, ws.node, at) {
+        // The judge must still run in global order (stateful filter) — deferred.
+        round.effects.push(RunEffect::RouteCrashed {
+            to,
+            size: size as u32,
+            category,
+            at,
+        });
+        return;
+    }
+    // Uplink serialisation at the sender — own-node state, reserved here exactly as
+    // the sequential engine does before it knows the message's fate.
+    let uplink_start = at.max(*ws.uplink_free);
+    let departure = uplink_start + uplink_tx;
+    *ws.uplink_free = departure;
+    if ctx.half_duplex {
+        *ws.downlink_free = (*ws.downlink_free).max(departure);
+    }
+    round.effects.push(RunEffect::Route {
+        to,
+        fanout,
+        size: size as u32,
+        category,
+        at,
+        departure,
+    });
 }
 
 /// The [`Context`] implementation handed to protocols during callbacks.
@@ -410,18 +934,13 @@ impl ComputeLanes {
     /// `[max(now, free[lane]), +scaled]` of the earliest-free lane (lowest
     /// index on ties).
     pub(crate) fn dispatch(&mut self, node: usize, now: SimTime, scaled: u64) -> SimTime {
-        let lanes = &mut self.free[node];
-        let mut lane = 0;
-        for i in 1..lanes.len() {
-            if lanes[i] < lanes[lane] {
-                lane = i;
-            }
-        }
-        let start = now.max(lanes[lane]);
-        let done = start + SimDuration::from_nanos(scaled);
-        lanes[lane] = done;
-        self.busy[node][lane] += scaled;
-        done
+        dispatch_on(&mut self.free[node], &mut self.busy[node], now, scaled)
+    }
+
+    /// Splits the model into its per-node lane arrays so the parallel round engine
+    /// can carve disjoint `&mut` views per shard (one `Vec` of lanes per node).
+    pub(crate) fn parts_mut(&mut self) -> (&mut [Vec<SimTime>], &mut [Vec<u64>]) {
+        (&mut self.free, &mut self.busy)
     }
 
     /// The node's nearest-free-lane horizon: the earliest instant any lane can
@@ -434,6 +953,23 @@ impl ComputeLanes {
     pub(crate) fn busy_nanos(&self, node: usize) -> u64 {
         self.busy[node].iter().sum()
     }
+}
+
+/// The lane-dispatch rule of [`ComputeLanes`], usable on one node's carved-out lane
+/// state (the parallel round workers own exactly their shard's lanes).
+#[inline]
+fn dispatch_on(lanes: &mut [SimTime], busy: &mut [u64], now: SimTime, scaled: u64) -> SimTime {
+    let mut lane = 0;
+    for i in 1..lanes.len() {
+        if lanes[i] < lanes[lane] {
+            lane = i;
+        }
+    }
+    let start = now.max(lanes[lane]);
+    let done = start + SimDuration::from_nanos(scaled);
+    lanes[lane] = done;
+    busy[lane] += scaled;
+    done
 }
 
 /// Summary of a finished simulation run.
@@ -461,6 +997,17 @@ pub struct SimulationReport {
     /// Worker-lane (core) count of each node, as resolved from the network config.
     /// Missing entries are treated as 1 by the utilization accessors.
     pub cores: Vec<usize>,
+    /// Live fan-out table slots at the end of the run (see
+    /// [`Simulation::fanouts_live`]) — in-flight logical messages whose handles are
+    /// still queued at the deadline (zero only if the run fully quiesced).
+    pub fanouts_live: usize,
+    /// Peak fan-out table size over the run (see [`Simulation::fanouts_peak`]).
+    pub fanouts_peak: usize,
+    /// Result of the fan-out reference audit: `true` iff every slot's refcount
+    /// equals the number of `Arrive`/`Deliver` handles still queued against it.
+    /// `false` means the slot accounting leaked a reference (the slot outlives its
+    /// handles) or lost one (a queued handle points at a reclaimed slot).
+    pub fanouts_balanced: bool,
 }
 
 impl SimulationReport {
@@ -591,7 +1138,11 @@ pub struct Simulation<P: Protocol> {
     nodes: Vec<P>,
     node_rngs: Vec<StdRng>,
     net_rng: StdRng,
-    queue: ShardedQueue<P::Message>,
+    queue: ShardedQueue,
+    /// The interned fan-out side table: queue-resident `Arrive`/`Deliver` events
+    /// carry a `{fanout, to}` handle into this table instead of the
+    /// `{from, Arc<message>, size}` payload (see [`crate::fanout`]).
+    fanouts: FanoutTable<P::Message>,
     /// Reused across callbacks so steady-state dispatch allocates nothing.
     scratch: ActionBuffer<P::Message>,
     mode: ExecutionMode,
@@ -655,6 +1206,7 @@ impl<P: Protocol> Simulation<P> {
             node_rngs,
             net_rng,
             queue: ShardedQueue::new(n),
+            fanouts: FanoutTable::new(),
             scratch: ActionBuffer::default(),
             mode: ExecutionMode::Sequential,
             lookahead: SimDuration::from_nanos(resolved.min_cross_base_nanos),
@@ -692,6 +1244,20 @@ impl<P: Protocol> Simulation<P> {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Number of live interned fan-outs — in-flight logical messages whose queue
+    /// handles have not all been consumed yet. Zero once a run has quiesced; the
+    /// equivalence proptests assert this to catch reference leaks (a leak would pin
+    /// slots forever) and double-frees (which panic inside the table instead).
+    pub fn fanouts_live(&self) -> usize {
+        self.fanouts.live()
+    }
+
+    /// High-water fan-out table size — the peak number of concurrently in-flight
+    /// logical messages over the run so far (the compressed queue's memory ceiling).
+    pub fn fanouts_peak(&self) -> usize {
+        self.fanouts.peak()
     }
 
     /// Immutable access to the metrics collected so far.
@@ -734,7 +1300,7 @@ impl<P: Protocol> Simulation<P> {
         self.compute.horizon(node.as_index())
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind<P::Message>) {
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
         let shard = kind.owner();
         self.queue.push(
@@ -745,6 +1311,16 @@ impl<P: Protocol> Simulation<P> {
                 kind,
             },
         );
+    }
+
+    /// Pushes a matured downlink `Deliver` through the shard's O(1) deliver FIFO
+    /// (see [`crate::shard::Shard`]): the `Arrive` dispatches of a shard fire in
+    /// `(time, seq)` order and each one advances `downlink_free`, so these keys are
+    /// nondecreasing per shard by construction — no heap sift needed. The seq is
+    /// assigned exactly as [`Self::push_event`] would.
+    fn push_deliver_event(&mut self, at: SimTime, fanout: u32, to: NodeId) {
+        self.seq += 1;
+        self.queue.push_deliver(to.0, at, self.seq, fanout);
     }
 
     fn ensure_started(&mut self) {
@@ -793,200 +1369,340 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
-    /// The sequential engine: shard runs under the conservative lookahead (see
-    /// `crate::shard`), each event dispatched exactly as the single-heap engine did.
+    /// The sequential engine: classic merge pops in exact `(time, seq)` order (see
+    /// [`crate::shard::ShardedQueue::pop_min`]).
     fn run_sequential(&mut self, deadline: SimTime, max_events: u64) -> u64 {
-        let lookahead = self.lookahead.as_nanos();
         let mut processed = 0u64;
         while processed < max_events {
-            match self.queue.peek_key() {
-                Some((at, _)) if at <= deadline => {}
-                _ => break,
-            }
-            let Some((shard, event, bound)) = self.queue.begin_run() else {
+            let Some(event) = self.queue.pop_min(deadline) else {
                 break;
             };
-            // Nothing another shard does before `horizon` can schedule work on this
-            // shard earlier than `horizon` itself (and anything scheduled *at* the
-            // horizon carries a later seq), so the run needs no merge-heap traffic.
-            let horizon = SimTime(event.at.as_nanos().saturating_add(lookahead));
             self.now = event.at.max(self.now);
             self.dispatch(event.kind);
             processed += 1;
-            while processed < max_events {
-                let Some(event) = self.queue.pop_run(shard, bound, horizon, deadline) else {
-                    break;
-                };
-                self.now = event.at.max(self.now);
-                self.dispatch(event.kind);
-                processed += 1;
-            }
-            self.queue.end_run(shard);
         }
         processed
     }
 
-    /// The parallel engine: drains every event of the current instant, groups the
-    /// callback-bearing ones by owning node, runs the groups on scoped worker
-    /// threads, then applies all results sequentially in `(time, seq)` order. Small
-    /// batches fall back to the sequential dispatch — same output, no thread cost.
+    /// Classic-pop drain for a narrow parallel round: dispatches events at or below
+    /// `cutoff` (the round horizon), at most `budget` of them, in `(time, seq)`
+    /// order. Returns 0 when nothing is at or below the cutoff.
+    fn drain_to_cutoff(&mut self, cutoff: SimTime, budget: u64) -> u64 {
+        let mut processed = 0u64;
+        while processed < budget {
+            let Some(event) = self.queue.pop_min(cutoff) else {
+                break;
+            };
+            self.now = event.at.max(self.now);
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// The parallel engine: shard rounds (see the module-level commentary above
+    /// [`SeqRef`]). Each iteration picks the same horizon a sequential shard run
+    /// would use, drains **every** shard with work inside it on scoped worker
+    /// threads, then replays the recorded engine-side effects in `(time, seq)`
+    /// order. Narrow rounds fall back to a classic-pop drain of the same horizon —
+    /// bit-identical output either way, no thread cost when there is nothing to
+    /// parallelise.
     fn run_parallel(&mut self, deadline: SimTime, max_events: u64, threads: usize) -> u64 {
-        /// Below this batch width the scoped-thread round trip costs more than the
-        /// callbacks; the sequential fallback is bit-identical anyway.
-        const MIN_PARALLEL_BATCH: usize = 32;
+        /// Below this many active shards the scoped-thread round trip costs more
+        /// than the callbacks it spreads out.
+        const MIN_ROUND_SHARDS: usize = 4;
+        /// A round executes every event inside its horizon and cannot stop partway
+        /// like the sequential engine; within this margin of the event budget, run
+        /// sequentially so the budget is honoured exactly.
+        const BUDGET_GUARD: u64 = 1 << 20;
 
         let mut processed = 0u64;
-        let mut batch: Vec<QueuedEvent<P::Message>> = Vec::new();
+        let mut active: Vec<u32> = Vec::new();
         while processed < max_events {
-            let at = match self.queue.peek_key() {
+            let t_min = match self.queue.peek_key() {
                 Some((at, _)) if at <= deadline => at,
                 _ => break,
             };
-            self.now = at.max(self.now);
-            batch.clear();
-            while (processed + batch.len() as u64) < max_events {
-                match self.queue.peek_key() {
-                    Some((t, _)) if t == at => batch.push(self.queue.pop().expect("peeked")),
-                    _ => break,
-                }
+            let remaining = max_events - processed;
+            if threads <= 1 || remaining < BUDGET_GUARD {
+                processed += self.run_sequential(deadline, remaining);
+                break;
             }
-            processed += batch.len() as u64;
-            if threads <= 1 || batch.len() < MIN_PARALLEL_BATCH {
-                for event in batch.drain(..) {
-                    self.dispatch(event.kind);
+            let cutoff =
+                SimTime(t_min.as_nanos().saturating_add(self.lookahead.as_nanos())).min(deadline);
+            active.clear();
+            self.queue.shards_at_or_below(cutoff, &mut active);
+            if active.len() < MIN_ROUND_SHARDS {
+                let step = self.drain_to_cutoff(cutoff, remaining);
+                if step == 0 {
+                    break;
                 }
-            } else {
-                self.execute_batch(&mut batch, threads);
+                processed += step;
+                continue;
             }
+            let round = self.run_round(cutoff, &active, threads);
+            assert!(
+                round <= remaining,
+                "parallel round of {round} events exceeded the {remaining}-event budget \
+                 (guard {BUDGET_GUARD})"
+            );
+            processed += round;
         }
         processed
     }
 
-    /// Executes one same-instant batch on worker threads. Phase A (parallel): group
-    /// events by owning node and run the callbacks — they touch only per-node state
-    /// (protocol, node RNG, timer epoch). Phase B (sequential): apply every result in
-    /// slot order, which is `(time, seq)` order, so net-RNG draws, link reservations,
-    /// metrics and new event seqs happen in exactly the sequential engine's order.
-    fn execute_batch(&mut self, batch: &mut Vec<QueuedEvent<P::Message>>, threads: usize) {
-        let mut slots: Vec<Prepared<P::Message>> = Vec::with_capacity(batch.len());
-        let mut work: Vec<(u32, usize, Invoke<P::Message>)> = Vec::with_capacity(batch.len());
-        for (slot, event) in batch.drain(..).enumerate() {
-            match event.kind {
-                EventKind::Arrive {
-                    from,
-                    to,
-                    message,
-                    size,
-                } => slots.push(Prepared::Arrive {
-                    from,
-                    to,
-                    message,
-                    size: size as usize,
-                }),
-                EventKind::Start(node) => {
-                    slots.push(Prepared::Pending);
-                    work.push((node.0, slot, Invoke::Start));
+    /// Executes one parallel shard round up to `cutoff`. Phase A: carve each active
+    /// shard's state out of the engine and drain the shards on scoped worker
+    /// threads, recording every global effect. Phase B: merge the per-shard dispatch
+    /// streams by `(time, seq)` and replay the effects, so sequence numbers, net-RNG
+    /// draws, the stateful fault judge, metrics and fan-out reference accounting all
+    /// happen in exactly the sequential engine's order.
+    fn run_round(&mut self, cutoff: SimTime, active: &[u32], threads: usize) -> u64 {
+        let mut rounds: Vec<ShardRound<P::Message>> =
+            active.iter().map(|&shard| ShardRound::new(shard)).collect();
+        {
+            let ctx = RoundCtx {
+                cutoff,
+                node_count: self.config.nodes,
+                half_duplex: self.config.half_duplex,
+                crashes: self.faults.crash_windows(),
+                resolved: &self.resolved,
+                fanouts: &self.fanouts,
+            };
+            // Carve the disjoint per-shard `&mut` state in ascending shard order.
+            let (all_lanes, all_busy) = self.compute.parts_mut();
+            let mut shards_rest: &mut [Shard] = self.queue.shards_mut();
+            let mut nodes_rest: &mut [P] = &mut self.nodes;
+            let mut rngs_rest: &mut [StdRng] = &mut self.node_rngs;
+            let mut epochs_rest: &mut [u32] = &mut self.timer_epochs;
+            let mut up_rest: &mut [SimTime] = &mut self.uplink_free;
+            let mut down_rest: &mut [SimTime] = &mut self.downlink_free;
+            let mut lanes_rest: &mut [Vec<SimTime>] = all_lanes;
+            let mut busy_rest: &mut [Vec<u64>] = all_busy;
+            let mut consumed = 0usize;
+            let mut workers: Vec<WorkerShard<'_, P>> = Vec::with_capacity(active.len());
+            for &shard in active {
+                let offset = shard as usize - consumed;
+                macro_rules! carve {
+                    ($rest:ident) => {{
+                        let (head, tail) = $rest.split_at_mut(offset + 1);
+                        $rest = tail;
+                        head.last_mut().expect("split kept the shard")
+                    }};
                 }
-                EventKind::Restart(node) => {
-                    slots.push(Prepared::Pending);
-                    work.push((node.0, slot, Invoke::Restart));
-                }
-                EventKind::Deliver { from, to, message } => {
-                    slots.push(Prepared::Pending);
-                    work.push((to.0, slot, Invoke::Message { from, message }));
-                }
-                EventKind::Timer { node, token, epoch } => {
-                    slots.push(Prepared::Pending);
-                    work.push((node.0, slot, Invoke::Timer { token, epoch }));
-                }
+                let shard_queue = carve!(shards_rest);
+                let protocol = carve!(nodes_rest);
+                let rng = carve!(rngs_rest);
+                let epoch = carve!(epochs_rest);
+                let uplink_free = carve!(up_rest);
+                let downlink_free = carve!(down_rest);
+                let lanes = carve!(lanes_rest);
+                let lane_busy = carve!(busy_rest);
+                consumed = shard as usize + 1;
+                workers.push(WorkerShard {
+                    node: NodeId(shard),
+                    shard_queue,
+                    protocol,
+                    rng,
+                    epoch,
+                    uplink_free,
+                    downlink_free,
+                    lanes,
+                    lane_busy,
+                });
             }
-        }
-        // Group by node; slots stay ascending within a group, which is seq order.
-        work.sort_by_key(|&(node, slot, _)| (node, slot));
-
-        // Carve disjoint `&mut` views of the per-node state out of the engine's Vecs.
-        let mut jobs: Vec<NodeJob<'_, P>> = Vec::new();
-        let mut nodes_rest: &mut [P] = &mut self.nodes;
-        let mut rngs_rest: &mut [StdRng] = &mut self.node_rngs;
-        let mut epochs_rest: &mut [u32] = &mut self.timer_epochs;
-        let mut consumed = 0usize;
-        let mut work_iter = work.into_iter().peekable();
-        while let Some((node, slot, invoke)) = work_iter.next() {
-            let mut items = vec![(slot, invoke)];
-            while let Some(&(next, _, _)) = work_iter.peek() {
-                if next != node {
-                    break;
-                }
-                let (_, slot, invoke) = work_iter.next().expect("peeked");
-                items.push((slot, invoke));
+            // Round-robin the shards across the workers; results are indexed by the
+            // shard's position in `active`, so thread scheduling cannot reorder them.
+            let worker_count = threads.min(workers.len()).max(1);
+            let mut buckets: Vec<Vec<(WorkerShard<'_, P>, &mut ShardRound<P::Message>)>> =
+                (0..worker_count).map(|_| Vec::new()).collect();
+            for (index, pair) in workers.into_iter().zip(rounds.iter_mut()).enumerate() {
+                buckets[index % worker_count].push(pair);
             }
-            let offset = node as usize - consumed;
-            let (head, tail) = nodes_rest.split_at_mut(offset + 1);
-            let protocol = head.last_mut().expect("split kept the node");
-            nodes_rest = tail;
-            let (head, tail) = rngs_rest.split_at_mut(offset + 1);
-            let rng = head.last_mut().expect("split kept the rng");
-            rngs_rest = tail;
-            let (head, tail) = epochs_rest.split_at_mut(offset + 1);
-            let epoch = head.last_mut().expect("split kept the epoch");
-            epochs_rest = tail;
-            consumed = node as usize + 1;
-            jobs.push(NodeJob {
-                node: NodeId(node),
-                protocol,
-                rng,
-                epoch,
-                items,
+            std::thread::scope(|scope| {
+                let ctx = &ctx;
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            for (mut ws, round) in bucket {
+                                run_round_shard(&mut ws, ctx, round);
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("round worker panicked");
+                }
             });
         }
+        // Phase B: replay in global `(time, seq)` order.
+        let mut drained = 0usize;
+        let mut processed = 0u64;
+        let mut max_at = SimTime::ZERO;
+        for round in &rounds {
+            drained += round.popped;
+            processed += round.dispatched;
+            max_at = max_at.max(round.max_at);
+        }
+        // The effect streams move out so the replay can fill each round's resolution
+        // tables (`local_seqs`, `fanout_ids`) while reading them.
+        let streams: Vec<Vec<RunEffect>> = rounds
+            .iter_mut()
+            .map(|round| std::mem::take(&mut round.effects))
+            .collect();
+        let mut cursors = vec![0usize; rounds.len()];
+        let mut merge: std::collections::BinaryHeap<std::cmp::Reverse<(u128, usize)>> =
+            std::collections::BinaryHeap::with_capacity(rounds.len());
+        for (index, round) in rounds.iter().enumerate() {
+            if let Some(first) = round.dispatches.first() {
+                let SeqRef::Queued(seq) = first.seq else {
+                    unreachable!("a round's first dispatch pops from the real heap");
+                };
+                merge.push(std::cmp::Reverse((pack(first.at, seq), index)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, index))) = merge.pop() {
+            let position = cursors[index];
+            cursors[index] = position + 1;
+            let round = &mut rounds[index];
+            let record = round.dispatches[position];
+            let start = if position == 0 {
+                0
+            } else {
+                round.dispatches[position - 1].effects_end as usize
+            };
+            for effect in &streams[index][start..record.effects_end as usize] {
+                self.replay_effect(effect, round);
+            }
+            if let Some(next) = round.dispatches.get(position + 1) {
+                // A `Local` seq here is always already resolved: the push that created
+                // it was recorded by an earlier dispatch of this same stream.
+                let seq = match next.seq {
+                    SeqRef::Queued(seq) => seq,
+                    SeqRef::Local(id) => round.local_seqs[id as usize],
+                };
+                merge.push(std::cmp::Reverse((pack(next.at, seq), index)));
+            }
+        }
+        self.queue.settle_round(drained);
+        self.now = self.now.max(max_at);
+        processed
+    }
 
-        let worker_count = threads.min(jobs.len()).max(1);
-        let mut buckets: Vec<Vec<NodeJob<'_, P>>> =
-            (0..worker_count).map(|_| Vec::new()).collect();
-        for (index, job) in jobs.into_iter().enumerate() {
-            buckets[index % worker_count].push(job);
-        }
-        let now = self.now;
-        let node_count = self.config.nodes;
-        let crashes = self.faults.crash_windows();
-        let produced: Vec<Vec<(usize, Prepared<P::Message>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for job in bucket {
-                            run_node_job(job, now, node_count, crashes, &mut out);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("batch worker panicked"))
-                .collect()
-        });
-        // Scatter by slot index: the result order is deterministic regardless of
-        // thread scheduling.
-        for (slot, prepared) in produced.into_iter().flatten() {
-            slots[slot] = prepared;
-        }
-        for prepared in slots {
-            match prepared {
-                Prepared::Arrive {
-                    from,
-                    to,
-                    message,
-                    size,
-                } => self.apply_arrive(from, to, message, size),
-                Prepared::Done {
-                    node,
-                    mut actions,
-                    epoch,
-                } => self.finish_callback(node, &mut actions, epoch),
-                Prepared::Skipped => {}
-                Prepared::Pending => unreachable!("every pending slot has a worker result"),
+    /// Replays one recorded worker effect on the engine's global state. See
+    /// [`RunEffect`]; the call order (global `(time, seq)` dispatch order, recorded
+    /// order within a dispatch) reproduces the sequential engine's effect sequence
+    /// exactly.
+    fn replay_effect(&mut self, effect: &RunEffect, round: &mut ShardRound<P::Message>) {
+        let node = NodeId(round.shard);
+        match *effect {
+            RunEffect::Observe {
+                at,
+                ref observation,
+            } => {
+                self.metrics.observe(at, node, observation.clone());
+            }
+            RunEffect::LocalTimer { id } | RunEffect::LocalDeliverXfer { id } => {
+                // The worker already executed the pushed event; only its seq exists
+                // globally. (A transferred `Deliver` reference also stays put.)
+                self.seq += 1;
+                round.local_seqs[id as usize] = self.seq;
+            }
+            RunEffect::LocalDeliverNew { id, fanout } => {
+                self.fanouts.incref(round.resolve(fanout));
+                self.seq += 1;
+                round.local_seqs[id as usize] = self.seq;
+            }
+            RunEffect::PushTimer { at, token, epoch } => {
+                self.push_event(at, EventKind::Timer { node, token, epoch });
+            }
+            RunEffect::PushDeliverNew { at, to, fanout } => {
+                let fanout = round.resolve(fanout);
+                self.fanouts.incref(fanout);
+                self.push_event(at, EventKind::Deliver { fanout, to });
+            }
+            RunEffect::PushDeliverXfer { at, to, fanout } => {
+                // Reference transfer from the matured `Arrive` handle: no count
+                // change. Replayed in global `(time, seq)` order, so the per-shard
+                // FIFO monotonicity carries over from the sequential engine.
+                let fanout = round.resolve(fanout);
+                self.push_deliver_event(at, fanout, to);
+            }
+            RunEffect::Intern { id } => {
+                let local = &mut round.local_fanouts[id as usize];
+                let message = local.message.take().expect("each local fan-out interns once");
+                round.fanout_ids[id as usize] =
+                    self.fanouts.intern(node, Arc::new(message));
+            }
+            RunEffect::Route {
+                to,
+                fanout,
+                size,
+                category,
+                at,
+                departure,
+            } => {
+                let size = size as usize;
+                let mut fate = self.faults.judge(at, node, to, category, size);
+                if fate == MessageFate::Deliver && self.faults.has_partitions() {
+                    let from_region = self.resolved.node_region[node.as_index()] as usize;
+                    let to_region = self.resolved.node_region[to.as_index()] as usize;
+                    if self.faults.is_partitioned(at, from_region, to_region) {
+                        fate = MessageFate::Drop;
+                    }
+                }
+                // The worker reserved the sender's uplink (own-node state); the
+                // global tail happens here, in `(time, seq)` order.
+                self.metrics.traffic.record_sent(node, category, size as u64);
+                if fate == MessageFate::Drop {
+                    return;
+                }
+                let (base_nanos, jitter_bound) =
+                    self.resolved.delay_parts(node.as_index(), to.as_index());
+                let jitter_nanos = if jitter_bound == 0 {
+                    0
+                } else {
+                    self.net_rng.gen_range(0..=jitter_bound)
+                };
+                let mut latency = SimDuration::from_nanos(base_nanos + jitter_nanos);
+                if at < self.config.gst && self.config.pre_gst_extra_delay.as_nanos() > 0 {
+                    latency = latency
+                        + SimDuration::from_nanos(
+                            self.net_rng
+                                .gen_range(0..=self.config.pre_gst_extra_delay.as_nanos()),
+                        );
+                }
+                let arrival = departure + latency;
+                self.metrics.traffic.record_received(to, category, size as u64);
+                let fanout = round.resolve(fanout);
+                self.fanouts.incref(fanout);
+                self.push_event(
+                    arrival,
+                    EventKind::Arrive {
+                        fanout,
+                        to,
+                        size: size as u32,
+                    },
+                );
+            }
+            RunEffect::RouteCrashed {
+                to,
+                size,
+                category,
+                at,
+            } => {
+                // Mirror the sequential path for a crashed sender: the judge runs
+                // (and returns `Drop` before consulting the filter), nothing else.
+                let _ = self.faults.judge(at, node, to, category, size as usize);
+            }
+            RunEffect::Consume { fanout } | RunEffect::Release { fanout } => {
+                // The worker cloned the envelope itself (or the receiver swallowed
+                // the event); either way one reference comes back.
+                self.fanouts.release(round.resolve(fanout));
+            }
+            RunEffect::ReleaseIfUnused { fanout } => {
+                self.fanouts.release_if_unused(round.resolve(fanout));
             }
         }
     }
@@ -1000,6 +1716,21 @@ impl<P: Protocol> Simulation<P> {
     pub fn into_report(self) -> SimulationReport {
         let probes = self.probes();
         let n = self.config.nodes;
+        // Fan-out reference audit: tally the handles still queued per slot and
+        // compare against the side table's refcounts (see
+        // `SimulationReport::fanouts_balanced`). O(queue length), once per run.
+        let mut counted = vec![0u32; self.fanouts.peak()];
+        let mut in_range = true;
+        self.queue.for_each_kind(|kind| match *kind {
+            EventKind::Arrive { fanout, .. } | EventKind::Deliver { fanout, .. } => {
+                match counted.get_mut(fanout as usize) {
+                    Some(slot) => *slot += 1,
+                    None => in_range = false,
+                }
+            }
+            _ => {}
+        });
+        let fanouts_balanced = in_range && counted == self.fanouts.refcounts();
         SimulationReport {
             nodes: n,
             end_time: self.now,
@@ -1009,6 +1740,9 @@ impl<P: Protocol> Simulation<P> {
             compute_busy_nanos: (0..n).map(|i| self.compute.busy_nanos(i)).collect(),
             lane_busy_nanos: self.compute.busy,
             cores: self.resolved.cores,
+            fanouts_live: self.fanouts.live(),
+            fanouts_peak: self.fanouts.peak(),
+            fanouts_balanced,
         }
     }
 
@@ -1018,7 +1752,7 @@ impl<P: Protocol> Simulation<P> {
         self.into_report()
     }
 
-    fn dispatch(&mut self, kind: EventKind<P::Message>) {
+    fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start(node) => {
                 if self.faults.is_crashed(node, self.now) {
@@ -1035,16 +1769,15 @@ impl<P: Protocol> Simulation<P> {
                 self.timer_epochs[node.as_index()] += 1;
                 self.run_callback(node, Invoke::Restart);
             }
-            EventKind::Arrive {
-                from,
-                to,
-                message,
-                size,
-            } => self.apply_arrive(from, to, message, size as usize),
-            EventKind::Deliver { from, to, message } => {
+            EventKind::Arrive { fanout, to, size } => self.apply_arrive(fanout, to, size),
+            EventKind::Deliver { fanout, to } => {
                 if self.faults.is_crashed(to, self.now) {
+                    // The receiver is down: the queued handle's reference comes back
+                    // (the last one reclaims the slot) and no callback runs.
+                    self.fanouts.release(fanout);
                     return;
                 }
+                let (from, message) = self.fanouts.consume(fanout);
                 self.run_callback(to, Invoke::Message { from, message });
             }
             EventKind::Timer { node, token, epoch } => {
@@ -1056,7 +1789,7 @@ impl<P: Protocol> Simulation<P> {
                 if epoch != self.timer_epochs[node.as_index()] {
                     return;
                 }
-                self.run_callback(node, Invoke::Timer { token, epoch });
+                self.run_callback(node, Invoke::Timer { token });
             }
         }
     }
@@ -1077,14 +1810,12 @@ impl<P: Protocol> Simulation<P> {
                 Invoke::Start => self.nodes[node.as_index()].on_start(&mut ctx),
                 Invoke::Restart => self.nodes[node.as_index()].on_restart(&mut ctx),
                 Invoke::Message { from, message } => {
-                    // The final (often only) recipient takes ownership without
-                    // cloning; earlier recipients of a multicast clone the shared
-                    // envelope, which is shallow for messages that `Arc` payloads.
-                    let message =
-                        Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
+                    // `FanoutTable::consume` already materialised the owned message
+                    // (the last recipient of a fan-out takes the envelope without a
+                    // deep clone, exactly like the old `Arc::try_unwrap` fast path).
                     self.nodes[node.as_index()].on_message(from, message, &mut ctx);
                 }
-                Invoke::Timer { token, .. } => {
+                Invoke::Timer { token } => {
                     self.nodes[node.as_index()].on_timer(token, &mut ctx)
                 }
             }
@@ -1096,19 +1827,22 @@ impl<P: Protocol> Simulation<P> {
     }
 
     /// An `Arrive` event fires: the message reaches the receiver's downlink, whose
-    /// serialisation slot is reserved now — in arrival order.
-    fn apply_arrive(&mut self, from: NodeId, to: NodeId, message: Arc<P::Message>, size: usize) {
+    /// serialisation slot is reserved now — in arrival order. The fan-out reference
+    /// held by the `Arrive` handle transfers to the pushed `Deliver` handle (no
+    /// refcount change) — unless the receiver is down, in which case it comes back.
+    fn apply_arrive(&mut self, fanout: u32, to: NodeId, size: u32) {
         if self.faults.is_crashed(to, self.now) {
+            self.fanouts.release(fanout);
             return;
         }
         let to_link = self.resolved.links[to.as_index()];
         let start = self.now.max(self.downlink_free[to.as_index()]);
-        let delivery = start + SimDuration::transmission(size, to_link.downlink_bps);
+        let delivery = start + SimDuration::transmission(size as usize, to_link.downlink_bps);
         self.downlink_free[to.as_index()] = delivery;
         if self.config.half_duplex {
             self.uplink_free[to.as_index()] = self.uplink_free[to.as_index()].max(delivery);
         }
-        self.push_event(delivery, EventKind::Deliver { from, to, message });
+        self.push_deliver_event(delivery, fanout, to);
     }
 
     /// Settles a finished callback against the node's compute lanes: the charged
@@ -1150,39 +1884,45 @@ impl<P: Protocol> Simulation<P> {
                     let size = message.wire_size();
                     let category = message.category();
                     let uplink_tx = self.uplink_transmission(node, size);
-                    self.route(node, to, Arc::new(message), size, category, at, uplink_tx);
+                    let fanout = self.fanouts.intern(node, Arc::new(message));
+                    self.route(node, to, fanout, size, category, at, uplink_tx);
+                    self.fanouts.release_if_unused(fanout);
                 }
                 Outgoing::Multicast(message) => {
                     // Compute the per-message costs (wire size, category, uplink
                     // serialisation time) once for the whole fan-out, then charge each
                     // recipient exactly as `n − 1` unicasts would (same recipient
-                    // order, same RNG draws, same event sequence numbers).
+                    // order, same RNG draws, same event sequence numbers). The whole
+                    // fan-out shares one interned table slot; copies dropped at route
+                    // time simply never take a reference to it.
                     let size = message.wire_size();
                     let category = message.category();
                     let uplink_tx = self.uplink_transmission(node, size);
-                    let shared = Arc::new(message);
+                    let fanout = self.fanouts.intern(node, Arc::new(message));
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category, at, uplink_tx);
+                            self.route(node, peer, fanout, size, category, at, uplink_tx);
                         }
                     }
+                    self.fanouts.release_if_unused(fanout);
                 }
                 Outgoing::Broadcast(message) => {
                     // Like Multicast, plus a local self-delivery that shares the same
-                    // envelope (ordered last, exactly where the old explicit
+                    // interned slot (ordered last, exactly where the old explicit
                     // `multicast + send(self)` pair put it).
                     let size = message.wire_size();
                     let category = message.category();
                     let uplink_tx = self.uplink_transmission(node, size);
-                    let shared = Arc::new(message);
+                    let fanout = self.fanouts.intern(node, Arc::new(message));
                     for index in 0..self.config.nodes {
                         let peer = NodeId(index as u32);
                         if peer != node {
-                            self.route(node, peer, Arc::clone(&shared), size, category, at, uplink_tx);
+                            self.route(node, peer, fanout, size, category, at, uplink_tx);
                         }
                     }
-                    self.route(node, node, shared, size, category, at, uplink_tx);
+                    self.route(node, node, fanout, size, category, at, uplink_tx);
+                    self.fanouts.release_if_unused(fanout);
                 }
             }
         }
@@ -1193,12 +1933,16 @@ impl<P: Protocol> Simulation<P> {
         SimDuration::transmission(size, self.resolved.links[from.as_index()].uplink_bps)
     }
 
+    /// Routes one copy of the interned `fanout` to `to`. Takes one table reference
+    /// per handle it actually queues; dropped copies (crashed sender, filter or
+    /// partition drop) take none, which is what lets `release_if_unused` reclaim a
+    /// fully-dropped fan-out immediately.
     #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
         from: NodeId,
         to: NodeId,
-        message: Arc<P::Message>,
+        fanout: u32,
         size: usize,
         category: &'static str,
         at: SimTime,
@@ -1206,7 +1950,8 @@ impl<P: Protocol> Simulation<P> {
     ) {
         if from == to {
             // Local delivery: no bandwidth cost, a negligible scheduling delay.
-            self.push_event(at, EventKind::Deliver { from, to, message });
+            self.fanouts.incref(fanout);
+            self.push_event(at, EventKind::Deliver { fanout, to });
             return;
         }
 
@@ -1258,12 +2003,12 @@ impl<P: Protocol> Simulation<P> {
 
         // Downlink serialisation is reserved when the bytes actually arrive (the
         // `Arrive` event), so the receiver's FIFO queue is ordered by arrival time.
+        self.fanouts.incref(fanout);
         self.push_event(
             arrival,
             EventKind::Arrive {
-                from,
+                fanout,
                 to,
-                message,
                 size: size as u32,
             },
         );
@@ -1421,6 +2166,9 @@ mod tests {
             compute_busy_nanos: Vec::new(),
             lane_busy_nanos: Vec::new(),
             cores: Vec::new(),
+            fanouts_live: 0,
+            fanouts_peak: 0,
+            fanouts_balanced: true,
         };
         // 100 requests confirmed at t = 6 s: full-window rate is 10 rps, the rate over
         // the [5 s, 10 s] window is 20 rps, and a warm-up covering the run yields 0.
